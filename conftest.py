@@ -1,0 +1,14 @@
+"""Repository-root pytest configuration.
+
+Makes the in-tree ``src/`` layout importable so ``pytest tests/`` and
+``pytest benchmarks/`` work from a fresh checkout even before
+``pip install -e .`` (useful on machines where editable installs need
+the ``wheel`` package; see README).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Visualising the approximations (paper Figures 2, 3 and 6).
+
+The paper's figures show *why* the tests behave as they do: the demand
+bound function is a staircase, Devi/SuperPos(1) covers it with one line
+per task through the staircase corners, and higher levels follow the
+stairs further before switching to the line.  This script renders the
+same pictures as ASCII for a two-task system — demand (rows) over
+window length (columns) — and prints where each approximation level
+first crosses the capacity line, which is exactly the interval where
+the Dynamic test raises its level.
+
+Run:  python examples/approximation_anatomy.py
+"""
+
+from fractions import Fraction
+
+from repro import TaskSet, approximated_dbf, dbf
+from repro.analysis import devi_test
+from repro.core import dynamic_test, superposition_test
+
+
+def render_curves(system: TaskSet, horizon: int, height: int = 18) -> str:
+    """ASCII plot: '#' exact dbf, 'o' SuperPos(1), '+' SuperPos(2),
+    '/' the capacity line, drawn over a time grid."""
+    columns = horizon + 1
+    max_y = max(
+        int(approximated_dbf(system, horizon, 1)) + 1,
+        horizon,
+    )
+    scale = Fraction(height, max_y)
+
+    def row_of(value) -> int:
+        scaled = int(Fraction(value) * scale)
+        return min(height, scaled)
+
+    grid = [[" "] * columns for _ in range(height + 1)]
+    for x in range(columns):
+        # capacity line y = x
+        grid[row_of(x)][x] = "/"
+    for x in range(columns):
+        for marker, value in (
+            ("+", approximated_dbf(system, x, 2)),
+            ("o", approximated_dbf(system, x, 1)),
+            ("#", dbf(system, x)),
+        ):
+            grid[row_of(value)][x] = marker
+    lines = []
+    for y in range(height, -1, -1):
+        lines.append("".join(grid[y]))
+    lines.append("-" * columns)
+    lines.append(f"0{' ' * (columns - len(str(horizon)) - 1)}{horizon}")
+    return "\n".join(lines)
+
+
+def first_crossing(system: TaskSet, level: int, horizon: int):
+    """First integer window where dbf'(I) exceeds the capacity line."""
+    for interval in range(1, horizon + 1):
+        if approximated_dbf(system, interval, level) > interval:
+            return interval
+    return None
+
+
+def main() -> None:
+    # Mirrors the flavour of paper Figure 2: two tasks, deadlines below
+    # periods, chosen so that SuperPos(1) (= Devi) overshoots the
+    # capacity line although the system is feasible — the case the
+    # paper's exact tests were built for.
+    system = TaskSet.of((3, 4, 8), (5, 8, 26))
+    print(system.summary())
+    print(f"U = {float(system.utilization):.3f}\n")
+
+    print("legend: '#' dbf   'o' SuperPos(1)=Devi   '+' SuperPos(2)   '/' capacity\n")
+    print(render_curves(system, horizon=60))
+
+    print("\nwhere each approximation level first crosses the capacity line:")
+    for level in (1, 2, 3, 4):
+        crossing = first_crossing(system, level, 200)
+        verdict = superposition_test(system, level).verdict
+        where = f"I = {crossing}" if crossing is not None else "never"
+        print(f"  SuperPos({level}): crosses at {where:>8s}  ->  verdict {verdict}")
+
+    devi = devi_test(system)
+    dyn = dynamic_test(system)
+    print(
+        f"\nDevi: {devi.verdict} — exactly the SuperPos(1) picture above.\n"
+        f"Dynamic test: {dyn.verdict} at final level {dyn.max_level} with "
+        f"{dyn.revisions} revisions — it raised the level exactly at the "
+        "crossings shown, reusing all demand accumulated before each switch "
+        "(paper Figure 6's 'possible proven test intervals')."
+    )
+
+
+if __name__ == "__main__":
+    main()

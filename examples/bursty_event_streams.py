@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Scenario: bursty event streams (Gresser's model, paper Sections 2/3.6).
+
+A CAN gateway forwards frames arriving in bursts: four back-to-back
+frames every 120 ms, each triggering a handler job.  Devi's test — and
+any approximation limited to a couple of line segments, like the
+practicable real-time calculus form — over-estimates bursty demand and
+rejects the system; the paper's exact tests settle it in a handful of
+interval checks by revising the approximation only where the burst
+actually bites.
+
+Run:  python examples/bursty_event_streams.py
+"""
+
+from repro import analyze
+from repro.analysis import devi_test, processor_demand_test
+from repro.core import all_approx_test, dynamic_test, superposition_test
+from repro.model import EventStream, EventStreamTask, as_components, task
+from repro.rtc import approximation_gap, rtc_feasibility_test
+from repro.sim import simulate_feasibility
+
+
+def build_gateway():
+    return [
+        EventStreamTask(
+            stream=EventStream.burst(count=4, spacing=4, period=120),
+            wcet=4,
+            deadline=18,
+            name="can-rx-burst",
+        ),
+        EventStreamTask(
+            stream=EventStream.burst(count=3, spacing=6, period=200),
+            wcet=7,
+            deadline=35,
+            name="frame-decode",
+        ),
+        task(8, 40, 60, name="sample-loop"),
+        task(15, 90, 150, name="control-loop"),
+        task(35, 250, 500, name="ui-update"),
+    ]
+
+
+def main() -> None:
+    system = build_gateway()
+    components = as_components(system)
+    print(f"{len(system)} activation sources -> "
+          f"{len(components)} demand components")
+    for comp in components:
+        period = comp.period if comp.period is not None else "one-shot"
+        print(f"  {comp.source:>16s}: C={comp.wcet}, first deadline "
+              f"{comp.first_deadline}, period {period}")
+
+    # Sufficient tests trip over the burst...
+    print("\nsufficient tests:")
+    for label, result in [
+        ("devi", devi_test(components)),
+        ("superpos(1)", superposition_test(components, 1)),
+        ("superpos(4)", superposition_test(components, 4)),
+        ("rtc, 3 segments", rtc_feasibility_test(components, 3)),
+    ]:
+        print(f"  {label:>16s}: {result.verdict}")
+
+    # ...the exact tests settle it cheaply.
+    print("\nexact tests:")
+    for label, result in [
+        ("dynamic", dynamic_test(components)),
+        ("all-approx", all_approx_test(components)),
+        ("processor-demand", processor_demand_test(components)),
+    ]:
+        print(f"  {label:>16s}: {str(result.verdict):>8s}  "
+              f"iterations={result.iterations}  revisions={result.revisions}")
+
+    sim = simulate_feasibility(system)
+    print(f"\nEDF simulation agrees: {sim.verdict}")
+
+    # Quantify why the limited-segment approximation loses (Section 3.6):
+    stats = approximation_gap(components, 3, 500)
+    print(
+        "\ndemand overestimation over (0, 500]:\n"
+        f"  3-segment RTC curve : max {stats['rtc_max']:.1f}, "
+        f"mean {stats['rtc_mean']:.1f}\n"
+        f"  per-component envelopes (superposition): max "
+        f"{stats['envelope_max']:.1f}, mean {stats['envelope_mean']:.1f}\n"
+        "The superposition tests start from the same envelopes but "
+        "revise them exactly where a check fails — which is what turns "
+        "a rejected approximation into an exact verdict."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Scenario: admission control / design-space sweep with exact tests.
+
+An admission controller must decide online whether one more task fits.
+Sufficient tests answer fast but refuse good configurations; the exact
+baseline answers correctly but its cost explodes exactly in the
+interesting (high-utilization) region.  The paper's tests give exact
+answers at near-sufficient cost, which is what makes sweeps like this
+one practical.
+
+The sweep: starting from a base avionics-like workload, add progressively
+more monitoring tasks until the system saturates, recording each test's
+verdict and effort.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+import random
+
+from repro import BoundMethod, TaskSet, task
+from repro.analysis import devi_test, processor_demand_test
+from repro.core import all_approx_test
+
+
+def base_workload() -> TaskSet:
+    return TaskSet(
+        [
+            task(20, 80, 100, name="sensor"),
+            task(45, 180, 250, name="control"),
+            task(90, 700, 1_000, name="planner"),
+            task(120, 1_600, 2_000, name="telemetry"),
+        ]
+    )
+
+
+def monitoring_task(index: int, rng: random.Random):
+    period = rng.choice((400, 500, 800, 1_000))
+    wcet = rng.randint(period // 25, period // 12)
+    deadline = rng.randint(int(period * 0.5), period)
+    return task(wcet, deadline, period, name=f"monitor-{index}")
+
+
+def main() -> None:
+    rng = random.Random(7)
+    system = base_workload()
+    print(f"{'n':>3s} {'U':>7s}  {'devi':>8s}  {'all-approx':>16s}  "
+          f"{'processor-demand':>18s}")
+
+    admitted = 0
+    devi_refusals = 0
+    while True:
+        candidate = system.extended([monitoring_task(admitted, rng)])
+        devi = devi_test(candidate)
+        exact = all_approx_test(candidate)
+        baseline = processor_demand_test(
+            candidate, bound_method=BoundMethod.BARUAH
+        )
+        assert exact.is_feasible == baseline.is_feasible
+        print(
+            f"{len(candidate):>3d} {float(candidate.utilization):7.4f}  "
+            f"{('accept' if devi.is_feasible else 'REFUSE'):>8s}  "
+            f"{str(exact.verdict):>8s} ({exact.iterations:>4d} it)  "
+            f"{str(baseline.verdict):>8s} ({baseline.iterations:>6d} it)"
+        )
+        if not exact.is_feasible:
+            print(
+                f"\nsaturated after admitting {admitted} monitoring tasks "
+                f"(U = {float(system.utilization):.4f})"
+            )
+            break
+        if devi.is_feasible:
+            pass
+        else:
+            devi_refusals += 1
+        system = candidate
+        admitted += 1
+        if admitted > 60:  # safety stop for the example
+            break
+
+    print(
+        f"\nThe sufficient test refused {devi_refusals} configurations "
+        "the exact tests admitted — capacity an admission controller "
+        "would have wasted.  The exact all-approx verdicts cost a few "
+        "dozen interval checks each; the classic baseline spent "
+        "hundreds to thousands per decision."
+    )
+
+
+if __name__ == "__main__":
+    main()

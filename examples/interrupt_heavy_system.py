@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Scenario: interrupts and housekeeping in one schedule (Figure 9's motivation).
+
+The paper motivates its Figure-9 experiment with systems where "system
+interrupts and the schedulability overhead are defined as tasks": a few
+microsecond-scale interrupt handlers next to second-scale housekeeping
+gives period ratios of 10^4..10^6, and the classic processor demand
+test then walks millions of interrupt deadlines.
+
+This example builds exactly such a system, shows the baseline's
+interval count exploding with the period spread while the paper's tests
+stay flat, and prints the wall-clock times alongside.
+
+Run:  python examples/interrupt_heavy_system.py
+"""
+
+import time
+
+from repro import BoundMethod, TaskSet, task
+from repro.analysis import processor_demand_test
+from repro.core import all_approx_test, dynamic_test
+
+
+def build_system(slow_period: int) -> TaskSet:
+    """Fast interrupt handlers + slow application tasks.
+
+    ``slow_period`` stretches the housekeeping tasks, controlling the
+    period ratio while utilization stays ~0.92.
+    """
+    return TaskSet(
+        [
+            # interrupt handlers: tiny periods, tight deadlines
+            task(18, 80, 100, name="uart-rx"),
+            task(25, 150, 200, name="timer-tick"),
+            task(30, 400, 500, name="dma-complete"),
+            # control loops
+            task(220, 900, 1_000, name="current-loop"),
+            task(400, 4_000, 5_000, name="position-loop"),
+            # slow application layer (period scaled by the scenario)
+            task(slow_period // 20, slow_period // 2, slow_period, name="logging"),
+            task(slow_period // 25, (slow_period * 3) // 4, slow_period, name="ui"),
+        ]
+    )
+
+
+def measure(label, test, system):
+    start = time.perf_counter()
+    result = test(system)
+    elapsed = (time.perf_counter() - start) * 1_000
+    print(f"    {label:>18s}: {str(result.verdict):>8s}  "
+          f"iterations={result.iterations:>9,}  ({elapsed:7.1f} ms)")
+    return result
+
+
+def main() -> None:
+    for slow_period in (10_000, 100_000, 1_000_000):
+        system = build_system(slow_period)
+        ratio = system.period_ratio
+        print(f"\nperiod ratio Tmax/Tmin = {ratio:,.0f} "
+              f"(U = {float(system.utilization):.3f})")
+        baseline = measure(
+            "processor-demand",
+            lambda s: processor_demand_test(s, bound_method=BoundMethod.BARUAH),
+            system,
+        )
+        dyn = measure("dynamic", dynamic_test, system)
+        aa = measure("all-approx", all_approx_test, system)
+        assert baseline.is_feasible == dyn.is_feasible == aa.is_feasible
+        if aa.iterations:
+            print(f"    -> all-approx checks {baseline.iterations / aa.iterations:,.0f}x "
+                  f"fewer intervals than the baseline")
+
+    print(
+        "\nThe baseline's interval count scales with the period ratio "
+        "(it walks every interrupt deadline up to the feasibility "
+        "bound); the paper's tests approximate the fast tasks after "
+        "their first job and stay flat — the Figure 9 result."
+    )
+
+
+if __name__ == "__main__":
+    main()

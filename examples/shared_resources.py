@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scenario: overheads, shared resources and phasing (paper Section 3.5).
+
+The paper imports three practical concerns from Devi's work into its
+framework: context-switch time, priority-ceiling-style resource
+blocking, and non-synchronous releases.  This example analyses one
+control system under all three:
+
+1. raw feasibility of the task set,
+2. with context-switch costs charged to every job,
+3. with a shared I2C bus accessed non-preemptively (EDF + SRP),
+4. with measured release jitter on the sensor task, and
+5. with staggered phases, where synchronous analysis is only sufficient.
+
+Run:  python examples/shared_resources.py
+"""
+
+from repro import TaskSet, analyze, task
+from repro.analysis import processor_demand_test
+from repro.extensions import (
+    asynchronous_feasibility,
+    srp_blocking_test,
+    with_context_switch_overhead,
+    with_release_jitter,
+)
+from repro.model import as_components
+
+
+def main() -> None:
+    system = TaskSet(
+        [
+            task(3, 10, 25, name="sensor"),
+            task(6, 30, 60, name="control"),
+            task(10, 80, 120, name="comms"),
+            task(30, 280, 400, name="planner"),
+        ]
+    ).renamed("i2c-node")
+    print(system.summary())
+
+    # --- 1. raw -------------------------------------------------------------
+    raw = analyze(system, "all-approx")
+    print(f"\n1. raw analysis: {raw.verdict} "
+          f"(U = {float(system.utilization):.3f})")
+
+    # --- 2. context switches -------------------------------------------------
+    print("\n2. context-switch overhead (2 switches per job):")
+    for delta in (0, 1, 2, 3):
+        inflated = with_context_switch_overhead(system, delta)
+        result = analyze(inflated, "all-approx")
+        print(f"   delta = {delta}: U = {float(inflated.utilization):.3f}  "
+              f"{result.verdict}")
+
+    # --- 3. shared bus under SRP ----------------------------------------------
+    print("\n3. non-preemptive I2C transactions (EDF + SRP):")
+    for section in (0, 2, 4, 7, 8):
+        result = srp_blocking_test(system, {"comms": section, "planner": section})
+        print(f"   longest transaction = {section}: {result.verdict}"
+              + (f"  (blocked at I = {result.witness.interval},"
+                 f" demand {result.witness.demand})"
+                 if result.witness is not None else ""))
+
+    # --- 4. release jitter -----------------------------------------------------
+    print("\n4. sensor release jitter:")
+    for jitter in (0, 3, 6, 8):
+        components = [
+            with_release_jitter(t, jitter if t.name == "sensor" else 0)
+            for t in system
+        ]
+        result = processor_demand_test(components)
+        print(f"   J(sensor) = {jitter}: {result.verdict}")
+
+    # --- 5. phased releases -----------------------------------------------------
+    print("\n5. phased releases (asynchronous case):")
+    # A deliberately overloaded-but-phasable pair next to the system's
+    # own tasks would obscure the point; demonstrate on a minimal pair.
+    colliding = TaskSet([task(1, 1, 2, name="a"), task(1, 1, 2, name="b")])
+    phased = TaskSet(
+        [task(1, 1, 2, name="a"), task(1, 1, 2, phase=1, name="b")]
+    )
+    print(f"   synchronous pair : {asynchronous_feasibility(colliding).verdict}")
+    result = asynchronous_feasibility(phased)
+    print(f"   phased pair      : {result.verdict} "
+          f"(decided by {result.details['decided_by']})")
+    print(
+        "   -> simultaneous release is the sporadic worst case; fixed "
+        "phases can rescue a set the synchronous test rejects, and the "
+        "Leung-Merrill window decides that exactly."
+    )
+
+
+if __name__ == "__main__":
+    main()

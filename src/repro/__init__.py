@@ -1,0 +1,177 @@
+"""repro — Efficient feasibility analysis for EDF-scheduled real-time systems.
+
+A from-scratch reproduction of *Albers & Slomka, "Efficient Feasibility
+Analysis for Real-Time Systems with EDF Scheduling", DATE 2005*: the
+Dynamic Error and All-Approximated exact feasibility tests, the
+``SuperPos(x)`` approximation family they refine, every baseline the
+paper compares against (Liu & Layland, Devi, the processor demand test),
+the feasibility-bound theory of Section 4.3, plus the substrates the
+evaluation needs — random task-set generation after Bini, literature
+example sets, an EDF simulation oracle, and the experiment harness that
+regenerates every figure and table.
+
+Quickstart::
+
+    from repro import TaskSet, analyze
+
+    gamma = TaskSet.of((2, 6, 10), (3, 11, 16), (5, 25, 25))
+    result = analyze(gamma)            # All-Approximated exact test
+    print(result.verdict, result.iterations)
+
+See ``examples/`` for richer scenarios and ``EXPERIMENTS.md`` for the
+paper-versus-measured record.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .analysis import (
+    BoundMethod,
+    baruah_bound,
+    busy_period_of_components,
+    critical_scaling_factor,
+    dbf,
+    devi_test,
+    feasibility_bound,
+    first_overflow,
+    george_bound,
+    liu_layland_test,
+    minimum_feasible_deadline,
+    minimum_processor_speed,
+    processor_demand_test,
+    qpa_test,
+    synchronous_busy_period,
+    system_load,
+    utilization_of,
+    wcet_slack,
+)
+from .core import (
+    LevelSchedule,
+    RevisionPolicy,
+    all_approx_test,
+    approx_test_with_error,
+    approximated_dbf,
+    compare_bounds,
+    dynamic_test,
+    max_test_interval,
+    superposition_bound,
+    superposition_test,
+)
+from .model import (
+    DemandComponent,
+    EventStream,
+    EventStreamElement,
+    EventStreamTask,
+    SporadicTask,
+    TaskSet,
+    as_components,
+    dump_taskset,
+    load_taskset,
+    task,
+)
+from .model.components import DemandSource
+from .result import FailureWitness, FeasibilityResult, Verdict
+
+__version__ = "1.0.0"
+
+#: Registry of every feasibility test exposed by :func:`analyze`.
+TESTS = {
+    "all-approx": all_approx_test,
+    "dynamic": dynamic_test,
+    "processor-demand": processor_demand_test,
+    "qpa": qpa_test,
+    "devi": devi_test,
+    "liu-layland": liu_layland_test,
+}
+
+
+def analyze(
+    source: DemandSource,
+    method: str = "all-approx",
+    level: Optional[int] = None,
+) -> FeasibilityResult:
+    """Run a feasibility test by name — the one-call entry point.
+
+    Args:
+        source: a :class:`TaskSet`, a sequence of tasks or event-stream
+            tasks, or raw demand components.
+        method: one of ``"all-approx"`` (default; the paper's strongest
+            test), ``"dynamic"``, ``"processor-demand"``, ``"qpa"``,
+            ``"devi"``, ``"liu-layland"``, or ``"superpos"``.
+        level: approximation level, required for ``method="superpos"``.
+
+    Returns:
+        The test's :class:`FeasibilityResult`.
+
+    Raises:
+        ValueError: for an unknown method name, or a missing/extra
+            ``level`` argument.
+    """
+    if method == "superpos":
+        if level is None:
+            raise ValueError('method "superpos" requires a level')
+        return superposition_test(source, level)
+    if level is not None:
+        raise ValueError(
+            f'level is only meaningful for method "superpos", not {method!r}'
+        )
+    try:
+        test = TESTS[method]
+    except KeyError:
+        known = ", ".join(sorted(TESTS) + ["superpos"])
+        raise ValueError(f"unknown method {method!r}; available: {known}") from None
+    return test(source)
+
+
+__all__ = [
+    "analyze",
+    "TESTS",
+    "__version__",
+    # models
+    "SporadicTask",
+    "task",
+    "TaskSet",
+    "EventStream",
+    "EventStreamElement",
+    "EventStreamTask",
+    "DemandComponent",
+    "as_components",
+    "dump_taskset",
+    "load_taskset",
+    # results
+    "FeasibilityResult",
+    "FailureWitness",
+    "Verdict",
+    # paper contribution
+    "all_approx_test",
+    "dynamic_test",
+    "superposition_test",
+    "approximated_dbf",
+    "max_test_interval",
+    "superposition_bound",
+    "compare_bounds",
+    "LevelSchedule",
+    "RevisionPolicy",
+    # baselines and substrate
+    "processor_demand_test",
+    "qpa_test",
+    "devi_test",
+    "liu_layland_test",
+    "utilization_of",
+    "dbf",
+    "first_overflow",
+    "feasibility_bound",
+    "BoundMethod",
+    "baruah_bound",
+    "george_bound",
+    "synchronous_busy_period",
+    "busy_period_of_components",
+    # sensitivity and load
+    "system_load",
+    "minimum_processor_speed",
+    "critical_scaling_factor",
+    "wcet_slack",
+    "minimum_feasible_deadline",
+    "approx_test_with_error",
+]

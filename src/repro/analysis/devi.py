@@ -1,0 +1,84 @@
+"""Devi's sufficient feasibility test [9] (paper Def. 1).
+
+With components sorted by non-decreasing first deadline, the system is
+accepted if for every prefix ``1..k``::
+
+    sum_{i<=k} C_i/T_i  +  (1/D_k) * sum_{i<=k} ((T_i - min(T_i, D_i))/T_i) * C_i  <=  1
+
+The paper's Lemma 2 shows this is precisely ``SuperPos(1)`` of the
+superposition approach, *except* for the ``min(T_i, D_i)`` clamping: for
+``D > T`` Devi discards the (negative) slack term, which makes Devi very
+slightly more pessimistic than ``SuperPos(1)`` on deadline-beyond-period
+tasks and identical on constrained-deadline systems.  The test module
+``tests/integration/test_devi_superpos_equivalence.py`` verifies both
+facts mechanically.
+
+The implementation keeps the two prefix sums incrementally and compares
+exactly (the condition is multiplied through by ``D_k`` to avoid
+divisions), so one task costs one comparison — ``n`` iterations for an
+accepted set of ``n`` tasks, matching the paper's Table 1 accounting.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..model.components import DemandSource, as_components, total_utilization
+from ..result import FailureWitness, FeasibilityResult, Verdict
+
+__all__ = ["devi_test"]
+
+
+def devi_test(source: DemandSource) -> FeasibilityResult:
+    """Run Devi's test; verdict is FEASIBLE or UNKNOWN (never INFEASIBLE
+    on its own — rejection proves nothing, so rejection with ``U <= 1``
+    yields UNKNOWN).
+
+    One-shot components (from event-stream bursts) are handled with zero
+    rate and full slack-less demand, the natural generalisation.
+    """
+    components = as_components(source)
+    u = total_utilization(components)
+    if u > 1:
+        return FeasibilityResult(
+            verdict=Verdict.INFEASIBLE,
+            test_name="devi",
+            iterations=1,
+            details={"utilization": u},
+        )
+    ordered = sorted(
+        components, key=lambda c: (c.first_deadline, c.period or 0, c.wcet)
+    )
+    rate_sum = Fraction(0)  # sum C_i / T_i over the prefix
+    slack_sum = Fraction(0)  # sum ((T_i - min(T_i, D_i)) / T_i) * C_i
+    iterations = 0
+    for comp in ordered:
+        d = comp.first_deadline
+        c = Fraction(comp.wcet)
+        if comp.period is None:
+            # One-shot: no recurring rate; the whole cost is demand.
+            slack_sum += c
+        else:
+            t = Fraction(comp.period)
+            rate_sum += c / t
+            clamped = min(t, Fraction(d))
+            slack_sum += (t - clamped) / t * c
+        iterations += 1
+        # Condition (multiplied by D_k):  D_k * rate + slack <= D_k
+        if d * rate_sum + slack_sum > d:
+            demand = d * rate_sum + slack_sum
+            return FeasibilityResult(
+                verdict=Verdict.UNKNOWN,
+                test_name="devi",
+                iterations=iterations,
+                intervals_checked=iterations,
+                witness=FailureWitness(interval=d, demand=demand, exact=False),
+                details={"utilization": u},
+            )
+    return FeasibilityResult(
+        verdict=Verdict.FEASIBLE,
+        test_name="devi",
+        iterations=iterations,
+        intervals_checked=iterations,
+        details={"utilization": u},
+    )

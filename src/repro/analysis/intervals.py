@@ -1,0 +1,57 @@
+"""Test-interval queues shared by the interval-driven tests.
+
+The processor demand test, ``SuperPos(x)``, the Dynamic Error test and the
+All-Approximated test all walk a merged, ascending stream of candidate
+test intervals, re-inserting future deadlines on demand.  This module
+provides that queue with deterministic tie-breaking, so iteration counts
+are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from ..model.numeric import ExactTime
+
+__all__ = ["IntervalQueue"]
+
+T = TypeVar("T")
+
+
+class IntervalQueue(Generic[T]):
+    """Min-heap of ``(interval, payload)`` with FIFO tie-breaking.
+
+    Payloads inserted at equal intervals pop in insertion order, which
+    pins down the processing order of coincident deadlines — the tests'
+    iteration counts would otherwise depend on heap internals.
+    """
+
+    __slots__ = ("_heap", "_sequence")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[ExactTime, int, T]] = []
+        self._sequence = 0
+
+    def push(self, interval: ExactTime, payload: T) -> None:
+        """Insert *payload* scheduled at *interval*."""
+        heapq.heappush(self._heap, (interval, self._sequence, payload))
+        self._sequence += 1
+
+    def pop(self) -> Tuple[ExactTime, T]:
+        """Remove and return the earliest ``(interval, payload)``."""
+        interval, _seq, payload = heapq.heappop(self._heap)
+        return interval, payload
+
+    def peek(self) -> Optional[Tuple[ExactTime, T]]:
+        """Earliest entry without removing it, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        interval, _seq, payload = self._heap[0]
+        return interval, payload
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

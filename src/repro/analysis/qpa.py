@@ -1,0 +1,126 @@
+"""Quick Processor-demand Analysis (QPA, Zhang & Burns, RTSS 2009).
+
+An extension beyond the paper: QPA is the later state-of-the-art exact
+test that walks the demand staircase *backwards* from the feasibility
+bound, jumping directly to ``dbf(t)`` whenever ``dbf(t) < t``.  It is
+included as an additional comparator so the benchmark harness can place
+the paper's 2005 algorithms next to the 2009 technique.
+
+Algorithm (for ``U <= 1``)::
+
+    t = max{ d : d is an absolute deadline, d < B }      # B = bound
+    while dbf(t) <= t and dbf(t) > min_deadline:
+        if dbf(t) < t:  t = dbf(t)
+        else:           t = max{ d : d < t }
+    feasible  <=>  dbf(t) <= min_deadline or dbf(t) <= t
+
+Iterations count the ``dbf`` evaluations — the comparable unit of work to
+"test intervals checked" in the forward tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..model.components import DemandSource, as_components, total_utilization
+from ..model.numeric import ExactTime
+from ..result import FailureWitness, FeasibilityResult, Verdict
+from .bounds import BoundMethod, feasibility_bound
+from .dbf import dbf
+
+__all__ = ["qpa_test"]
+
+
+def _largest_deadline_below(components, limit: ExactTime) -> Optional[ExactTime]:
+    """Largest synchronous absolute deadline strictly below *limit*."""
+    best: Optional[ExactTime] = None
+    for c in components:
+        if c.first_deadline >= limit:
+            continue
+        if c.period is None:
+            candidate = c.first_deadline
+        else:
+            # Largest d0 + k*T < limit.
+            steps = (limit - c.first_deadline) // c.period
+            candidate = c.first_deadline + int(steps) * c.period
+            if candidate >= limit:
+                candidate -= c.period
+        if candidate >= limit:  # pragma: no cover - defensive
+            continue
+        if best is None or candidate > best:
+            best = candidate
+    return best
+
+
+def qpa_test(
+    source: DemandSource, bound_method: BoundMethod = BoundMethod.BEST
+) -> FeasibilityResult:
+    """Exact EDF feasibility via Zhang & Burns' backward iteration."""
+    components = as_components(source)
+    name = "qpa"
+    u = total_utilization(components)
+    if u > 1:
+        return FeasibilityResult(
+            verdict=Verdict.INFEASIBLE,
+            test_name=name,
+            iterations=0,
+            details={"utilization": u, "reason": "U > 1"},
+        )
+    if not components:
+        return FeasibilityResult(
+            verdict=Verdict.FEASIBLE, test_name=name, iterations=0
+        )
+    bound = feasibility_bound(components, bound_method)
+    if bound is None:  # pragma: no cover - U > 1 handled above
+        raise AssertionError("no finite bound despite U <= 1")
+    min_deadline = min(c.first_deadline for c in components)
+
+    # The forward tests check deadlines <= bound; QPA starts just past the
+    # bound so the same closed range is covered.
+    t = _largest_deadline_below(components, bound + 1)
+    if t is None:
+        return FeasibilityResult(
+            verdict=Verdict.FEASIBLE,
+            test_name=name,
+            iterations=0,
+            bound=bound,
+            details={"utilization": u, "reason": "no deadline within bound"},
+        )
+
+    iterations = 0
+    while True:
+        demand = dbf(components, t)
+        iterations += 1
+        if demand > t:
+            return FeasibilityResult(
+                verdict=Verdict.INFEASIBLE,
+                test_name=name,
+                iterations=iterations,
+                intervals_checked=iterations,
+                bound=bound,
+                witness=FailureWitness(interval=t, demand=demand, exact=True),
+                details={"utilization": u},
+            )
+        if demand <= min_deadline:
+            return FeasibilityResult(
+                verdict=Verdict.FEASIBLE,
+                test_name=name,
+                iterations=iterations,
+                intervals_checked=iterations,
+                bound=bound,
+                details={"utilization": u},
+            )
+        if demand < t:
+            t = demand
+        else:  # demand == t: step to the previous deadline
+            previous = _largest_deadline_below(components, t)
+            if previous is None:
+                return FeasibilityResult(
+                    verdict=Verdict.FEASIBLE,
+                    test_name=name,
+                    iterations=iterations,
+                    intervals_checked=iterations,
+                    bound=bound,
+                    details={"utilization": u},
+                )
+            t = previous

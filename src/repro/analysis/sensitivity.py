@@ -1,0 +1,140 @@
+"""Sensitivity analysis on top of the exact feasibility tests.
+
+What a schedulability engineer asks after "is it feasible?" is "by how
+much?".  This module answers three standard questions, each reduced to
+a sequence of exact All-Approximated runs (which is what makes them
+affordable — the paper's point):
+
+* :func:`critical_scaling_factor` — the largest uniform WCET scaling
+  the system tolerates (the reciprocal of the exact system load);
+* :func:`wcet_slack` — the largest additional execution time one task
+  can take per job without breaking feasibility;
+* :func:`minimum_feasible_deadline` — how far one task's deadline can
+  be tightened.
+
+WCET slack and deadline minimisation use binary search over integers
+(or rationals with a configurable resolution), with the exact test as
+the oracle; the scaling factor is computed in closed form from the
+demand staircase, no search needed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from ..core.all_approx import all_approx_test
+from ..model.numeric import ExactTime, Time, to_exact
+from ..model.taskset import TaskSet
+from .load import system_load
+
+__all__ = [
+    "critical_scaling_factor",
+    "wcet_slack",
+    "minimum_feasible_deadline",
+]
+
+
+def critical_scaling_factor(tasks: TaskSet) -> Optional[ExactTime]:
+    """Largest factor ``f`` with ``{(f*C, D, T)}`` still feasible.
+
+    Exact and closed-form: scaling WCETs by ``f`` scales ``dbf``
+    pointwise, so the critical factor is ``1 / LOAD``.  Returns ``None``
+    for systems with zero demand (any scaling works).
+    """
+    load = system_load(tasks)
+    if load == 0:
+        return None
+    value = 1 / Fraction(load)
+    return value.numerator if value.denominator == 1 else value
+
+
+def wcet_slack(
+    tasks: TaskSet,
+    index: int,
+    resolution: Time = 1,
+    max_extra: Optional[Time] = None,
+) -> ExactTime:
+    """Largest ``delta`` with task *index* at ``C + delta`` still feasible.
+
+    Args:
+        tasks: a feasible task set (raises ``ValueError`` otherwise —
+            slack of an infeasible system is meaningless).
+        index: the task to inflate.
+        resolution: granularity of the answer (1 for integer systems).
+        max_extra: optional search cap; defaults to the task's deadline
+            (a job can never use more than ``D`` and stay feasible).
+
+    Returns:
+        The largest multiple of *resolution* that keeps the set feasible
+        (0 when even one unit breaks it).
+    """
+    if not all_approx_test(tasks).is_feasible:
+        raise ValueError("wcet_slack needs a feasible starting point")
+    step = to_exact(resolution)
+    if step <= 0:
+        raise ValueError(f"resolution must be > 0, got {resolution!r}")
+    task = tasks[index]
+    cap = to_exact(max_extra) if max_extra is not None else task.deadline
+    # Binary search on k where delta = k * step.
+    def feasible_with(extra: ExactTime) -> bool:
+        candidate = TaskSet(
+            [
+                t.with_wcet(t.wcet + extra) if i == index else t
+                for i, t in enumerate(tasks)
+            ],
+            name=tasks.name,
+        )
+        return all_approx_test(candidate).is_feasible
+
+    lo, hi = 0, int(cap // step)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if feasible_with(mid * step):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo * step
+
+
+def minimum_feasible_deadline(
+    tasks: TaskSet, index: int, resolution: Time = 1
+) -> ExactTime:
+    """Smallest deadline task *index* can sustain, to *resolution*.
+
+    The result is the tightest multiple of *resolution* at or above the
+    task's WCET (a deadline below ``C`` is infeasible outright) that
+    keeps the whole set feasible.  Raises ``ValueError`` when the set is
+    infeasible to begin with.
+    """
+    if not all_approx_test(tasks).is_feasible:
+        raise ValueError("minimum_feasible_deadline needs a feasible starting point")
+    step = to_exact(resolution)
+    if step <= 0:
+        raise ValueError(f"resolution must be > 0, got {resolution!r}")
+    task = tasks[index]
+
+    def feasible_with(deadline: ExactTime) -> bool:
+        candidate = TaskSet(
+            [
+                t.with_deadline(deadline) if i == index else t
+                for i, t in enumerate(tasks)
+            ],
+            name=tasks.name,
+        )
+        return all_approx_test(candidate).is_feasible
+
+    # Search k in [k_min, k_max] with deadline = k * step; feasibility is
+    # monotone in the deadline, so binary search applies.
+    k_max = int(task.deadline // step)
+    k_min = max(1, int(-(-task.wcet // step)))  # ceil(C / step)
+    if k_min > k_max:
+        return task.deadline
+    lo, hi = k_min, k_max
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible_with(mid * step):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo * step

@@ -1,0 +1,58 @@
+"""Utilization-based tests (Liu & Layland [12]; paper Section 3.1).
+
+For implicit deadlines (``D = T``) EDF feasibility is exactly ``U <= 1``.
+For ``D >= T`` the same condition remains exact (each task's demand
+staircase stays below its utilization line).  With any ``D < T`` the
+condition is necessary only — the demand tests of the rest of the library
+take over there.
+"""
+
+from __future__ import annotations
+
+from ..model.components import DemandSource, as_components, total_utilization
+from ..model.numeric import ExactTime
+from ..result import FeasibilityResult, Verdict
+
+__all__ = ["utilization_of", "liu_layland_test"]
+
+
+def utilization_of(source: DemandSource) -> ExactTime:
+    """Exact total utilization ``U = sum C_i / T_i`` of *source*."""
+    return total_utilization(as_components(source))
+
+
+def liu_layland_test(source: DemandSource) -> FeasibilityResult:
+    """The classic utilization bound test, made verdict-precise.
+
+    * ``U > 1``  → INFEASIBLE (always exact: long-run demand exceeds
+      capacity).
+    * ``U <= 1`` and every component has its first deadline at or beyond
+      its period → FEASIBLE (exact for implicit/arbitrary deadlines with
+      ``D >= T``).
+    * otherwise → UNKNOWN (the test cannot decide constrained deadlines).
+    """
+    components = as_components(source)
+    u = total_utilization(components)
+    if u > 1:
+        return FeasibilityResult(
+            verdict=Verdict.INFEASIBLE,
+            test_name="liu-layland",
+            iterations=1,
+            details={"utilization": u},
+        )
+    deadline_at_least_period = all(
+        c.is_recurrent and c.first_deadline >= c.period for c in components
+    )
+    if deadline_at_least_period:
+        return FeasibilityResult(
+            verdict=Verdict.FEASIBLE,
+            test_name="liu-layland",
+            iterations=1,
+            details={"utilization": u},
+        )
+    return FeasibilityResult(
+        verdict=Verdict.UNKNOWN,
+        test_name="liu-layland",
+        iterations=1,
+        details={"utilization": u, "reason": "constrained deadlines present"},
+    )

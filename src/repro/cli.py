@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro`` / ``repro-edf``.
+
+Subcommands:
+
+* ``analyze`` — run a feasibility test on a task-set JSON file;
+* ``generate`` — produce a random task set (Bini-style) as JSON;
+* ``simulate`` — EDF-simulate a task-set JSON file and report misses;
+* ``bounds`` — print all feasibility bounds of a task set side by side;
+* ``example`` — print or export one of the literature example systems;
+* ``experiment`` — regenerate a paper figure/table (fig1, fig8, fig9,
+  table1) as a text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import TESTS, __version__, analyze
+from .core import compare_bounds, superposition_test
+from .experiments import (
+    Fig1Config,
+    Fig8Config,
+    Fig9Config,
+    render_fig1,
+    render_fig8,
+    render_fig9,
+    render_table1,
+    run_fig1,
+    run_fig8,
+    run_fig9,
+    run_table1,
+)
+from .generation import example_systems, generate_taskset
+from .model import TaskSet, as_components, dump_taskset, load_taskset, taskset_to_dict
+from .sim import simulate_feasibility
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-edf",
+        description=(
+            "Efficient feasibility analysis for EDF-scheduled real-time "
+            "systems (Albers & Slomka, DATE 2005)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="run a feasibility test on a task set")
+    p_analyze.add_argument("file", help="task set JSON (see 'generate')")
+    p_analyze.add_argument(
+        "--test",
+        default="all-approx",
+        choices=sorted(TESTS) + ["superpos"],
+        help="feasibility test to run (default: all-approx)",
+    )
+    p_analyze.add_argument(
+        "--level", type=int, default=None, help="level for --test superpos"
+    )
+    p_analyze.add_argument(
+        "--all", action="store_true", help="run every test and tabulate"
+    )
+
+    p_generate = sub.add_parser("generate", help="generate a random task set")
+    p_generate.add_argument("--tasks", type=int, required=True)
+    p_generate.add_argument("--utilization", type=float, required=True)
+    p_generate.add_argument(
+        "--periods", type=int, nargs=2, default=(1_000, 100_000), metavar=("LO", "HI")
+    )
+    p_generate.add_argument(
+        "--gap", type=float, nargs=2, default=(0.0, 0.4), metavar=("LO", "HI")
+    )
+    p_generate.add_argument("--seed", type=int, default=None)
+    p_generate.add_argument("-o", "--output", default=None, help="write JSON here")
+
+    p_sim = sub.add_parser("simulate", help="EDF-simulate a task set")
+    p_sim.add_argument("file")
+    p_sim.add_argument(
+        "--horizon", type=int, default=None, help="override the busy-period window"
+    )
+
+    p_bounds = sub.add_parser("bounds", help="compare feasibility bounds")
+    p_bounds.add_argument("file")
+
+    p_example = sub.add_parser("example", help="show a literature example system")
+    p_example.add_argument(
+        "name", nargs="?", default=None, help="omit to list available examples"
+    )
+    p_example.add_argument("-o", "--output", default=None, help="export as JSON")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("which", choices=["fig1", "fig8", "fig9", "table1"])
+    p_exp.add_argument(
+        "--csv",
+        default=None,
+        metavar="FILE",
+        help="additionally write the raw series as CSV",
+    )
+
+    p_load = sub.add_parser(
+        "load", help="exact system load and sensitivity of a task set"
+    )
+    p_load.add_argument("file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (ValueError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "bounds":
+        return _cmd_bounds(args)
+    if args.command == "example":
+        return _cmd_example(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "load":
+        return _cmd_load(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    tasks = load_taskset(args.file)
+    if args.all:
+        print(f"{'test':>18s}  {'verdict':>10s}  {'iterations':>10s}")
+        worst = 0
+        for name in sorted(TESTS):
+            result = analyze(tasks, name)
+            print(f"{name:>18s}  {str(result.verdict):>10s}  {result.iterations:>10d}")
+            if result.is_infeasible:
+                worst = 1
+        return worst
+    if args.test == "superpos":
+        if args.level is None:
+            print("error: --test superpos requires --level", file=sys.stderr)
+            return 2
+        result = superposition_test(tasks, args.level)
+    else:
+        result = analyze(tasks, args.test)
+    print(result)
+    if result.witness is not None:
+        print(
+            f"  witness: demand {result.witness.demand} > interval "
+            f"{result.witness.interval} (exact={result.witness.exact})"
+        )
+    return 0 if not result.is_infeasible else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    tasks = generate_taskset(
+        n=args.tasks,
+        utilization=args.utilization,
+        period_range=tuple(args.periods),
+        gap=tuple(args.gap),
+        seed=args.seed,
+    )
+    if args.output:
+        dump_taskset(tasks, args.output)
+        print(f"wrote {len(tasks)} tasks (U={float(tasks.utilization):.4f}) to {args.output}")
+    else:
+        print(json.dumps(taskset_to_dict(tasks), indent=2))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    tasks = load_taskset(args.file)
+    result = simulate_feasibility(tasks, horizon=args.horizon)
+    print(result)
+    return 0 if result.is_feasible else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    tasks = load_taskset(args.file)
+    for name, value in compare_bounds(tasks).items():
+        if value is None:
+            shown = "n/a (U >= 1)"
+        elif isinstance(value, int):
+            shown = str(value)
+        else:
+            shown = f"{float(value):.2f} (exact: {value})"
+        print(f"{name:>14s}: {shown}")
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    systems = example_systems()
+    if args.name is None:
+        for name in systems:
+            print(name)
+        return 0
+    if args.name not in systems:
+        print(
+            f"error: unknown example {args.name!r}; available: {', '.join(systems)}",
+            file=sys.stderr,
+        )
+        return 2
+    system = systems[args.name]
+    if isinstance(system, TaskSet):
+        if args.output:
+            dump_taskset(system, args.output)
+            print(f"wrote {args.name} to {args.output}")
+        else:
+            print(system.summary())
+    else:
+        if args.output:
+            print(
+                "error: event-stream examples cannot be exported as task-set JSON",
+                file=sys.stderr,
+            )
+            return 2
+        for entry in system:
+            print(f"  {entry!r}")
+        print(f"  ({len(as_components(system))} demand components)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .experiments import rows_to_csv
+
+    if args.which == "table1":
+        rows = run_table1()
+        print(render_table1(rows))
+        if args.csv:
+            Path(args.csv).write_text(
+                rows_to_csv(
+                    ["system", "devi", "dynamic", "all_approx", "processor_demand"],
+                    [
+                        [
+                            r.system,
+                            "FAILED" if r.devi is None else r.devi,
+                            r.dynamic,
+                            r.all_approx,
+                            r.processor_demand,
+                        ]
+                        for r in rows
+                    ],
+                ),
+                encoding="utf-8",
+            )
+        return 0
+    runners = {
+        "fig1": (run_fig1, render_fig1, Fig1Config(), "acceptance_rate"),
+        "fig8": (run_fig8, render_fig8, Fig8Config(), "mean_iterations"),
+        "fig9": (run_fig9, render_fig9, Fig9Config(), "mean_iterations"),
+    }
+    run, render, config, metric = runners[args.which]
+    aggregated = run(config)
+    print(render(aggregated))
+    if args.csv:
+        tests = sorted({t for stats in aggregated.values() for t in stats})
+        rows = []
+        for group in sorted(aggregated):
+            row = [group]
+            for test in tests:
+                stats = aggregated[group].get(test)
+                row.append(stats[metric] if stats else "")
+            rows.append(row)
+        Path(args.csv).write_text(
+            rows_to_csv(["group"] + tests, rows), encoding="utf-8"
+        )
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .analysis import critical_scaling_factor, system_load
+
+    tasks = load_taskset(args.file)
+    load = system_load(tasks)
+    print(f"utilization      : {float(tasks.utilization):.6f}")
+    print(f"system load      : {float(load):.6f} (exact: {load})")
+    factor = critical_scaling_factor(tasks)
+    if factor is not None:
+        print(f"critical scaling : {float(factor):.6f} (exact: {factor})")
+    print("verdict          : " + ("feasible" if load <= 1 else "infeasible"))
+    return 0 if load <= 1 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Superposition feasibility bound (paper Section 4.3) — public surface.
+
+The bound itself lives in :mod:`repro.analysis.bounds` next to the bounds
+it is compared against (Baruah, George, busy period); this module
+re-exports it under the core namespace and adds the paper's comparison
+helper.
+
+Key facts proved in the paper and verified by the test suite:
+
+* The All-Approximated test never needs the bound explicitly — it stops,
+  at the latest, at the first test interval where approximating every
+  component succeeds, which is exactly when the interval reaches
+  ``Isup``.
+* ``Isup`` equals George et al.'s bound when every component has
+  ``D <= T``, and is *smaller* otherwise (the negative slack of
+  ``D > T`` components is kept in the sum).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.bounds import (
+    BoundMethod,
+    baruah_bound,
+    feasibility_bound,
+    george_bound,
+    superposition_bound,
+)
+from ..analysis.busy_period import busy_period_of_components
+from ..model.components import DemandSource, as_components
+from ..model.numeric import ExactTime
+
+__all__ = [
+    "BoundMethod",
+    "superposition_bound",
+    "feasibility_bound",
+    "compare_bounds",
+]
+
+
+def compare_bounds(source: DemandSource) -> Dict[str, Optional[ExactTime]]:
+    """All feasibility bounds of *source* side by side.
+
+    Used by the bound-ablation benchmark and by EXPERIMENTS.md; ``None``
+    marks an inapplicable bound (``U >= 1`` for the closed forms,
+    ``U > 1`` for the busy period).
+    """
+    components = as_components(source)
+    return {
+        "baruah": baruah_bound(components),
+        "george": george_bound(components),
+        "superposition": superposition_bound(components),
+        "busy_period": busy_period_of_components(components),
+    }

@@ -1,0 +1,73 @@
+"""Error-parameterised approximation (Chakraborty et al. [8], §3.4).
+
+The paper groups two adjustable approximations in its related work: the
+superposition approach [1] (level ``x`` = number of exact jobs per
+component) and Chakraborty/Künzli/Thiele's approximate schedulability
+analysis [8], which is parameterised by an error bound ``epsilon`` and
+keeps ``ceil(1/epsilon) - 1`` exact steps per task.  The two are the
+same family: an ``epsilon``-error run *is* ``SuperPos(ceil(1/epsilon))``,
+and this module provides that reading together with the quantity the
+error bound actually guarantees:
+
+    If ``approx_test(epsilon)`` rejects a system, the system is
+    genuinely infeasible on a processor of speed ``1 - epsilon``.
+
+Equivalently: acceptance is exact, and rejection is never more than an
+``epsilon`` speed margin away from the truth — the resource
+augmentation reading, checked mechanically in the test suite via
+:func:`repro.analysis.load.scaled_wcets`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from ..model.components import DemandSource
+from ..model.numeric import Time, to_exact
+from ..result import FeasibilityResult
+from .superposition import superposition_test
+
+__all__ = ["epsilon_to_level", "approx_test_with_error"]
+
+
+def epsilon_to_level(epsilon: Time) -> int:
+    """Superposition level realising an ``epsilon`` error bound.
+
+    With ``k`` exact jobs per component the linear continuation
+    overestimates a component's demand by at most ``C * frac(...) < C``
+    against at least ``k`` accounted jobs, i.e. a relative error below
+    ``1/k``; choosing ``k = ceil(1/epsilon)`` brings it under
+    ``epsilon``.
+    """
+    eps = Fraction(to_exact(epsilon))
+    if not 0 < eps < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    return math.ceil(1 / eps)
+
+
+def approx_test_with_error(
+    source: DemandSource, epsilon: Time
+) -> FeasibilityResult:
+    """Sufficient test with a bounded relative demand overestimation.
+
+    Runs ``SuperPos(ceil(1/epsilon))``.  Acceptance proves feasibility;
+    rejection proves infeasibility on a ``(1 - epsilon)``-speed
+    processor (see module docs).  The returned result carries the level
+    in ``max_level`` and the requested ``epsilon`` in ``details``.
+    """
+    level = epsilon_to_level(epsilon)
+    result = superposition_test(source, level)
+    details = dict(result.details)
+    details["epsilon"] = to_exact(epsilon)
+    return FeasibilityResult(
+        verdict=result.verdict,
+        test_name=f"approx(eps={epsilon})",
+        iterations=result.iterations,
+        intervals_checked=result.intervals_checked,
+        revisions=result.revisions,
+        max_level=level,
+        bound=result.bound,
+        witness=result.witness,
+        details=details,
+    )

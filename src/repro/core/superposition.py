@@ -1,0 +1,179 @@
+"""Superposition approximation ``SuperPos(x)`` (paper Section 3.4, [1]).
+
+The approximated task demand bound function (paper Def. 4) follows the
+exact staircase of a component up to a selectable maximum test interval
+``Im`` — the deadline of the ``x``-th job — and continues as the straight
+line of slope ``C/T`` from there::
+
+    dbf'(I, tau) = dbf(I, tau)                        for I <= Im(tau)
+                 = dbf(Im, tau) + C/T * (I - Im)      for I >  Im(tau)
+
+Because ``Im`` is a staircase corner, the continuation line is the same
+line for every level ``x`` — the *linear envelope* through the corners
+(this observation underlies the paper's Lemma 6 and is what allows the
+Dynamic test to reuse work across levels).
+
+``SuperPos(x)`` (paper Def. 6 / Lemma 1) checks
+``dbf'(I, Gamma) <= I`` at every change point of ``dbf'`` up to a
+feasibility bound.  It is sufficient: acceptance proves feasibility, and
+raising ``x`` strictly widens the accepted region until it reaches the
+exact processor demand test.  ``SuperPos(1)`` equals Devi's test on
+constrained-deadline systems (paper Lemma 2).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+from ..model.components import DemandSource, as_components, total_utilization
+from ..model.numeric import ExactTime, Time, to_exact
+from ..result import FailureWitness, FeasibilityResult, Verdict
+from ..analysis.bounds import BoundMethod, feasibility_bound
+from ..analysis.intervals import IntervalQueue
+
+__all__ = [
+    "max_test_interval",
+    "approximated_component_dbf",
+    "approximated_dbf",
+    "superposition_test",
+]
+
+
+def max_test_interval(component, level: int) -> ExactTime:
+    """``Im(tau)`` at *level*: the deadline of the level-th job (Def. 4).
+
+    One-shot components have a single deadline; their ``Im`` is that
+    deadline at every level.
+    """
+    if level < 1:
+        raise ValueError(f"superposition level must be >= 1, got {level}")
+    if component.period is None:
+        return component.first_deadline
+    return component.first_deadline + (level - 1) * component.period
+
+
+def approximated_component_dbf(component, interval: Time, level: int) -> ExactTime:
+    """``dbf'(I, tau)`` at the given approximation *level* (paper Def. 4)."""
+    t = to_exact(interval)
+    im = max_test_interval(component, level)
+    if t <= im:
+        return component.dbf(t)
+    # Beyond Im: the linear envelope through the staircase corners.
+    return component.linear_envelope(t)
+
+
+def approximated_dbf(source: DemandSource, interval: Time, level: int) -> ExactTime:
+    """``dbf'(I, Gamma)``: superposition of the per-component
+    approximations (paper Def. 5)."""
+    t = to_exact(interval)
+    return sum(
+        (approximated_component_dbf(c, t, level) for c in as_components(source)), 0
+    )
+
+
+def superposition_test(
+    source: DemandSource,
+    level: int,
+    bound_method: BoundMethod = BoundMethod.SUPERPOSITION,
+) -> FeasibilityResult:
+    """``SuperPos(level)``: the sufficient test of paper Def. 6 / Lemma 1.
+
+    The implementation walks the *exact* deadlines of each component up to
+    its ``Im`` (at most *level* per component) in globally ascending
+    order, maintaining the total demand as
+
+    ``dbf'(I) = exact_jobs + U_ready * I - approx_base``
+
+    where ``U_ready`` sums the rates of components already past their
+    ``Im`` and ``approx_base`` anchors their envelopes.  Each popped
+    deadline costs one comparison; between and beyond the popped points
+    the approximation has slope ``U_ready <= U <= 1`` and cannot newly
+    cross the capacity line (paper Lemma 3/4), so these checks suffice.
+
+    Verdicts: FEASIBLE on acceptance, INFEASIBLE only when ``U > 1``,
+    UNKNOWN otherwise (a failed sufficient test proves nothing).
+
+    The default bound is the paper's superposition bound, which keeps
+    ``SuperPos(1)``'s effort aligned with Devi's test (one comparison
+    per component on accepted sets — Lemma 2); ``BEST`` may prove
+    feasibility with fewer checks.
+    """
+    if level < 1:
+        raise ValueError(f"superposition level must be >= 1, got {level}")
+    components = as_components(source)
+    name = f"superpos({level})"
+    u = total_utilization(components)
+    if u > 1:
+        return FeasibilityResult(
+            verdict=Verdict.INFEASIBLE,
+            test_name=name,
+            iterations=0,
+            max_level=level,
+            details={"utilization": u, "reason": "U > 1"},
+        )
+    bound = feasibility_bound(components, bound_method)
+    if bound is None:  # pragma: no cover - U > 1 handled above
+        raise AssertionError("no finite bound despite U <= 1")
+
+    queue: IntervalQueue[int] = IntervalQueue()
+    jobs_queued: List[int] = [0] * len(components)
+    for idx, comp in enumerate(components):
+        if comp.first_deadline <= bound:
+            queue.push(comp.first_deadline, idx)
+            jobs_queued[idx] = 1
+
+    exact_demand: ExactTime = 0
+    u_ready = Fraction(0)
+    approx_base = Fraction(0)
+    iterations = 0
+    intervals = 0
+    last_interval: Optional[ExactTime] = None
+    while queue:
+        interval, idx = queue.pop()
+        comp = components[idx]
+        exact_demand += comp.wcet
+        if jobs_queued[idx] < level:
+            nxt = comp.next_deadline_after(interval)
+            if nxt is not None and nxt <= bound:
+                queue.push(nxt, idx)
+                jobs_queued[idx] += 1
+        else:
+            # The level-th job was just consumed: approximate from here on.
+            rate = Fraction(comp.utilization)
+            if rate:
+                u_ready += rate
+                approx_base += rate * Fraction(interval)
+        iterations += 1
+        if last_interval != interval:
+            intervals += 1
+            last_interval = interval
+        value = exact_demand + u_ready * Fraction(interval) - approx_base
+        if value > interval:
+            return FeasibilityResult(
+                verdict=Verdict.UNKNOWN,
+                test_name=name,
+                iterations=iterations,
+                intervals_checked=intervals,
+                max_level=level,
+                bound=bound,
+                witness=FailureWitness(
+                    interval=interval, demand=_normalize(value), exact=False
+                ),
+                details={"utilization": u},
+            )
+    return FeasibilityResult(
+        verdict=Verdict.FEASIBLE,
+        test_name=name,
+        iterations=iterations,
+        intervals_checked=intervals,
+        max_level=level,
+        bound=bound,
+        details={"utilization": u},
+    )
+
+
+def _normalize(value) -> ExactTime:
+    if isinstance(value, Fraction) and value.denominator == 1:
+        return value.numerator
+    return value

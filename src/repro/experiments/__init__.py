@@ -1,0 +1,43 @@
+"""Experiment harness regenerating the paper's evaluation (Section 5)."""
+
+from .fig1 import Fig1Config, render_fig1, run_fig1
+from .fig8 import Fig8Config, render_fig8, run_fig8
+from .fig9 import Fig9Config, render_fig9, run_fig9
+from .harness import (
+    RunRecord,
+    TestSpec,
+    aggregate,
+    paper_test_battery,
+    run_battery,
+    scale_factor,
+    scaled,
+    superpos_battery,
+)
+from .report import ascii_table, rows_to_csv, series_table
+from .table1 import Table1Row, render_table1, run_table1
+
+__all__ = [
+    "run_fig1",
+    "render_fig1",
+    "Fig1Config",
+    "run_fig8",
+    "render_fig8",
+    "Fig8Config",
+    "run_fig9",
+    "render_fig9",
+    "Fig9Config",
+    "run_table1",
+    "render_table1",
+    "Table1Row",
+    "TestSpec",
+    "RunRecord",
+    "run_battery",
+    "aggregate",
+    "paper_test_battery",
+    "superpos_battery",
+    "scale_factor",
+    "scaled",
+    "ascii_table",
+    "series_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,95 @@
+"""Figure 9 — effort vs. the period ratio ``Tmax/Tmin``.
+
+The paper's second experiment sweeps the ratio between the largest and
+the smallest period from 100 to 1,000,000 (4,000 sets per ratio, 5..100
+tasks, gaps 10%..50%, utilization 90%..100%) and shows:
+
+* the processor demand test's effort explodes with the ratio (beyond
+  50 *million* iterations at the top of the sweep) — its interval count
+  is proportional to the feasibility bound divided by ``Tmin``;
+* the two new tests stay in the low thousands *independently of the
+  ratio* — the paper's headline scaling result.
+
+The default reproduction sweeps ratios 1e2..1e4 with a handful of sets
+per ratio so the benchmark stays laptop-sized; ``REPRO_SCALE`` enlarges
+the population, and ``Fig9Config(ratios=...)`` reaches the published
+1e6 (expect minutes per set there: the baseline's explosion *is* the
+result).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..generation.taskset_gen import GeneratorConfig, TaskSetGenerator
+from .harness import aggregate, paper_test_battery, run_battery, scaled
+from .report import series_table
+
+__all__ = ["Fig9Config", "run_fig9", "render_fig9"]
+
+
+@dataclass(frozen=True)
+class Fig9Config:
+    """Population parameters for the Figure-9 sweep (paper Section 5)."""
+
+    ratios: Tuple[int, ...] = (100, 1_000, 10_000)
+    sets_per_ratio: int = 8
+    tasks: Tuple[int, int] = (5, 100)
+    gap: Tuple[float, float] = (0.10, 0.50)
+    utilization: Tuple[float, float] = (0.90, 0.97)
+    min_period: int = 100
+    seed: int = 413
+
+    def __post_init__(self) -> None:
+        if any(r < 1 for r in self.ratios):
+            raise ValueError(f"ratios must be >= 1, got {self.ratios}")
+
+
+def run_fig9(config: Fig9Config = Fig9Config()) -> Dict[object, Dict[str, Dict[str, float]]]:
+    """Run the Figure-9 sweep; aggregate keyed by ``Tmax/Tmin`` ratio."""
+    rng = random.Random(config.seed)
+    sets = []
+    groups: List[int] = []
+    per_ratio = scaled(config.sets_per_ratio)
+    for ratio in config.ratios:
+        gen = TaskSetGenerator(
+            GeneratorConfig(
+                tasks=config.tasks,
+                utilization=config.utilization,
+                period_range=(config.min_period, config.min_period * ratio),
+                period_distribution="ratio",
+                gap=config.gap,
+            ),
+            seed=rng.randrange(2**32),
+        )
+        for ts in gen.sets(per_ratio):
+            sets.append(ts)
+            groups.append(ratio)
+    records = run_battery(sets, paper_test_battery(), group_of=lambda s, i: groups[i])
+    return aggregate(records)
+
+
+def render_fig9(aggregated: Dict[object, Dict[str, Dict[str, float]]]) -> str:
+    """Both Figure-9 panels (max effort, coarse and zoomed) as text."""
+    tests = ["dynamic", "all-approx", "processor-demand"]
+    mx = series_table(
+        aggregated,
+        metric="max_iterations",
+        tests=tests,
+        x_label="Tmax/Tmin",
+        fmt="{:.0f}",
+    )
+    avg = series_table(
+        aggregated,
+        metric="mean_iterations",
+        tests=tests,
+        x_label="Tmax/Tmin",
+    )
+    return (
+        "Max execution effort for different Tmax/Tmin\n"
+        + mx
+        + "\n\nAverage execution effort for different Tmax/Tmin\n"
+        + avg
+    )

@@ -1,0 +1,206 @@
+"""Experiment harness: run test batteries over task-set populations.
+
+The paper's metric is "test intervals checked" per algorithm
+(Section 5); every test in this library reports it as
+``FeasibilityResult.iterations``.  The harness runs a configurable
+battery over generated or fixed task sets, collects per-run records and
+aggregates them the way the figures need (mean/max per group).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.bounds import BoundMethod
+from ..analysis.devi import devi_test
+from ..analysis.processor_demand import processor_demand_test
+from ..core.all_approx import all_approx_test
+from ..core.dynamic import dynamic_test
+from ..core.superposition import superposition_test
+from ..model.components import DemandSource
+from ..result import FeasibilityResult
+
+__all__ = [
+    "TestSpec",
+    "RunRecord",
+    "paper_test_battery",
+    "superpos_battery",
+    "run_battery",
+    "aggregate",
+    "scale_factor",
+    "scaled",
+]
+
+
+@dataclass(frozen=True)
+class TestSpec:
+    """A named feasibility test to include in an experiment."""
+
+    #: Tell pytest this is not a test class despite the name.
+    __test__ = False
+
+    name: str
+    run: Callable[[DemandSource], FeasibilityResult]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (task set, test) execution."""
+
+    test: str
+    set_index: int
+    feasible: bool
+    accepted: bool
+    iterations: int
+    revisions: int
+    utilization: float
+    group: object = None
+
+
+def paper_test_battery() -> List[TestSpec]:
+    """The three algorithms of the paper's Figures 8/9 plus Devi.
+
+    The processor demand test runs with the Baruah bound — the
+    configuration the paper's Def. 3 prescribes and its experiments
+    measure.  The Dynamic test uses the superposition bound (its
+    "minimum feasibility interval"), All-Approximated needs none.
+    """
+    return [
+        TestSpec("devi", devi_test),
+        TestSpec("dynamic", dynamic_test),
+        TestSpec("all-approx", all_approx_test),
+        TestSpec(
+            "processor-demand",
+            lambda s: processor_demand_test(s, bound_method=BoundMethod.BARUAH),
+        ),
+    ]
+
+
+def superpos_battery(levels: Sequence[int]) -> List[TestSpec]:
+    """Devi + SuperPos(x) for each level + the exact reference
+    (Figure 1's line-up)."""
+    specs: List[TestSpec] = [TestSpec("devi", devi_test)]
+    for level in levels:
+        specs.append(
+            TestSpec(
+                f"superpos({level})",
+                lambda s, level=level: superposition_test(s, level),
+            )
+        )
+    specs.append(
+        TestSpec(
+            "processor-demand",
+            lambda s: processor_demand_test(s, bound_method=BoundMethod.BARUAH),
+        )
+    )
+    return specs
+
+
+def run_battery(
+    sets: Iterable[DemandSource],
+    specs: Sequence[TestSpec],
+    group_of: Optional[Callable[[DemandSource, int], object]] = None,
+    reference: Optional[str] = None,
+) -> List[RunRecord]:
+    """Run every test in *specs* over every set; return flat records.
+
+    Args:
+        sets: task sets (or component lists) to analyse.
+        specs: the test battery.
+        group_of: optional function assigning each set to a group (e.g.
+            its utilization bin); stored on each record for aggregation.
+        reference: name of the exact test whose verdict defines
+            ``feasible`` for acceptance-rate reporting; defaults to the
+            last spec (the battery convention puts the exact test last).
+
+    Records carry both ``accepted`` (this test's verdict) and
+    ``feasible`` (the reference verdict), so acceptance *rates among
+    feasible sets* — what the paper's Figure 1 plots — fall out directly.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ValueError("empty test battery")
+    ref_name = reference if reference is not None else specs[-1].name
+    if all(spec.name != ref_name for spec in specs):
+        raise ValueError(f"reference test {ref_name!r} not in battery")
+    records: List[RunRecord] = []
+    for index, source in enumerate(sets):
+        group = group_of(source, index) if group_of else None
+        results: Dict[str, FeasibilityResult] = {}
+        for spec in specs:
+            results[spec.name] = spec.run(source)
+        feasible = results[ref_name].is_feasible
+        for spec in specs:
+            r = results[spec.name]
+            records.append(
+                RunRecord(
+                    test=spec.name,
+                    set_index=index,
+                    feasible=feasible,
+                    accepted=r.is_feasible,
+                    iterations=r.iterations,
+                    revisions=r.revisions,
+                    utilization=float(r.details.get("utilization", 0.0)),
+                    group=group,
+                )
+            )
+    return records
+
+
+def aggregate(
+    records: Sequence[RunRecord],
+) -> Dict[object, Dict[str, Dict[str, float]]]:
+    """Aggregate records into ``group -> test -> statistics``.
+
+    Statistics: ``count``, ``mean_iterations``, ``max_iterations``,
+    ``acceptance_rate`` (accepted / count) and
+    ``acceptance_of_feasible`` (accepted / feasible count — Figure 1's
+    y-axis; 1.0 when the group contains no feasible sets, so exact tests
+    plot at 1.0 everywhere).
+    """
+    groups: Dict[object, Dict[str, List[RunRecord]]] = {}
+    for rec in records:
+        groups.setdefault(rec.group, {}).setdefault(rec.test, []).append(rec)
+    out: Dict[object, Dict[str, Dict[str, float]]] = {}
+    for group, tests in groups.items():
+        out[group] = {}
+        for test, recs in tests.items():
+            count = len(recs)
+            feasible = [r for r in recs if r.feasible]
+            accepted_feasible = sum(1 for r in feasible if r.accepted)
+            out[group][test] = {
+                "count": count,
+                "mean_iterations": sum(r.iterations for r in recs) / count,
+                "max_iterations": max(r.iterations for r in recs),
+                "acceptance_rate": sum(1 for r in recs if r.accepted) / count,
+                "acceptance_of_feasible": (
+                    accepted_feasible / len(feasible) if feasible else 1.0
+                ),
+            }
+    return out
+
+
+def scale_factor(default: float = 1.0) -> float:
+    """Experiment size multiplier from the ``REPRO_SCALE`` env var.
+
+    The shipped experiment sizes are laptop-friendly subsets of the
+    paper's populations (which used 18,000 and 4,000 sets per figure);
+    ``REPRO_SCALE=10`` (or more) approaches the published scale.
+    """
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    """Scale a base sample count by :func:`scale_factor`."""
+    return max(minimum, int(round(base * scale_factor())))

@@ -1,0 +1,70 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The paper presents its evaluation as two line plots per figure and one
+table; without a plotting dependency the harness renders the same data
+as aligned text tables (one row per x-value, one column per test) and
+as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["ascii_table", "rows_to_csv", "series_table"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render *rows* as an aligned monospace table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_table(
+    aggregated: Mapping[object, Mapping[str, Mapping[str, float]]],
+    metric: str,
+    tests: Sequence[str],
+    x_label: str = "x",
+    fmt: str = "{:.1f}",
+) -> str:
+    """Tabulate one metric of an :func:`~repro.experiments.harness.aggregate`
+    result: one row per group (sorted), one column per test."""
+    headers = [x_label] + list(tests)
+    rows: List[List[object]] = []
+    for group in sorted(aggregated, key=lambda g: (g is None, g)):
+        row: List[object] = [group]
+        for test in tests:
+            stats = aggregated[group].get(test)
+            row.append(fmt.format(stats[metric]) if stats else "-")
+        rows.append(row)
+    return ascii_table(headers, rows)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal CSV encoding (no quoting needs arise for numeric tables)."""
+    buffer = io.StringIO()
+    buffer.write(",".join(str(h) for h in headers) + "\n")
+    for row in rows:
+        buffer.write(",".join(_fmt(c) for c in row) + "\n")
+    return buffer.getvalue()
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,35 @@
+"""Practical extensions the paper imports from Devi's work (Section 3.5).
+
+The paper notes that proving Devi's test to be ``SuperPos(1)`` "allows
+to include the extensions of the test by Devi ... into the superposition
+approach.  The extensions concern practical relevant issues like
+switching time, priority ceiling protocol, self-suspension and limits
+for the number of priorities."  This package provides those extensions
+on top of the component model, so every test in the library (sufficient
+or exact) inherits them:
+
+* :mod:`repro.extensions.overheads` — context-switch costs and release
+  jitter folded into the task parameters / demand components;
+* :mod:`repro.extensions.blocking` — non-preemptable resource access
+  under the Stack Resource Policy (the EDF analogue of the priority
+  ceiling protocol);
+* :mod:`repro.extensions.asynchronous` — phased (asynchronous) release
+  patterns: the synchronous analysis as a sufficient test (paper
+  Section 2, via [14]) plus an exact periodic-case decision by
+  simulation over the Leung–Merrill window.
+"""
+
+from .asynchronous import asynchronous_feasibility
+from .blocking import blocking_function, srp_blocking_test
+from .overheads import (
+    with_context_switch_overhead,
+    with_release_jitter,
+)
+
+__all__ = [
+    "with_context_switch_overhead",
+    "with_release_jitter",
+    "srp_blocking_test",
+    "blocking_function",
+    "asynchronous_feasibility",
+]

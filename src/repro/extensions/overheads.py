@@ -1,0 +1,90 @@
+"""Scheduling overheads folded into the analysis (paper Section 3.5).
+
+Two classical, safe transformations:
+
+* **Context-switch time.**  Under preemptive EDF each job causes at
+  most two context switches (one to start/resume it for its final run,
+  one when it completes or is preempted); charging ``2 * delta`` to
+  every job upper-bounds the switching work.  The transformation is a
+  plain WCET inflation, after which *any* feasibility test in the
+  library applies unchanged.
+
+* **Release jitter.**  A job released at ``r`` may only be noticed by
+  the scheduler up to ``J`` time units later while its absolute
+  deadline stays ``r + D``.  The standard demand-shift: the effective
+  demand window shrinks to ``D - J``, i.e. the task's demand component
+  gets ``first_deadline = D - J`` with the period unchanged.  Because
+  components are the common currency of all tests here, jitter support
+  costs one constructor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.components import DemandComponent
+from ..model.numeric import Time, to_exact
+from ..model.task import SporadicTask
+from ..model.taskset import TaskSet
+from ..model.validation import TaskParameterError
+
+__all__ = ["with_context_switch_overhead", "with_release_jitter"]
+
+
+def with_context_switch_overhead(tasks: TaskSet, switch_time: Time) -> TaskSet:
+    """Charge two context switches of *switch_time* to every job.
+
+    Returns a new task set with ``C' = C + 2 * switch_time`` for every
+    task with ``C > 0`` (zero-cost placeholder tasks stay free).  A
+    verdict of FEASIBLE on the result guarantees the original system
+    including switching work.
+    """
+    delta = to_exact(switch_time)
+    if delta < 0:
+        raise TaskParameterError(f"switch time must be >= 0, got {delta}")
+    inflated = [
+        t if t.wcet == 0 else t.with_wcet(t.wcet + 2 * delta) for t in tasks
+    ]
+    return TaskSet(inflated, name=tasks.name)
+
+
+def with_release_jitter(
+    task: SporadicTask, jitter: Time
+) -> DemandComponent:
+    """Demand component of *task* under release jitter *jitter*.
+
+    The component's first deadline shrinks to ``D - J`` (must stay
+    positive: a jitter at or beyond the deadline makes the task
+    trivially unschedulable and is rejected here rather than silently
+    producing an empty window).
+    """
+    j = to_exact(jitter)
+    if j < 0:
+        raise TaskParameterError(f"jitter must be >= 0, got {j}")
+    if j >= task.deadline:
+        raise TaskParameterError(
+            f"jitter {j} reaches the deadline {task.deadline}: "
+            "the task cannot meet any deadline"
+        )
+    return DemandComponent(
+        wcet=task.wcet,
+        first_deadline=task.deadline - j,
+        period=task.period,
+        source=task.name or "jittered-task",
+    )
+
+
+def jittered_components(
+    tasks: Sequence[SporadicTask], jitters: Sequence[Time]
+) -> List[DemandComponent]:
+    """Component view of a whole set under per-task release jitter."""
+    if len(tasks) != len(jitters):
+        raise ValueError(
+            f"need one jitter per task: {len(tasks)} tasks, "
+            f"{len(jitters)} jitters"
+        )
+    return [
+        with_release_jitter(task, jitter)
+        for task, jitter in zip(tasks, jitters)
+        if task.wcet > 0
+    ]

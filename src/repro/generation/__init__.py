@@ -1,0 +1,32 @@
+"""Workload generation: random task sets (Bini-style) and literature examples."""
+
+from .examples import (
+    ExampleSystem,
+    burns_taskset,
+    example_systems,
+    gap_taskset,
+    gresser1_system,
+    gresser2_system,
+    ma_shin_taskset,
+)
+from .periods import loguniform_periods, ratio_constrained_periods, uniform_periods
+from .taskset_gen import GeneratorConfig, TaskSetGenerator, generate_taskset
+from .uunifast import uunifast, uunifast_discard
+
+__all__ = [
+    "uunifast",
+    "uunifast_discard",
+    "uniform_periods",
+    "loguniform_periods",
+    "ratio_constrained_periods",
+    "GeneratorConfig",
+    "TaskSetGenerator",
+    "generate_taskset",
+    "burns_taskset",
+    "gap_taskset",
+    "ma_shin_taskset",
+    "gresser1_system",
+    "gresser2_system",
+    "example_systems",
+    "ExampleSystem",
+]

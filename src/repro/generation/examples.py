@@ -1,0 +1,239 @@
+"""Literature task sets used in the paper's Table 1.
+
+The paper evaluates its tests on five examples "coming from real
+examples": the Burns and the modified Ma & Shin sets from [1], the
+Generic Avionics Platform (GAP) from [14], and two event-stream systems
+from Gresser's dissertation [11].  None of the five is printed inside
+the paper, and two of the primary sources are not retrievable (a German
+dissertation and a workshop paper), so this module ships *documented
+reconstructions* — see DESIGN.md Section 4 for the substitution policy.
+
+Every reconstruction preserves the properties the paper states and that
+the Table 1 comparison exercises:
+
+===========  ==========  =============================  =====================
+Set          activation  structure                      Table-1 behaviour
+             sources                                    to reproduce
+===========  ==========  =============================  =====================
+burns        14          periodic, mostly implicit      Devi accepts; the new
+                         deadlines, periods 10ms..2s,   tests cost exactly n;
+                         U ~ 0.92                       PDA is 10-100x dearer
+gap          18          avionics rates from Locke et   Devi accepts; the new
+                         al. (1991), one tight weapon-  tests cost exactly n;
+                         release deadline, U ~ 0.91     PDA is 5-100x dearer
+ma_shin      9           deadlines well below periods   Devi FAILS although
+                         at U ~ 0.91                    feasible
+gresser1     7           event streams with bursts      Devi FAILS although
+                         (15 demand components)         feasible
+gresser2     10          heavier bursts (20 demand      Devi FAILS although
+                         components)                    feasible
+===========  ==========  =============================  =====================
+
+The GAP numbers follow the published table in C. D. Locke, D. R. Vogel,
+T. J. Mesler, "Building a predictable avionics platform in Ada: a case
+study", RTSS 1991 (times in microseconds here), extended by two
+housekeeping tasks to the 18 entries Table 1 reports.  The Burns set
+follows the structure of the control-system examples in A. Burns, A. J.
+Wellings, "Real-Time Systems and Programming Languages" (wide period
+spread, high utilization).  Ma & Shin and the two Gresser systems are
+reconstructed to exhibit the tabulated properties; their exact numbers
+are ours, their *behaviour under each test* is the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from ..model.event_stream import EventStream, EventStreamTask
+from ..model.task import SporadicTask
+from ..model.taskset import TaskSet
+
+__all__ = [
+    "burns_taskset",
+    "gap_taskset",
+    "ma_shin_taskset",
+    "gresser1_system",
+    "gresser2_system",
+    "example_systems",
+    "ExampleSystem",
+]
+
+#: An example is either a plain task set or a mixed task/event-stream list.
+ExampleSystem = Union[TaskSet, List[object]]
+
+
+def burns_taskset() -> TaskSet:
+    """Burns example (reconstruction; 14 periodic tasks, U ~ 0.92).
+
+    Mostly implicit deadlines with a wide period spread (10 ms .. 2 s in
+    100 us ticks) and two constrained deadlines.  Devi's test accepts
+    it, so the paper's new tests finish in exactly one comparison per
+    task, while the processor demand test (with the Baruah bound of the
+    paper's Def. 3) walks the dense deadline grid.
+    """
+    rows = [
+        # (name, C, D, T) in 100-microsecond ticks
+        ("speed-measurement", 14, 100, 100),
+        ("abs-control", 28, 200, 200),
+        ("fuel-injection", 35, 250, 250),
+        ("engine-monitor", 42, 500, 500),
+        ("sensor-fusion", 70, 800, 1000),
+        ("actuator-loop", 105, 1000, 1000),
+        ("display-refresh", 140, 2000, 2000),
+        ("operator-input", 84, 2500, 2500),
+        ("telemetry", 175, 5000, 5000),
+        ("logging", 210, 8000, 10000),
+        ("diagnostics", 280, 10000, 10000),
+        ("watchdog", 14, 1000, 1000),
+        ("network-beacon", 70, 4000, 4000),
+        ("background-check", 350, 20000, 20000),
+    ]
+    return TaskSet(
+        [SporadicTask(wcet=c, deadline=d, period=t, name=n) for n, c, d, t in rows],
+        name="burns",
+    )
+
+
+def gap_taskset() -> TaskSet:
+    """Generic Avionics Platform (Locke/Vogel/Mesler 1991; 18 tasks).
+
+    Times in microseconds.  The published 16-task table is kept
+    verbatim and extended by two housekeeping entries
+    (``equipment-status``, ``threat-display``) to the 18 entries of the
+    paper's Table 1; the utilization lands at ~0.91.
+    """
+    rows = [
+        # (name, C, D, T) in microseconds
+        ("weapon-release", 3_000, 5_000, 200_000),
+        ("radar-tracking", 2_000, 25_000, 25_000),
+        ("rwr-contact", 5_000, 25_000, 25_000),
+        ("data-bus-poll", 1_000, 40_000, 40_000),
+        ("weapon-aiming", 3_000, 50_000, 50_000),
+        ("radar-target-update", 5_000, 50_000, 50_000),
+        ("nav-update", 8_000, 59_000, 59_000),
+        ("display-graphic", 9_000, 80_000, 80_000),
+        ("display-hook", 2_000, 80_000, 80_000),
+        ("tracking-target", 5_000, 100_000, 100_000),
+        ("nav-steering", 3_000, 200_000, 200_000),
+        ("display-stores", 1_000, 200_000, 200_000),
+        ("display-keyset", 1_000, 200_000, 200_000),
+        ("display-status", 3_000, 200_000, 200_000),
+        ("bet-status", 1_000, 1_000_000, 1_000_000),
+        ("nav-status", 1_000, 1_000_000, 1_000_000),
+        ("equipment-status", 4_000, 400_000, 400_000),
+        ("threat-display", 5_000, 100_000, 100_000),
+    ]
+    return TaskSet(
+        [SporadicTask(wcet=c, deadline=d, period=t, name=n) for n, c, d, t in rows],
+        name="gap",
+    )
+
+
+def ma_shin_taskset() -> TaskSet:
+    """Modified Ma & Shin example (reconstruction; 9 tasks, U ~ 0.91).
+
+    Deadlines sit far below the periods, so Devi's linear
+    over-approximation overshoots at the short deadlines and the test
+    FAILS even though the set is feasible — the situation the paper's
+    exact tests resolve with a handful of extra interval checks.
+    """
+    rows = [
+        ("sensor-a", 4, 8, 40),
+        ("sensor-b", 6, 21, 60),
+        ("control-1", 11, 51, 100),
+        ("control-2", 13, 76, 120),
+        ("comm-rx", 23, 127, 200),
+        ("comm-tx", 27, 187, 300),
+        ("planner", 69, 425, 600),
+        ("monitor", 92, 765, 1000),
+        ("background", 126, 1190, 1500),
+    ]
+    return TaskSet(
+        [SporadicTask(wcet=c, deadline=d, period=t, name=n) for n, c, d, t in rows],
+        name="ma_shin",
+    )
+
+
+def gresser1_system() -> List[object]:
+    """Gresser example 1 (reconstruction; event-driven system with bursts).
+
+    Seven activation sources — four periodic, three bursty event streams
+    — flattened by the analysis into 15 demand components.  The bursts
+    put several deadlines close together, which defeats Devi /
+    ``SuperPos(1)`` while the system remains feasible.
+    """
+    return [
+        EventStreamTask(
+            stream=EventStream.burst(count=4, spacing=4, period=120),
+            wcet=4,
+            deadline=18,
+            name="can-burst",
+        ),
+        EventStreamTask(
+            stream=EventStream.burst(count=3, spacing=6, period=200),
+            wcet=7,
+            deadline=35,
+            name="io-burst",
+        ),
+        EventStreamTask(
+            stream=EventStream.burst(count=4, spacing=10, period=400),
+            wcet=9,
+            deadline=80,
+            name="dma-burst",
+        ),
+        SporadicTask(wcet=8, deadline=40, period=60, name="sample-loop"),
+        SporadicTask(wcet=15, deadline=90, period=150, name="control-loop"),
+        SporadicTask(wcet=35, deadline=250, period=500, name="ui-update"),
+        SporadicTask(wcet=60, deadline=1000, period=2500, name="housekeeping"),
+    ]
+
+
+def gresser2_system() -> List[object]:
+    """Gresser example 2 (reconstruction; heavier bursts, 10 sources).
+
+    Ten activation sources flattened into 20 demand components; denser
+    bursts than :func:`gresser1_system`.
+    """
+    return [
+        EventStreamTask(
+            stream=EventStream.burst(count=5, spacing=3, period=150),
+            wcet=3,
+            deadline=15,
+            name="bus-burst",
+        ),
+        EventStreamTask(
+            stream=EventStream.burst(count=4, spacing=5, period=240),
+            wcet=6,
+            deadline=40,
+            name="radio-burst",
+        ),
+        EventStreamTask(
+            stream=EventStream.burst(count=3, spacing=8, period=320),
+            wcet=9,
+            deadline=70,
+            name="storage-burst",
+        ),
+        EventStreamTask(
+            stream=EventStream.burst(count=2, spacing=20, period=600),
+            wcet=20,
+            deadline=180,
+            name="camera-burst",
+        ),
+        SporadicTask(wcet=3, deadline=20, period=50, name="pwm-loop"),
+        SporadicTask(wcet=6, deadline=60, period=110, name="adc-loop"),
+        SporadicTask(wcet=12, deadline=140, period=260, name="fusion"),
+        SporadicTask(wcet=18, deadline=300, period=520, name="navigation"),
+        SporadicTask(wcet=25, deadline=650, period=900, name="telemetry"),
+        SporadicTask(wcet=60, deadline=700, period=2400, name="maintenance"),
+    ]
+
+
+def example_systems() -> Dict[str, ExampleSystem]:
+    """All Table-1 systems keyed by their Table-1 row name."""
+    return {
+        "burns": burns_taskset(),
+        "ma_shin": ma_shin_taskset(),
+        "gap": gap_taskset(),
+        "gresser1": gresser1_system(),
+        "gresser2": gresser2_system(),
+    }

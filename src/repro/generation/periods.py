@@ -1,0 +1,78 @@
+"""Period samplers for random task-set generation.
+
+The paper's two random experiments stress different period structures:
+
+* Figure 8 uses "equally distributed" period sizes where the ratio
+  between extremes "was of no concern" — :func:`uniform_periods`.
+* Figure 9 sweeps the ratio ``Tmax/Tmin`` from 1e2 to 1e6 —
+  :func:`ratio_constrained_periods` pins both extremes so the measured
+  ratio is exactly the configured one, with the remaining periods
+  log-uniform in between (the standard way to populate such a spread
+  without clumping at the top decade).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+__all__ = ["uniform_periods", "loguniform_periods", "ratio_constrained_periods"]
+
+
+def uniform_periods(
+    n: int, minimum: int, maximum: int, rng: random.Random
+) -> List[int]:
+    """``n`` integer periods uniform in ``[minimum, maximum]``."""
+    _check(n, minimum, maximum)
+    return [rng.randint(minimum, maximum) for _ in range(n)]
+
+
+def loguniform_periods(
+    n: int, minimum: int, maximum: int, rng: random.Random
+) -> List[int]:
+    """``n`` integer periods log-uniform in ``[minimum, maximum]``.
+
+    Each decade of the range receives roughly equal probability mass —
+    the usual model for systems mixing fast interrupts with slow
+    housekeeping tasks.
+    """
+    _check(n, minimum, maximum)
+    lo, hi = math.log(minimum), math.log(maximum)
+    periods = []
+    for _ in range(n):
+        value = int(round(math.exp(rng.uniform(lo, hi))))
+        periods.append(min(max(value, minimum), maximum))
+    return periods
+
+
+def ratio_constrained_periods(
+    n: int, minimum: int, ratio: float, rng: random.Random
+) -> List[int]:
+    """``n`` periods spanning exactly ``[minimum, minimum * ratio]``.
+
+    The first two entries pin the extremes (so the realised
+    ``Tmax/Tmin`` equals *ratio* whenever ``n >= 2``); the rest are
+    log-uniform in between.  Order is shuffled so the pinned extremes do
+    not always land on the same task indices.
+    """
+    if ratio < 1:
+        raise ValueError(f"period ratio must be >= 1, got {ratio}")
+    maximum = int(round(minimum * ratio))
+    _check(n, minimum, max(maximum, minimum))
+    if n == 1:
+        return [minimum]
+    periods = [minimum, maximum]
+    if n > 2:
+        periods.extend(loguniform_periods(n - 2, minimum, maximum, rng))
+    rng.shuffle(periods)
+    return periods
+
+
+def _check(n: int, minimum: int, maximum: int) -> None:
+    if n < 1:
+        raise ValueError(f"need at least one period, got n={n}")
+    if minimum < 1:
+        raise ValueError(f"minimum period must be >= 1, got {minimum}")
+    if maximum < minimum:
+        raise ValueError(f"empty period range [{minimum}, {maximum}]")

@@ -1,0 +1,156 @@
+"""Random task-set generator reproducing the paper's workload model.
+
+The paper's experiments (Section 5) generate task sets with
+
+* utilizations drawn by Bini's uniform method (UUniFast, [4]),
+* set sizes uniform in a range (5..100),
+* a configurable *gap* — the relative distance between deadline and
+  period, ``(T - D)/T`` — averaging 10%..50%, and
+* periods either uniform (Figure 8) or with a pinned ``Tmax/Tmin``
+  ratio (Figure 9).
+
+:class:`TaskSetGenerator` packages those knobs behind a single seeded,
+reproducible iterator.  Generated sets use integer parameters (WCETs are
+rounded from the real-valued utilization draw, with a floor of 1), so
+all downstream analysis runs on exact arithmetic; the generator records
+the *achieved* utilization, which the experiment harness bins on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..model.task import SporadicTask
+from ..model.taskset import TaskSet
+from .periods import loguniform_periods, ratio_constrained_periods, uniform_periods
+from .uunifast import uunifast
+
+__all__ = ["GeneratorConfig", "TaskSetGenerator", "generate_taskset"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random task-set generator.
+
+    Attributes:
+        tasks: fixed size or inclusive ``(min, max)`` range, sampled
+            uniformly per set (the paper uses 5..100).
+        utilization: fixed target or ``(low, high)`` range, sampled
+            uniformly per set (e.g. ``(0.90, 0.99)`` for Figure 8).
+        period_range: inclusive integer period range.
+        period_distribution: ``"uniform"`` | ``"loguniform"`` |
+            ``"ratio"``; ``"ratio"`` pins ``Tmax/Tmin`` to
+            ``period_range[1] / period_range[0]`` exactly.
+        gap: per-task relative gap ``(T - D)/T``; fixed value or
+            ``(low, high)`` range sampled uniformly per task.  0 means
+            implicit deadlines; 0.4 means deadlines at 60% of the period.
+        allow_deadline_above_period: when True, negative gaps (D > T) may
+            be configured.
+    """
+
+    tasks: Tuple[int, int] = (5, 100)
+    utilization: Tuple[float, float] = (0.90, 0.99)
+    period_range: Tuple[int, int] = (1_000, 100_000)
+    period_distribution: str = "uniform"
+    gap: Tuple[float, float] = (0.0, 0.4)
+    allow_deadline_above_period: bool = False
+
+    def __post_init__(self) -> None:
+        tasks = _as_range(self.tasks)
+        object.__setattr__(self, "tasks", tasks)
+        if tasks[0] < 1 or tasks[1] < tasks[0]:
+            raise ValueError(f"invalid task count range {tasks}")
+        util = _as_range(self.utilization)
+        object.__setattr__(self, "utilization", util)
+        if not (0 < util[0] <= util[1]):
+            raise ValueError(f"invalid utilization range {util}")
+        gap = _as_range(self.gap)
+        object.__setattr__(self, "gap", gap)
+        if gap[0] > gap[1]:
+            raise ValueError(f"invalid gap range {gap}")
+        if gap[1] >= 1.0:
+            raise ValueError(f"gap must stay below 1 (D > 0), got {gap}")
+        if gap[0] < 0 and not self.allow_deadline_above_period:
+            raise ValueError(
+                "negative gaps (deadline beyond period) require "
+                "allow_deadline_above_period=True"
+            )
+        lo, hi = self.period_range
+        if lo < 1 or hi < lo:
+            raise ValueError(f"invalid period range {self.period_range}")
+        if self.period_distribution not in ("uniform", "loguniform", "ratio"):
+            raise ValueError(
+                f"unknown period distribution {self.period_distribution!r}"
+            )
+
+
+def _as_range(value) -> Tuple[float, float]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+class TaskSetGenerator:
+    """Seeded, reproducible stream of random task sets.
+
+    Two generators built with the same config and seed yield identical
+    sequences — experiment results in EXPERIMENTS.md quote their seeds.
+    """
+
+    def __init__(self, config: GeneratorConfig, seed: Optional[int] = None) -> None:
+        self.config = config
+        self._rng = random.Random(seed)
+
+    def __iter__(self) -> Iterator[TaskSet]:
+        while True:
+            yield self.one()
+
+    def sets(self, count: int) -> Iterator[TaskSet]:
+        """Yield exactly *count* task sets."""
+        for _ in range(count):
+            yield self.one()
+
+    def one(self) -> TaskSet:
+        """Generate a single task set."""
+        cfg = self.config
+        rng = self._rng
+        n = rng.randint(int(cfg.tasks[0]), int(cfg.tasks[1]))
+        target_u = rng.uniform(cfg.utilization[0], cfg.utilization[1])
+        lo, hi = cfg.period_range
+        if cfg.period_distribution == "uniform":
+            periods = uniform_periods(n, lo, hi, rng)
+        elif cfg.period_distribution == "loguniform":
+            periods = loguniform_periods(n, lo, hi, rng)
+        else:  # ratio
+            periods = ratio_constrained_periods(n, lo, hi / lo, rng)
+        utilizations = uunifast(n, target_u, rng)
+        tasks: List[SporadicTask] = []
+        for period, u in zip(periods, utilizations):
+            wcet = max(1, round(u * period))
+            wcet = min(wcet, period)  # keep per-task utilization <= 1
+            gap = rng.uniform(cfg.gap[0], cfg.gap[1])
+            deadline = max(wcet, round(period * (1.0 - gap)))
+            deadline = max(1, deadline)
+            tasks.append(SporadicTask(wcet=wcet, deadline=deadline, period=period))
+        return TaskSet(tasks)
+
+
+def generate_taskset(
+    n: int,
+    utilization: float,
+    period_range: Tuple[int, int] = (1_000, 100_000),
+    gap: Tuple[float, float] = (0.0, 0.4),
+    seed: Optional[int] = None,
+    period_distribution: str = "uniform",
+) -> TaskSet:
+    """One-shot convenience wrapper around :class:`TaskSetGenerator`."""
+    config = GeneratorConfig(
+        tasks=(n, n),
+        utilization=(utilization, utilization),
+        period_range=period_range,
+        period_distribution=period_distribution,
+        gap=gap,
+    )
+    return TaskSetGenerator(config, seed=seed).one()

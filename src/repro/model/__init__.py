@@ -1,0 +1,60 @@
+"""Task and event models underlying the feasibility analysis.
+
+Public surface:
+
+* :class:`~repro.model.task.SporadicTask` / :func:`~repro.model.task.task`
+  — the sporadic task of the paper's Section 2.
+* :class:`~repro.model.taskset.TaskSet` — immutable task collection.
+* :class:`~repro.model.event_stream.EventStream` /
+  :class:`~repro.model.event_stream.EventStreamTask` — Gresser's event
+  stream model, the burst-capable generalisation (paper Section 3.6).
+* :class:`~repro.model.components.DemandComponent` — the normal form all
+  tests consume; :func:`~repro.model.components.as_components` converts
+  any supported source.
+* :class:`~repro.model.job.Job` — concrete job instances for the
+  simulator.
+* JSON round-trip helpers in :mod:`repro.model.serialization`.
+"""
+
+from .components import DemandComponent, DemandSource, as_components, total_utilization
+from .event_stream import EventStream, EventStreamElement, EventStreamTask
+from .job import Job
+from .numeric import ExactTime, Time, to_exact
+from .serialization import (
+    dump_taskset,
+    dumps_taskset,
+    load_taskset,
+    loads_taskset,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from .task import SporadicTask, task
+from .taskset import TaskSet
+from .validation import EventStreamError, ModelError, TaskParameterError, TaskSetError
+
+__all__ = [
+    "SporadicTask",
+    "task",
+    "TaskSet",
+    "Job",
+    "EventStream",
+    "EventStreamElement",
+    "EventStreamTask",
+    "DemandComponent",
+    "DemandSource",
+    "as_components",
+    "total_utilization",
+    "Time",
+    "ExactTime",
+    "to_exact",
+    "ModelError",
+    "TaskParameterError",
+    "TaskSetError",
+    "EventStreamError",
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "dump_taskset",
+    "load_taskset",
+    "dumps_taskset",
+    "loads_taskset",
+]

@@ -1,0 +1,72 @@
+"""Concrete job instances, used by the discrete-event simulator.
+
+The analysis side of the library never materialises jobs — it works on
+demand bound functions.  The simulator (:mod:`repro.sim`) does: a
+:class:`Job` is one released instance of a task with its absolute timing
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .numeric import ExactTime, Time, to_exact
+
+__all__ = ["Job"]
+
+
+@dataclass(order=True)
+class Job:
+    """One released instance of a task.
+
+    Ordering is by EDF priority: absolute deadline first, ties broken by
+    release time and then by task index, which makes scheduling decisions
+    deterministic (a requirement for reproducible traces).
+    """
+
+    absolute_deadline: ExactTime
+    release: ExactTime
+    task_index: int
+    wcet: ExactTime = field(compare=False)
+    remaining: ExactTime = field(compare=False)
+    job_index: int = field(compare=False, default=0)
+    completion: Optional[ExactTime] = field(compare=False, default=None)
+
+    @classmethod
+    def released(
+        cls,
+        task_index: int,
+        job_index: int,
+        release: Time,
+        deadline: Time,
+        wcet: Time,
+    ) -> "Job":
+        """Build a freshly released job with full remaining demand."""
+        wcet_e = to_exact(wcet)
+        release_e = to_exact(release)
+        return cls(
+            absolute_deadline=release_e + to_exact(deadline),
+            release=release_e,
+            task_index=task_index,
+            wcet=wcet_e,
+            remaining=wcet_e,
+            job_index=job_index,
+        )
+
+    @property
+    def is_complete(self) -> bool:
+        return self.remaining == 0
+
+    @property
+    def response_time(self) -> Optional[ExactTime]:
+        """Completion minus release, or ``None`` while unfinished."""
+        if self.completion is None:
+            return None
+        return self.completion - self.release
+
+    def missed_deadline(self) -> bool:
+        """``True`` if the job finished late or is late while unfinished."""
+        if self.completion is not None:
+            return self.completion > self.absolute_deadline
+        return False

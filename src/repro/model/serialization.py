@@ -1,0 +1,111 @@
+"""JSON (de)serialization for task sets and event streams.
+
+Time values survive a round trip exactly: integers stay integers and
+Fractions are encoded as ``"p/q"`` strings, so an analysis re-run on a
+deserialized set reproduces verdicts and iteration counts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .numeric import ExactTime
+from .task import SporadicTask
+from .taskset import TaskSet
+from .validation import ModelError
+
+__all__ = [
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "dump_taskset",
+    "load_taskset",
+    "dumps_taskset",
+    "loads_taskset",
+]
+
+_FORMAT = "repro/taskset-v1"
+
+
+def _encode_time(value: ExactTime) -> Union[int, str]:
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    return value
+
+
+def _decode_time(value: Union[int, float, str]) -> ExactTime:
+    if isinstance(value, bool):
+        raise ModelError(f"invalid time value {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        exact = Fraction(value)
+        return exact.numerator if exact.denominator == 1 else exact
+    if isinstance(value, str):
+        try:
+            exact = Fraction(value)
+        except (ValueError, ZeroDivisionError) as err:
+            raise ModelError(f"invalid time value {value!r}") from err
+        return exact.numerator if exact.denominator == 1 else exact
+    raise ModelError(f"invalid time value {value!r}")
+
+
+def taskset_to_dict(tasks: TaskSet) -> Dict[str, Any]:
+    """Encode a task set as a plain JSON-serializable dict."""
+    return {
+        "format": _FORMAT,
+        "name": tasks.name,
+        "tasks": [
+            {
+                "name": t.name,
+                "wcet": _encode_time(t.wcet),
+                "deadline": _encode_time(t.deadline),
+                "period": _encode_time(t.period),
+                "phase": _encode_time(t.phase),
+            }
+            for t in tasks
+        ],
+    }
+
+
+def taskset_from_dict(data: Dict[str, Any]) -> TaskSet:
+    """Decode a task set produced by :func:`taskset_to_dict`."""
+    if not isinstance(data, dict) or "tasks" not in data:
+        raise ModelError("task set document must be a dict with a 'tasks' key")
+    declared = data.get("format", _FORMAT)
+    if declared != _FORMAT:
+        raise ModelError(f"unsupported task set format {declared!r}")
+    tasks: List[SporadicTask] = []
+    for entry in data["tasks"]:
+        tasks.append(
+            SporadicTask(
+                wcet=_decode_time(entry["wcet"]),
+                deadline=_decode_time(entry["deadline"]),
+                period=_decode_time(entry["period"]),
+                phase=_decode_time(entry.get("phase", 0)),
+                name=entry.get("name", ""),
+            )
+        )
+    return TaskSet(tasks, name=data.get("name", ""))
+
+
+def dumps_taskset(tasks: TaskSet, indent: int = 2) -> str:
+    """Serialize a task set to a JSON string."""
+    return json.dumps(taskset_to_dict(tasks), indent=indent)
+
+
+def loads_taskset(text: str) -> TaskSet:
+    """Deserialize a task set from a JSON string."""
+    return taskset_from_dict(json.loads(text))
+
+
+def dump_taskset(tasks: TaskSet, path: Union[str, Path]) -> None:
+    """Write a task set to *path* as JSON."""
+    Path(path).write_text(dumps_taskset(tasks), encoding="utf-8")
+
+
+def load_taskset(path: Union[str, Path]) -> TaskSet:
+    """Read a task set from a JSON file at *path*."""
+    return loads_taskset(Path(path).read_text(encoding="utf-8"))

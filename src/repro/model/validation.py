@@ -1,0 +1,27 @@
+"""Model-level validation errors.
+
+All constructors in :mod:`repro.model` validate their parameters eagerly
+and raise one of the exception types below with an actionable message.
+Analysis code can therefore assume every model object it receives is
+well-formed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ModelError", "TaskParameterError", "TaskSetError", "EventStreamError"]
+
+
+class ModelError(ValueError):
+    """Base class for all model validation failures."""
+
+
+class TaskParameterError(ModelError):
+    """A single task was constructed with inconsistent parameters."""
+
+
+class TaskSetError(ModelError):
+    """A task set as a whole is malformed (e.g. duplicate task names)."""
+
+
+class EventStreamError(ModelError):
+    """An event stream violates the model's structural requirements."""

@@ -1,0 +1,123 @@
+"""Feasibility verdicts and per-run diagnostics.
+
+Every test in the library — sufficient, exact, or approximate — returns a
+:class:`FeasibilityResult`.  Besides the verdict it carries the paper's
+evaluation metric (*iterations*, i.e. demand-vs-capacity comparisons at
+concrete test intervals), the feasibility bound that was used, and, on
+rejection, a :class:`FailureWitness` pinning down the offending interval.
+
+Witnesses from *exact* tests are genuine counterexamples: the recorded
+demand is the true ``dbf`` at the interval and exceeds the interval
+length.  Witnesses from *sufficient* tests record the approximated demand
+and prove nothing about infeasibility (hence verdict ``UNKNOWN``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from .model.numeric import ExactTime
+
+__all__ = ["Verdict", "FailureWitness", "FeasibilityResult"]
+
+
+class Verdict(enum.Enum):
+    """Outcome of a feasibility test."""
+
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    #: A sufficient test failed to accept — the set may still be feasible.
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FailureWitness:
+    """The interval at which a test's demand check failed.
+
+    Attributes:
+        interval: the test interval ``I`` at which ``demand > I`` held.
+        demand: the demand value the test compared against ``I``.
+        exact: ``True`` when *demand* is the true ``dbf(I)`` — a
+            machine-checkable infeasibility certificate.
+    """
+
+    interval: ExactTime
+    demand: ExactTime
+    exact: bool
+
+    @property
+    def overflow(self) -> ExactTime:
+        """Amount by which demand exceeds capacity at the witness interval."""
+        return self.demand - self.interval
+
+    def holds(self, dbf_value: ExactTime) -> bool:
+        """Check the certificate against an independently computed dbf."""
+        return dbf_value > self.interval
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Outcome and effort statistics of one feasibility test run.
+
+    Attributes:
+        verdict: the test's conclusion.
+        test_name: identifier of the algorithm (``"devi"``,
+            ``"processor-demand"``, ``"superpos(3)"``, ``"dynamic"``,
+            ``"all-approx"``, ...).
+        iterations: the paper's effort metric — number of
+            demand-vs-capacity comparisons performed at concrete test
+            intervals, including re-checks after approximation revisions.
+        intervals_checked: number of distinct test intervals visited.
+        revisions: number of approximation revocations (inner-loop steps
+            of the Dynamic and All-Approximated tests).
+        max_level: final approximation level (Dynamic test), or the fixed
+            level (SuperPos), or ``None`` where the notion does not apply.
+        bound: the feasibility bound ``Imax`` that limited the search, or
+            ``None`` for tests that terminate without an explicit bound.
+        witness: failure information when the verdict is not FEASIBLE.
+        details: free-form per-test diagnostics.
+    """
+
+    verdict: Verdict
+    test_name: str
+    iterations: int = 0
+    intervals_checked: int = 0
+    revisions: int = 0
+    max_level: Optional[int] = None
+    bound: Optional[ExactTime] = None
+    witness: Optional[FailureWitness] = None
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_feasible(self) -> bool:
+        """``True`` only for a definite FEASIBLE verdict."""
+        return self.verdict is Verdict.FEASIBLE
+
+    @property
+    def is_infeasible(self) -> bool:
+        """``True`` only for a definite INFEASIBLE verdict."""
+        return self.verdict is Verdict.INFEASIBLE
+
+    @property
+    def accepted(self) -> bool:
+        """Acceptance in the paper's Figure-1 sense (accepted = FEASIBLE)."""
+        return self.verdict is Verdict.FEASIBLE
+
+    def __bool__(self) -> bool:
+        return self.is_feasible
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{self.test_name}: {self.verdict}"]
+        parts.append(f"iterations={self.iterations}")
+        if self.max_level is not None:
+            parts.append(f"level={self.max_level}")
+        if self.witness is not None:
+            parts.append(
+                f"witness(I={self.witness.interval}, demand={self.witness.demand})"
+            )
+        return " ".join(parts)

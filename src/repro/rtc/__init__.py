@@ -1,0 +1,27 @@
+"""Real-time calculus comparison layer (paper Section 3.6)."""
+
+from .analysis import approximation_gap, demand_curve, rtc_feasibility_test
+from .arrival import (
+    approximate_arrival_curve,
+    arrival_curve_for_task,
+    arrival_staircase,
+)
+from .curves import MinOfLinesCurve, PiecewiseLinearCurve, hull_lines, reduce_lines, upper_hull
+from .service import ServiceCurve, bounded_delay, full_processor
+
+__all__ = [
+    "rtc_feasibility_test",
+    "demand_curve",
+    "approximation_gap",
+    "arrival_staircase",
+    "approximate_arrival_curve",
+    "arrival_curve_for_task",
+    "PiecewiseLinearCurve",
+    "MinOfLinesCurve",
+    "upper_hull",
+    "hull_lines",
+    "reduce_lines",
+    "ServiceCurve",
+    "full_processor",
+    "bounded_delay",
+]

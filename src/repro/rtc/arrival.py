@@ -1,0 +1,74 @@
+"""Arrival curves (real-time calculus view of event streams, §3.6).
+
+An upper arrival curve ``alpha(Delta)`` bounds the number of events any
+window of length ``Delta`` may contain.  For the models in this library
+the exact arrival curve *is* the event bound function ``eta`` of an
+event stream (a staircase); RTC makes it tractable by upper-bounding the
+staircase with 2 ("periodic task", paper Fig. 4a) or 3 ("task with
+burst", Fig. 4b) line segments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..model.event_stream import EventStream
+from ..model.numeric import ExactTime, Time, to_exact
+from ..model.task import SporadicTask
+from .curves import MinOfLinesCurve, hull_lines, reduce_lines, upper_hull
+
+__all__ = [
+    "arrival_staircase",
+    "approximate_arrival_curve",
+    "arrival_curve_for_task",
+]
+
+
+def arrival_staircase(
+    stream: EventStream, horizon: Time
+) -> List[Tuple[ExactTime, ExactTime]]:
+    """Corner points ``(Delta, eta(Delta))`` of the exact arrival curve.
+
+    Corners sit where ``eta`` jumps: at each element's ``offset + k*T``.
+    The point list is what the approximation has to dominate.
+    """
+    h = to_exact(horizon)
+    jumps: set = set()
+    for element in stream.elements:
+        point = element.offset
+        while point <= h:
+            jumps.add(point)
+            if element.period is None:
+                break
+            point = point + element.period
+    return [(x, stream.eta(x)) for x in sorted(jumps)]
+
+
+def approximate_arrival_curve(
+    stream: EventStream, segments: int, horizon: Time
+) -> MinOfLinesCurve:
+    """RTC-style upper arrival curve with at most *segments* lines.
+
+    Builds the concave hull of the exact staircase corners over
+    ``[0, horizon]`` (extended with the stream's long-run rate) and
+    greedily reduces it to the segment budget.  With ``segments=2`` this
+    is the paper's Fig. 4a shape; bursty streams need 3 (Fig. 4b) for a
+    comparably tight fit.
+    """
+    if segments < 1:
+        raise ValueError(f"need at least one segment, got {segments}")
+    corners = arrival_staircase(stream, horizon)
+    if not corners:
+        raise ValueError("no events within the horizon")
+    hull = upper_hull(corners)
+    curve = hull_lines(hull, to_exact(stream.rate))
+    return reduce_lines(curve, segments, corners)
+
+
+def arrival_curve_for_task(
+    task: SporadicTask, segments: int, horizon: Time
+) -> MinOfLinesCurve:
+    """Arrival curve of a sporadic task (periodic stream with offset 0)."""
+    return approximate_arrival_curve(
+        EventStream.periodic(task.period), segments, horizon
+    )

@@ -1,0 +1,268 @@
+"""Piecewise-linear curves for the real-time calculus comparison (§3.6).
+
+Real-time calculus [7] describes demand and capacity as curves over
+window lengths and makes them computable by restricting them to a small
+number of straight-line segments.  This module provides the curve
+algebra the comparison needs:
+
+* :class:`PiecewiseLinearCurve` — generic continuous PWL curve
+  (evaluation, pointwise sum, dominance checks);
+* :class:`MinOfLinesCurve` — a *concave* curve represented as the
+  pointwise minimum of straight lines.  This is the natural form of an
+  RTC upper approximation: dropping lines from the minimum can only move
+  the curve up, so reducing a tight hull to 2-3 lines keeps it a valid
+  upper bound while growing its (unknown, per the paper) error;
+* :func:`upper_hull` — tightest concave upper bound of a staircase;
+* :func:`reduce_lines` — greedy reduction of a hull to ``k`` lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from ..model.numeric import ExactTime, Time, to_exact
+
+__all__ = [
+    "PiecewiseLinearCurve",
+    "MinOfLinesCurve",
+    "upper_hull",
+    "hull_lines",
+    "reduce_lines",
+]
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearCurve:
+    """A continuous piecewise-linear curve on ``[0, inf)``.
+
+    Stored as breakpoints ``(x_i, y_i)`` with a final slope beyond the
+    last breakpoint.  Between breakpoints the curve interpolates
+    linearly; before the first breakpoint it is 0.
+    """
+
+    breakpoints: Tuple[Tuple[ExactTime, ExactTime], ...]
+    final_slope: ExactTime
+
+    def __post_init__(self) -> None:
+        if not self.breakpoints:
+            raise ValueError("a curve needs at least one breakpoint")
+        xs = [p[0] for p in self.breakpoints]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise ValueError("breakpoints must have strictly increasing x")
+
+    @classmethod
+    def from_points(
+        cls, points: Sequence[Tuple[Time, Time]], final_slope: Time
+    ) -> "PiecewiseLinearCurve":
+        return cls(
+            breakpoints=tuple((to_exact(x), to_exact(y)) for x, y in points),
+            final_slope=to_exact(final_slope),
+        )
+
+    def __call__(self, x: Time) -> ExactTime:
+        """Evaluate the curve at *x* (0 before the first breakpoint)."""
+        t = to_exact(x)
+        pts = self.breakpoints
+        if t < pts[0][0]:
+            return 0
+        if t >= pts[-1][0]:
+            x0, y0 = pts[-1]
+            return _norm(Fraction(y0) + Fraction(self.final_slope) * (Fraction(t) - Fraction(x0)))
+        lo, hi = 0, len(pts) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if pts[mid][0] <= t:
+                lo = mid
+            else:
+                hi = mid
+        x0, y0 = pts[lo]
+        x1, y1 = pts[hi]
+        slope = Fraction(y1 - y0) / Fraction(x1 - x0)
+        return _norm(Fraction(y0) + slope * (Fraction(t) - Fraction(x0)))
+
+    @property
+    def segment_count(self) -> int:
+        """Number of linear pieces (including the final ray)."""
+        return len(self.breakpoints)
+
+    def plus(self, other: "PiecewiseLinearCurve") -> "PiecewiseLinearCurve":
+        """Pointwise sum of two curves."""
+        xs = sorted(
+            {p[0] for p in self.breakpoints} | {p[0] for p in other.breakpoints}
+        )
+        points = [(x, self(x) + other(x)) for x in xs]
+        return PiecewiseLinearCurve.from_points(
+            points, self.final_slope + other.final_slope
+        )
+
+    def dominates(self, points: Sequence[Tuple[Time, Time]]) -> bool:
+        """``True`` when the curve lies at or above every ``(x, y)``."""
+        return all(self(x) >= to_exact(y) for x, y in points)
+
+
+@dataclass(frozen=True)
+class MinOfLinesCurve:
+    """Concave curve, 0 before *start* and ``min_i (b_i + m_i x)`` after.
+
+    The *start* cutoff mirrors how the paper draws its approximations
+    (Figs. 3 and 4): a demand approximation applies from the first
+    demand corner on and is 0 before it — without the cutoff, any line
+    with positive intercept would spuriously report demand in windows
+    too short to contain a deadline.  Negative values after the cutoff
+    are clipped to 0 (demand cannot be negative).
+    """
+
+    lines: Tuple[Tuple[ExactTime, ExactTime], ...]  # (intercept b, slope m)
+    start: ExactTime = 0
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            raise ValueError("a min-of-lines curve needs at least one line")
+
+    def __call__(self, x: Time) -> ExactTime:
+        t = to_exact(x)
+        if t < self.start:
+            return 0
+        tf = Fraction(t)
+        value = min(Fraction(b) + Fraction(m) * tf for b, m in self.lines)
+        if value < 0:
+            return 0
+        return _norm(value)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.lines)
+
+    def without(self, index: int) -> "MinOfLinesCurve":
+        """Curve with one line removed (an upper bound of the original)."""
+        if len(self.lines) == 1:
+            raise ValueError("cannot remove the last line")
+        return MinOfLinesCurve(
+            self.lines[:index] + self.lines[index + 1:], self.start
+        )
+
+    def breakpoint_candidates(self) -> List[ExactTime]:
+        """All x where the active minimum line may change (pairwise
+        intersections), plus the start cutoff.
+
+        A piecewise-linear concave function attains its maximum against
+        any linear capacity at one of these points or at the ends of the
+        checked range — the property the RTC test relies on.
+        """
+        points: List[ExactTime] = [self.start]
+        for i, (b1, m1) in enumerate(self.lines):
+            for b2, m2 in self.lines[i + 1:]:
+                if m1 == m2:
+                    continue
+                x = Fraction(b2 - b1) / Fraction(m1 - m2)
+                if x > self.start:
+                    points.append(_norm(x))
+        return points
+
+    def dominates(self, points: Sequence[Tuple[Time, Time]]) -> bool:
+        return all(self(x) >= to_exact(y) for x, y in points)
+
+
+def upper_hull(
+    points: Sequence[Tuple[ExactTime, ExactTime]],
+) -> List[Tuple[ExactTime, ExactTime]]:
+    """Upper-left concave hull of staircase corner points (sorted by x).
+
+    The linear interpolation of the result dominates every input point
+    and is the tightest concave piecewise-linear bound through them.
+    """
+    hull: List[Tuple[ExactTime, ExactTime]] = []
+    for p in points:
+        while len(hull) >= 2 and _not_convex(hull[-2], hull[-1], p):
+            hull.pop()
+        hull.append(p)
+    return hull
+
+
+def _not_convex(a, b, c) -> bool:
+    """``True`` when b lies on or below the chord a-c (concavity broken)."""
+    return (Fraction(b[0] - a[0]) * Fraction(c[1] - a[1])) >= (
+        Fraction(b[1] - a[1]) * Fraction(c[0] - a[0])
+    )
+
+
+def hull_lines(
+    hull: Sequence[Tuple[ExactTime, ExactTime]],
+    final_slope: ExactTime,
+    start: ExactTime = 0,
+) -> MinOfLinesCurve:
+    """The hull as a min-of-lines curve active from *start* on.
+
+    Each hull segment contributes its supporting line; the ray after the
+    last hull point contributes ``(y_last - slope * x_last, slope)``.
+    A concave PWL function equals the pointwise min of these lines, so
+    this conversion is exact on ``[start, inf)`` — except that a
+    single-point hull has no segments, where the ray alone (clipped to
+    pass through the point) represents it.
+    """
+    lines: List[Tuple[ExactTime, ExactTime]] = []
+    for (x0, y0), (x1, y1) in zip(hull, hull[1:]):
+        m = Fraction(y1 - y0) / Fraction(x1 - x0)
+        b = Fraction(y0) - m * Fraction(x0)
+        lines.append((_norm(b), _norm(m)))
+    # Long-run rate ray.  Its intercept is lifted to dominate every hull
+    # point: anchoring it at the last point alone would undercut the
+    # hull wherever the trailing hull segments are flatter than the
+    # asymptotic rate (demand staircases routinely flatten locally just
+    # before the horizon).
+    m = Fraction(final_slope)
+    b = max(Fraction(y) - m * Fraction(x) for x, y in hull)
+    lines.append((_norm(b), _norm(m)))
+    # Deduplicate identical lines (possible when the final ray extends
+    # the last hull segment).
+    unique = tuple(dict.fromkeys(lines))
+    return MinOfLinesCurve(unique, start)
+
+
+def reduce_lines(
+    curve: MinOfLinesCurve,
+    max_lines: int,
+    sample_points: Sequence[Tuple[ExactTime, ExactTime]],
+) -> MinOfLinesCurve:
+    """Greedily drop lines until at most *max_lines* remain.
+
+    Dropping a line from a min moves the curve up, so the result still
+    dominates whatever the input dominated.  At each step the line whose
+    removal adds the least total overestimation over *sample_points*
+    (typically the staircase corners) is removed — a documented
+    heuristic standing in for the paper's unspecified 2-3 segment
+    fitting.  The line with the smallest slope (the long-run rate) is
+    never dropped, so the curve's asymptotic rate is preserved.
+    """
+    if max_lines < 1:
+        raise ValueError(f"need at least one line, got {max_lines}")
+    current = curve
+    while current.segment_count > max_lines:
+        rate_index = min(
+            range(current.segment_count), key=lambda i: Fraction(current.lines[i][1])
+        )
+        best = None
+        best_cost = None
+        for i in range(current.segment_count):
+            if i == rate_index:
+                continue
+            candidate = current.without(i)
+            cost = sum(
+                Fraction(candidate(x)) - Fraction(current(x))
+                for x, _y in sample_points
+            )
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best = candidate
+        if best is None:
+            break
+        current = best
+    return current
+
+
+def _norm(value: Fraction) -> ExactTime:
+    if isinstance(value, Fraction) and value.denominator == 1:
+        return value.numerator
+    return value

@@ -1,0 +1,55 @@
+"""Service curves (real-time calculus view of processor capacity, §3.6).
+
+The paper contrasts the processor demand test — where capacity is "the
+bisecting line" — with real-time calculus, where capacity is itself a
+curve.  For a dedicated uniprocessor the lower service curve is exactly
+``beta(Delta) = Delta``; sharing scenarios subtract a higher-priority
+arrival's demand.  Only the pieces the §3.6 comparison needs are
+implemented.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from ..model.numeric import ExactTime, Time, to_exact
+
+__all__ = ["ServiceCurve", "full_processor", "bounded_delay"]
+
+
+class ServiceCurve:
+    """Lower service curve ``beta(Delta) = max(0, rate * (Delta - delay))``.
+
+    The rate-latency form covers both the dedicated processor
+    (``rate=1, delay=0`` — the bisecting line) and a processor that
+    first serves interference for ``delay`` time units.
+    """
+
+    __slots__ = ("rate", "delay")
+
+    def __init__(self, rate: Time, delay: Time = 0) -> None:
+        self.rate: ExactTime = to_exact(rate)
+        self.delay: ExactTime = to_exact(delay)
+        if not (0 < self.rate <= 1):
+            raise ValueError(f"service rate must be in (0, 1], got {self.rate}")
+        if self.delay < 0:
+            raise ValueError(f"service delay must be >= 0, got {self.delay}")
+
+    def __call__(self, delta: Time) -> ExactTime:
+        d = Fraction(to_exact(delta)) - Fraction(self.delay)
+        if d <= 0:
+            return 0
+        value = Fraction(self.rate) * d
+        return value.numerator if value.denominator == 1 else value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceCurve(rate={self.rate}, delay={self.delay})"
+
+
+def full_processor() -> ServiceCurve:
+    """The dedicated uniprocessor: ``beta(Delta) = Delta``."""
+    return ServiceCurve(rate=1, delay=0)
+
+
+def bounded_delay(rate: Time, delay: Time) -> ServiceCurve:
+    """A rate-latency service curve (shared or gated processor)."""
+    return ServiceCurve(rate=rate, delay=delay)

@@ -1,0 +1,31 @@
+"""Discrete-event EDF simulation — the ground-truth oracle.
+
+The analysis packages decide feasibility symbolically; this package
+decides it operationally, by scheduling the synchronous release pattern
+with a preemptive EDF dispatcher and watching for deadline misses.  On
+sporadic/periodic systems with ``U <= 1`` the two must agree (EDF
+optimality plus the synchronous worst case), which the integration tests
+exploit.
+"""
+
+from .edf import EdfScheduler, simulate_edf
+from .engine import ReleasePlan, releases_for_system, releases_for_taskset
+from .fixed_priority import deadline_monotonic_priorities, simulate_fixed_priority
+from .gantt import render_gantt
+from .oracle import simulate_feasibility
+from .trace import DeadlineMiss, ExecutionSegment, SimulationTrace
+
+__all__ = [
+    "simulate_edf",
+    "EdfScheduler",
+    "simulate_feasibility",
+    "simulate_fixed_priority",
+    "deadline_monotonic_priorities",
+    "render_gantt",
+    "ReleasePlan",
+    "releases_for_taskset",
+    "releases_for_system",
+    "SimulationTrace",
+    "ExecutionSegment",
+    "DeadlineMiss",
+]

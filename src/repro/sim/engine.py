@@ -1,0 +1,137 @@
+"""Release-plan construction for the discrete-event simulator.
+
+The simulator is model-agnostic: it consumes a :class:`ReleasePlan`, a
+finite, time-ordered list of concrete job releases.  This module builds
+plans from task sets (synchronous or phased periodic patterns — the
+worst case for sporadic systems) and from event-stream tasks (each
+stream element releases at ``offset + k * period``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..model.event_stream import EventStreamTask
+from ..model.job import Job
+from ..model.numeric import ExactTime, Time, to_exact
+from ..model.task import SporadicTask
+from ..model.taskset import TaskSet
+
+__all__ = ["ReleasePlan", "releases_for_taskset", "releases_for_system"]
+
+
+@dataclass(frozen=True)
+class ReleasePlan:
+    """A finite, sorted sequence of job releases plus its horizon.
+
+    Attributes:
+        jobs: jobs ordered by release time (ties by task index).  Each
+            job's ``remaining`` equals its ``wcet`` (nothing executed).
+        horizon: the instant simulation stops; jobs with deadlines
+            beyond it are present but not judged for misses.
+    """
+
+    jobs: Tuple[Job, ...]
+    horizon: ExactTime
+
+    def __post_init__(self) -> None:
+        previous: ExactTime = 0
+        for job in self.jobs:
+            if job.release < previous:
+                raise ValueError("release plan must be sorted by release time")
+            previous = job.release
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def releases_for_taskset(
+    tasks: TaskSet,
+    horizon: Time,
+    synchronous: bool = True,
+) -> ReleasePlan:
+    """Periodic release plan for *tasks* up to *horizon*.
+
+    With ``synchronous=True`` all phases are forced to zero — the
+    critical-instant pattern that makes simulation agree with the
+    synchronous analysis.  Otherwise each task releases at
+    ``phase + k * period``.
+
+    Jobs are included while their *release* falls strictly inside
+    ``[start, horizon)``; a job released at the horizon can neither
+    execute nor miss inside the window.
+    """
+    h = to_exact(horizon)
+    if h <= 0:
+        raise ValueError(f"horizon must be > 0, got {h}")
+    entries: List[Job] = []
+    for index, t in enumerate(tasks):
+        if t.wcet == 0:
+            continue
+        release: ExactTime = 0 if synchronous else t.phase
+        k = 0
+        while release < h:
+            entries.append(
+                Job.released(
+                    task_index=index,
+                    job_index=k,
+                    release=release,
+                    deadline=t.deadline,
+                    wcet=t.wcet,
+                )
+            )
+            k += 1
+            release = (0 if synchronous else t.phase) + k * t.period
+    entries.sort(key=lambda j: (j.release, j.task_index, j.job_index))
+    return ReleasePlan(jobs=tuple(entries), horizon=h)
+
+
+def releases_for_system(
+    system: Iterable[object],
+    horizon: Time,
+) -> ReleasePlan:
+    """Release plan for a mixed list of tasks and event-stream tasks.
+
+    Event-stream tasks release one job per stream element occurrence
+    (``offset + k * period``); plain tasks behave as in
+    :func:`releases_for_taskset` (synchronously).
+    """
+    h = to_exact(horizon)
+    if h <= 0:
+        raise ValueError(f"horizon must be > 0, got {h}")
+    entries: List[Job] = []
+    index = 0
+    for entry in system:
+        if isinstance(entry, SporadicTask):
+            if entry.wcet > 0:
+                release: ExactTime = 0
+                k = 0
+                while release < h:
+                    entries.append(
+                        Job.released(index, k, release, entry.deadline, entry.wcet)
+                    )
+                    k += 1
+                    release = k * entry.period
+            index += 1
+        elif isinstance(entry, EventStreamTask):
+            if entry.wcet > 0:
+                for element in entry.stream.elements:
+                    release = element.offset
+                    k = 0
+                    while release < h:
+                        entries.append(
+                            Job.released(index, k, release, entry.deadline, entry.wcet)
+                        )
+                        if element.period is None:
+                            break
+                        k += 1
+                        release = element.offset + k * element.period
+            index += 1
+        else:
+            raise TypeError(
+                "release plans support SporadicTask and EventStreamTask, "
+                f"got {type(entry).__name__}"
+            )
+    entries.sort(key=lambda j: (j.release, j.task_index, j.job_index))
+    return ReleasePlan(jobs=tuple(entries), horizon=h)

@@ -1,0 +1,93 @@
+"""ASCII Gantt rendering of simulation traces.
+
+Plot-free visual inspection for the examples and for debugging: one row
+per task, one character cell per time quantum, ``#`` executing, ``.``
+released-but-waiting, ``!`` at a missed deadline, space idle.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+from ..model.numeric import Time, to_exact
+from ..model.taskset import TaskSet
+from .trace import SimulationTrace
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    trace: SimulationTrace,
+    tasks: Optional[TaskSet] = None,
+    cell: Time = 1,
+    width: int = 72,
+) -> str:
+    """Render *trace* as an ASCII Gantt chart.
+
+    Args:
+        trace: a simulation trace (EDF or fixed-priority).
+        tasks: optional task set for row labels.
+        cell: time units per character cell (raise it for long traces).
+        width: maximum cells per row; the chart truncates beyond it and
+            says so.
+
+    Returns:
+        A multi-line string; safe for any exact-arithmetic trace (cells
+        that contain *any* execution of a task show ``#``).
+    """
+    quantum = Fraction(to_exact(cell))
+    if quantum <= 0:
+        raise ValueError(f"cell size must be > 0, got {cell!r}")
+    horizon = Fraction(trace.horizon)
+    total_cells = int(-(-horizon // quantum))  # ceil
+    shown_cells = min(total_cells, width)
+    truncated = shown_cells < total_cells
+
+    indices = sorted({s.task_index for s in trace.segments} | {
+        m.task_index for m in trace.misses
+    } | {j.task_index for j in trace.jobs})
+    if not indices:
+        return "(empty trace)"
+
+    def label(index: int) -> str:
+        if tasks is not None and index < len(tasks) and tasks[index].name:
+            return tasks[index].name[:14]
+        return f"tau{index + 1}"
+
+    rows: List[str] = []
+    for index in indices:
+        cells = [" "] * shown_cells
+        # waiting: between release and completion when not executing
+        for job in trace.jobs:
+            if job.task_index != index:
+                continue
+            start = Fraction(job.release)
+            end = Fraction(job.completion) if job.completion is not None else horizon
+            for c in range(shown_cells):
+                lo = c * quantum
+                hi = lo + quantum
+                if lo < end and hi > start:
+                    cells[c] = "."
+        for seg in trace.segments:
+            if seg.task_index != index:
+                continue
+            for c in range(shown_cells):
+                lo = c * quantum
+                hi = lo + quantum
+                if lo < Fraction(seg.end) and hi > Fraction(seg.start):
+                    cells[c] = "#"
+        for miss in trace.misses:
+            if miss.task_index != index:
+                continue
+            c = int(Fraction(miss.deadline) // quantum)
+            if c >= shown_cells:
+                continue
+            cells[min(c, shown_cells - 1)] = "!"
+        rows.append(f"{label(index):>14s} |{''.join(cells)}|")
+
+    header = f"{'':>14s}  t=0{' ' * max(0, shown_cells - 10)}t={shown_cells * quantum}"
+    out = [header] + rows
+    if truncated:
+        out.append(f"{'':>14s}  (truncated at {shown_cells * quantum} of {trace.horizon})")
+    return "\n".join(out)

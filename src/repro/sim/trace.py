@@ -1,0 +1,115 @@
+"""Simulation traces: execution segments, misses, derived statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..model.job import Job
+from ..model.numeric import ExactTime
+
+__all__ = ["ExecutionSegment", "DeadlineMiss", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class ExecutionSegment:
+    """A maximal half-open interval ``[start, end)`` of one job executing."""
+
+    start: ExactTime
+    end: ExactTime
+    task_index: int
+    job_index: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty execution segment [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> ExactTime:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """A job that failed to complete by its absolute deadline.
+
+    ``completion`` is ``None`` when the job was still unfinished at the
+    simulation horizon.
+    """
+
+    task_index: int
+    job_index: int
+    deadline: ExactTime
+    completion: Optional[ExactTime]
+
+
+@dataclass
+class SimulationTrace:
+    """Everything a simulation run produced.
+
+    The trace is self-checking: :meth:`validate` verifies structural
+    invariants (segments ordered and non-overlapping, per-job execution
+    equal to WCET for completed jobs) that any correct scheduler run
+    must satisfy; the simulator's own tests call it on every run.
+    """
+
+    horizon: ExactTime
+    segments: List[ExecutionSegment] = field(default_factory=list)
+    misses: List[DeadlineMiss] = field(default_factory=list)
+    jobs: List[Job] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        """``True`` when no deadline inside the horizon was missed."""
+        return not self.misses
+
+    @property
+    def busy_time(self) -> ExactTime:
+        """Total processor time spent executing."""
+        return sum((s.length for s in self.segments), 0)
+
+    @property
+    def idle_time(self) -> ExactTime:
+        """Processor time left idle inside the horizon."""
+        return self.horizon - self.busy_time
+
+    def response_times(self) -> Dict[Tuple[int, int], ExactTime]:
+        """Response time of every completed job, keyed ``(task, job)``."""
+        out: Dict[Tuple[int, int], ExactTime] = {}
+        for job in self.jobs:
+            if job.completion is not None:
+                out[(job.task_index, job.job_index)] = job.completion - job.release
+        return out
+
+    def worst_response_time(self, task_index: int) -> Optional[ExactTime]:
+        """Largest observed response time of *task_index*'s jobs."""
+        times = [
+            rt for (t, _j), rt in self.response_times().items() if t == task_index
+        ]
+        return max(times) if times else None
+
+    def validate(self) -> None:
+        """Raise ``AssertionError`` on any structural inconsistency."""
+        previous_end: ExactTime = 0
+        for seg in self.segments:
+            assert seg.start >= previous_end, (
+                f"overlapping segments at {seg.start} (previous end {previous_end})"
+            )
+            assert seg.end <= self.horizon, "segment beyond horizon"
+            previous_end = seg.end
+        executed: Dict[Tuple[int, int], ExactTime] = {}
+        for seg in self.segments:
+            key = (seg.task_index, seg.job_index)
+            executed[key] = executed.get(key, 0) + seg.length
+        for job in self.jobs:
+            key = (job.task_index, job.job_index)
+            done = executed.get(key, 0)
+            assert done <= job.wcet, f"job {key} over-executed: {done} > {job.wcet}"
+            if job.completion is not None:
+                assert done == job.wcet, (
+                    f"job {key} marked complete but executed {done} of {job.wcet}"
+                )
+                assert job.remaining == 0
+            assert done == job.wcet - job.remaining, (
+                f"job {key} accounting mismatch"
+            )

@@ -1,0 +1,146 @@
+"""Unit tests for the feasibility bounds (paper Sections 3.3 / 4.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    BoundMethod,
+    baruah_bound,
+    busy_period_of_components,
+    feasibility_bound,
+    first_overflow,
+    george_bound,
+    superposition_bound,
+)
+from repro.model import DemandComponent, TaskSet, as_components
+
+from ..conftest import random_feasible_candidate
+
+
+class TestHandValues:
+    def test_baruah_formula(self):
+        # U = 1/2, max gap = T - D = 6: bound = (1/2)/(1/2) * 6 = 6.
+        ts = TaskSet.of((5, 4, 10))
+        assert baruah_bound(ts) == 6
+
+    def test_george_formula(self):
+        # (1 - 4/10) * 5 / (1 - 1/2) = 3 / 0.5 = 6.
+        ts = TaskSet.of((5, 4, 10))
+        assert george_bound(ts) == 6
+
+    def test_superposition_dmax_floor(self):
+        # Linear part = 6 but Dmax = 4 < 6 -> bound 6; with a large
+        # deadline task the floor engages.
+        ts = TaskSet.of((5, 4, 10), (1, 100, 1000))
+        assert superposition_bound(ts) >= 100
+
+    def test_inapplicable_at_full_utilization(self):
+        ts = TaskSet.of((1, 2, 2), (1, 2, 2))
+        assert baruah_bound(ts) is None
+        assert george_bound(ts) is None
+        assert superposition_bound(ts) is None
+        # BEST falls back to the busy period.
+        assert feasibility_bound(ts, BoundMethod.BEST) == 2
+
+    def test_overload_has_no_bound(self):
+        assert feasibility_bound(TaskSet.of((3, 2, 2))) is None
+
+    def test_zero_when_no_gap(self):
+        # All deadlines at periods: no interval ever needs checking.
+        ts = TaskSet.of((1, 4, 4), (1, 6, 6))
+        assert baruah_bound(ts) == 0
+        assert george_bound(ts) == 0
+
+
+class TestOrderings:
+    def test_george_never_exceeds_baruah(self, rng):
+        """George et al.'s bound is tighter (paper Section 4.3)."""
+        for _ in range(200):
+            ts = random_feasible_candidate(rng)
+            if ts.utilization == 1:
+                continue
+            assert george_bound(ts) <= baruah_bound(ts)
+
+    def test_superposition_linear_part_at_most_george(self, rng):
+        """With D > T slack kept, the superposition sum is <= George's.
+
+        The comparison applies to the linear parts; the Dmax floor is a
+        separate soundness region (see module docs).
+        """
+        for _ in range(200):
+            ts = random_feasible_candidate(rng)
+            u = Fraction(ts.utilization)
+            if u >= 1:
+                continue
+            linear = sum(
+                (1 - Fraction(t.deadline) / Fraction(t.period)) * Fraction(t.wcet)
+                for t in ts
+            ) / (1 - u)
+            assert linear <= george_bound(ts)
+
+    def test_equal_when_all_constrained(self, rng):
+        for _ in range(200):
+            ts = random_feasible_candidate(rng, deadline_slack=0)
+            ts = TaskSet([t.with_deadline(min(t.deadline, t.period)) for t in ts])
+            if ts.utilization >= 1:
+                continue
+            linear = sum(
+                (1 - Fraction(t.deadline) / Fraction(t.period)) * Fraction(t.wcet)
+                for t in ts
+            ) / (1 - Fraction(ts.utilization))
+            assert linear == george_bound(ts)
+
+
+class TestSoundness:
+    """The defining property: any first overflow lies within each bound."""
+
+    @pytest.mark.parametrize(
+        "bound_fn", [baruah_bound, george_bound, superposition_bound]
+    )
+    def test_overflow_within_bound(self, rng, bound_fn):
+        checked = 0
+        for _ in range(400):
+            ts = random_feasible_candidate(rng)
+            if ts.utilization >= 1:
+                continue
+            horizon = busy_period_of_components(as_components(ts))
+            overflow = first_overflow(ts, horizon)
+            if overflow is None:
+                continue
+            checked += 1
+            assert overflow[0] <= bound_fn(ts), ts.summary()
+        assert checked > 20
+
+    def test_busy_period_bound_covers_overflow(self, rng):
+        checked = 0
+        for _ in range(300):
+            ts = random_feasible_candidate(rng)
+            horizon = busy_period_of_components(as_components(ts)) * 2 + 100
+            overflow = first_overflow(ts, horizon)
+            if overflow is None:
+                continue
+            checked += 1
+            assert overflow[0] <= feasibility_bound(ts, BoundMethod.BUSY_PERIOD)
+        assert checked > 20
+
+
+class TestOneShotGeneralisation:
+    def test_one_shots_enter_numerators(self):
+        comps = [
+            DemandComponent(wcet=4, first_deadline=3),
+            DemandComponent(wcet=1, first_deadline=8, period=8),
+        ]
+        # U = 1/8; baruah = (U*0 + 4)/(7/8) = 32/7; george = 4/(7/8).
+        assert baruah_bound(comps) == Fraction(32, 7)
+        assert george_bound(comps) == Fraction(32, 7)
+        assert superposition_bound(comps) == 8  # Dmax floor
+
+    def test_bound_covers_one_shot_overflow(self):
+        comps = [
+            DemandComponent(wcet=4, first_deadline=3),
+            DemandComponent(wcet=1, first_deadline=8, period=8),
+        ]
+        overflow = first_overflow(comps, 100)
+        assert overflow is not None
+        assert overflow[0] <= feasibility_bound(comps, BoundMethod.BEST)

@@ -1,0 +1,61 @@
+"""Unit tests for the synchronous busy period."""
+
+from fractions import Fraction
+
+from repro.analysis import busy_period_of_components, synchronous_busy_period
+from repro.model import DemandComponent, TaskSet, as_components, task
+
+from ..conftest import random_feasible_candidate
+
+
+class TestSynchronousBusyPeriod:
+    def test_single_task(self):
+        assert synchronous_busy_period(TaskSet.of((2, 5, 5))) == 2
+
+    def test_hand_computed_fixed_point(self):
+        # C=(2,3), T=(4,10): L0=5 -> 2*2+3=7 -> 2*2+3=7 fixed point.
+        ts = TaskSet.of((2, 4, 4), (3, 10, 10))
+        assert synchronous_busy_period(ts) == 7
+
+    def test_full_utilization_reaches_hyperperiod_fixpoint(self):
+        ts = TaskSet.of((1, 2, 2), (1, 2, 2))
+        assert synchronous_busy_period(ts) == 2
+
+    def test_overload_returns_none(self):
+        assert synchronous_busy_period(TaskSet.of((3, 2, 2))) is None
+
+    def test_zero_cost_tasks_ignored(self):
+        assert synchronous_busy_period(TaskSet.of((0, 5, 5))) == 0
+
+    def test_fixed_point_property(self, rng):
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            L = synchronous_busy_period(ts)
+            assert L == sum(-((-L) // t.period) * t.wcet for t in ts if t.wcet)
+            assert L <= ts.hyperperiod
+
+    def test_rational_parameters(self):
+        ts = TaskSet([task(Fraction(1, 2), 1, 2), task(Fraction(1, 3), 1, 3)])
+        L = synchronous_busy_period(ts)
+        assert L == Fraction(5, 6)
+
+
+class TestComponentBusyPeriod:
+    def test_conservative_vs_taskset(self, rng):
+        """Component busy period (offset-0 model) bounds the true one."""
+        for _ in range(50):
+            ts = random_feasible_candidate(rng)
+            exact = synchronous_busy_period(ts)
+            conservative = busy_period_of_components(as_components(ts))
+            assert conservative >= exact
+
+    def test_one_shot_counted_once(self):
+        comps = [
+            DemandComponent(wcet=3, first_deadline=5),
+            DemandComponent(wcet=1, first_deadline=4, period=4),
+        ]
+        # L = 3 + ceil(L/4): L0=4 -> 3+1=4 fixed point.
+        assert busy_period_of_components(comps) == 4
+
+    def test_empty(self):
+        assert busy_period_of_components([]) == 0

@@ -1,0 +1,94 @@
+"""Unit tests for demand bound function machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import dbf, dbf_points, dbf_step_intervals, demand_profile, first_overflow
+from repro.model import DemandComponent, TaskSet, task
+
+from ..conftest import random_feasible_candidate
+
+
+class TestDbf:
+    def test_matches_paper_definition(self):
+        """dbf(I) = sum floor((I - D)/T + 1) * C over tasks with D <= I."""
+        ts = TaskSet.of((2, 6, 10), (3, 11, 16))
+        def reference(interval):
+            total = 0
+            for t in ts:
+                if interval >= t.deadline:
+                    total += ((interval - t.deadline) // t.period + 1) * t.wcet
+            return total
+        for interval in range(0, 120):
+            assert dbf(ts, interval) == reference(interval)
+
+    def test_empty_system(self):
+        assert dbf([], 100) == 0
+
+    @given(st.integers(min_value=0, max_value=400))
+    def test_monotone(self, x):
+        ts = TaskSet.of((1, 3, 7), (2, 10, 12))
+        assert dbf(ts, x) <= dbf(ts, x + 1)
+
+
+class TestStepIntervals:
+    def test_sorted_unique(self):
+        ts = TaskSet.of((1, 4, 10), (1, 4, 5))  # coincident deadlines at 4, 14, ...
+        steps = list(dbf_step_intervals(ts, 30))
+        assert steps == sorted(set(steps))
+        assert 4 in steps and 14 in steps
+
+    def test_respects_bound(self):
+        ts = TaskSet.of((1, 4, 10))
+        assert list(dbf_step_intervals(ts, 25)) == [4, 14, 24]
+
+    def test_lazy_unbounded(self):
+        ts = TaskSet.of((1, 4, 10))
+        it = dbf_step_intervals(ts)
+        assert [next(it) for _ in range(4)] == [4, 14, 24, 34]
+
+
+class TestDbfPoints:
+    def test_values_match_direct_evaluation(self):
+        ts = TaskSet.of((2, 6, 10), (3, 11, 16), (1, 6, 8))
+        for interval, demand in dbf_points(ts, 200):
+            assert demand == dbf(ts, interval)
+
+    def test_coincident_deadlines_reported_once(self):
+        ts = TaskSet.of((1, 4, 10), (2, 4, 10))
+        points = list(dbf_points(ts, 20))
+        assert points[0] == (4, 3)  # both jumps folded into one report
+        intervals = [p[0] for p in points]
+        assert len(intervals) == len(set(intervals))
+
+
+class TestFirstOverflow:
+    def test_finds_known_overflow(self):
+        ts = TaskSet.of((1, 1, 2), (1, 1, 2))
+        assert first_overflow(ts, 10) == (1, 2)
+
+    def test_none_for_feasible(self, simple_taskset):
+        assert first_overflow(simple_taskset, 200) is None
+
+    def test_agrees_with_scan(self, rng):
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            result = first_overflow(ts, 60)
+            manual = None
+            for i in range(1, 61):
+                if dbf(ts, i) > i:
+                    manual = i
+                    break
+            if result is None:
+                assert manual is None
+            else:
+                assert manual == result[0]
+                assert result[1] == dbf(ts, result[0]) > result[0]
+
+
+def test_demand_profile_is_materialised_points():
+    ts = TaskSet.of((2, 6, 10))
+    assert demand_profile(ts, 30) == [(6, 2), (16, 4), (26, 6)]

@@ -1,0 +1,88 @@
+"""Unit tests for Devi's sufficient test (paper Def. 1)."""
+
+from fractions import Fraction
+
+from repro.analysis import devi_test
+from repro.model import DemandComponent, TaskSet
+from repro.result import Verdict
+
+from ..conftest import random_feasible_candidate
+
+
+def reference_devi(ts: TaskSet) -> bool:
+    """Literal transcription of paper Def. 1 (Fraction arithmetic)."""
+    ordered = sorted(ts, key=lambda t: t.deadline)
+    if sum(Fraction(t.wcet, 1) / Fraction(t.period) for t in ordered) > 1:
+        return False
+    for k in range(1, len(ordered) + 1):
+        prefix = ordered[:k]
+        dk = Fraction(prefix[-1].deadline)
+        rate = sum(Fraction(t.wcet) / Fraction(t.period) for t in prefix)
+        slack = sum(
+            (Fraction(t.period) - min(Fraction(t.period), Fraction(t.deadline)))
+            / Fraction(t.period)
+            * Fraction(t.wcet)
+            for t in prefix
+        )
+        if rate + slack / dk > 1:
+            return False
+    return True
+
+
+class TestAgainstReference:
+    def test_randomised_agreement(self, rng):
+        accepted = rejected = 0
+        for _ in range(300):
+            ts = random_feasible_candidate(rng)
+            expected = reference_devi(ts)
+            result = devi_test(ts)
+            assert result.is_feasible == expected, ts.summary()
+            accepted += expected
+            rejected += not expected
+        assert accepted > 10 and rejected > 10  # both branches exercised
+
+
+class TestVerdicts:
+    def test_accepts_liu_layland_case(self):
+        r = devi_test(TaskSet.of((1, 4, 4), (1, 4, 4)))
+        assert r.verdict is Verdict.FEASIBLE
+        assert r.iterations == 2  # one comparison per task
+
+    def test_rejection_is_unknown_not_infeasible(self):
+        # Feasible but with deadlines far below periods at high U.
+        ts = TaskSet.of((4, 8, 40), (6, 21, 60), (11, 51, 100), (13, 76, 120),
+                        (23, 127, 200), (27, 187, 300), (69, 425, 600),
+                        (92, 765, 1000), (126, 1190, 1500))
+        r = devi_test(ts)
+        assert r.verdict is Verdict.UNKNOWN
+        assert r.witness is not None
+        assert not r.witness.exact
+
+    def test_overload_infeasible(self):
+        assert devi_test(TaskSet.of((3, 2, 2))).verdict is Verdict.INFEASIBLE
+
+    def test_iterations_stop_at_first_failure(self):
+        ts = TaskSet.of((9, 10, 100), (1, 1000, 1000))
+        # First prefix: 9/100 + (90/100*9)/10 = 0.09 + 0.81 = 0.9 <= 1 ok;
+        # tighten deadline to force first-prefix failure:
+        tight = TaskSet.of((9, 9, 100), (1, 1000, 1000))
+        r = devi_test(tight)
+        if not r.is_feasible:
+            assert r.iterations <= 2
+
+    def test_one_shot_component_counts_full_cost(self):
+        # A one-shot of cost 5 due at 4 cannot pass Devi's prefix at D=4
+        # together with rate 1/2.
+        comps = [
+            DemandComponent(wcet=5, first_deadline=4),
+            DemandComponent(wcet=5, first_deadline=10, period=10),
+        ]
+        r = devi_test(comps)
+        assert r.verdict is Verdict.UNKNOWN
+
+    def test_input_order_irrelevant(self, rng):
+        for _ in range(50):
+            ts = random_feasible_candidate(rng)
+            shuffled = list(ts)
+            rng.shuffle(shuffled)
+            assert devi_test(ts).is_feasible == devi_test(TaskSet(shuffled)).is_feasible

@@ -1,0 +1,111 @@
+"""Unit tests for the exact system load."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    minimum_processor_speed,
+    processor_demand_test,
+    scaled_wcets,
+    system_load,
+)
+from repro.model import TaskSet
+
+from ..conftest import random_feasible_candidate
+
+
+class TestSystemLoad:
+    def test_hand_computed(self):
+        # dbf(1) = 1 at I = 1 is the peak: load 1... use a tighter case:
+        ts = TaskSet.of((1, 2, 4), (1, 2, 4))  # dbf(2) = 2 -> load 1
+        assert system_load(ts) == 1
+
+    def test_implicit_deadlines_load_is_utilization(self):
+        ts = TaskSet.of((1, 4, 4), (2, 6, 6))
+        assert system_load(ts) == ts.utilization
+
+    def test_overload_returns_utilization(self):
+        ts = TaskSet.of((3, 2, 2))
+        assert system_load(ts) == Fraction(3, 2)
+
+    def test_empty(self):
+        assert system_load([]) == 0
+
+    def test_load_decides_feasibility(self, rng):
+        """LOAD <= 1 iff the exact tests accept."""
+        both = {True: 0, False: 0}
+        for _ in range(200):
+            ts = random_feasible_candidate(rng)
+            load = system_load(ts)
+            feasible = processor_demand_test(ts).is_feasible
+            assert (load <= 1) == feasible, ts.summary()
+            both[feasible] += 1
+        assert min(both.values()) > 20
+
+    def test_minimum_speed_alias(self, simple_taskset):
+        assert minimum_processor_speed(simple_taskset) == system_load(simple_taskset)
+
+    def test_peak_beyond_feasibility_bound(self):
+        """Regression: the ratio peak of (4, 13, 19) sits at its first
+        deadline, far beyond the George/Baruah bound (~1.6)."""
+        from fractions import Fraction
+        ts = TaskSet.of((4, 13, 19))
+        assert system_load(ts) == Fraction(4, 13)
+
+    def test_peak_at_later_deadline(self):
+        """The peak can hide beyond every first deadline: here no demand
+        step up to the largest first deadline beats U = 14/27, yet
+        dbf(66)/66 = 35/66 does — the busy-period decision (step 3 of
+        the algorithm) has to find it."""
+        from fractions import Fraction
+        ts = TaskSet.of((5, 12, 27), (4, 18, 12))
+        assert system_load(ts) == Fraction(35, 66)
+
+    def test_load_equal_to_utilization(self):
+        """Step 3's other outcome: every window ratio stays at or below
+        the long-run rate (implicit deadlines), LOAD == U exactly."""
+        from fractions import Fraction
+        ts = TaskSet.of((3, 10, 10), (2, 5, 5))
+        assert system_load(ts) == Fraction(7, 10)
+
+    def test_hyperperiod_scale_decision_refused(self):
+        """Sets whose LOAD > U decision needs a hyperperiod-scale scan
+        raise instead of hanging (documented limit)."""
+        ts = TaskSet.of(
+            (2505, 33808, 37048),
+            (775, 26408, 33098),
+            (13633, 29935, 30256),
+            (2423, 17755, 19289),
+            (22027, 72177, 97530),
+            (100, 11288, 14434),
+        )
+        with pytest.raises(ValueError, match="exact_decision_limit"):
+            system_load(ts)
+
+
+class TestScaledWcets:
+    def test_speed_scaling_divides_demand(self, simple_taskset):
+        scaled = scaled_wcets(simple_taskset, 2)
+        assert scaled[0].wcet == 1  # 2 / 2
+
+    def test_invalid_speed(self, simple_taskset):
+        with pytest.raises(ValueError):
+            scaled_wcets(simple_taskset, 0)
+
+    def test_load_is_exact_speed_threshold(self, rng):
+        """At speed = LOAD the system is feasible; just below, it is not."""
+        checked = 0
+        for _ in range(120):
+            ts = random_feasible_candidate(rng)
+            load = system_load(ts)
+            if load == 0 or load > 1:
+                continue
+            at = processor_demand_test(scaled_wcets(ts, load))
+            assert at.is_feasible, ts.summary()
+            below = processor_demand_test(
+                scaled_wcets(ts, Fraction(load) * Fraction(99, 100))
+            )
+            assert not below.is_feasible, ts.summary()
+            checked += 1
+        assert checked > 40

@@ -1,0 +1,89 @@
+"""Unit tests for the processor demand test (paper Def. 3)."""
+
+import pytest
+
+from repro.analysis import (
+    BoundMethod,
+    busy_period_of_components,
+    dbf,
+    first_overflow,
+    processor_demand_test,
+)
+from repro.model import TaskSet, as_components
+from repro.result import Verdict
+
+from ..conftest import random_feasible_candidate
+
+
+class TestVerdicts:
+    def test_feasible_set(self, simple_taskset):
+        r = processor_demand_test(simple_taskset)
+        assert r.verdict is Verdict.FEASIBLE
+        assert r.bound is not None
+
+    def test_infeasible_with_exact_witness(self, infeasible_taskset):
+        r = processor_demand_test(infeasible_taskset)
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.witness is not None and r.witness.exact
+        assert dbf(infeasible_taskset, r.witness.interval) == r.witness.demand
+        assert r.witness.demand > r.witness.interval
+
+    def test_overload_short_circuits(self):
+        r = processor_demand_test(TaskSet.of((3, 2, 2)))
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.iterations == 0
+
+    def test_empty_system(self):
+        assert processor_demand_test([]).verdict is Verdict.FEASIBLE
+
+    def test_witness_is_first_overflow(self, rng):
+        found = 0
+        for _ in range(200):
+            ts = random_feasible_candidate(rng)
+            r = processor_demand_test(ts)
+            if r.is_infeasible:
+                found += 1
+                horizon = busy_period_of_components(as_components(ts))
+                assert first_overflow(ts, horizon)[0] == r.witness.interval
+        assert found > 10
+
+
+class TestBoundMethods:
+    @pytest.mark.parametrize(
+        "method",
+        [
+            BoundMethod.BARUAH,
+            BoundMethod.GEORGE,
+            BoundMethod.SUPERPOSITION,
+            BoundMethod.BUSY_PERIOD,
+            BoundMethod.BEST,
+        ],
+    )
+    def test_all_bounds_same_verdict(self, rng, method):
+        for _ in range(120):
+            ts = random_feasible_candidate(rng)
+            reference = processor_demand_test(ts, bound_method=BoundMethod.BUSY_PERIOD)
+            r = processor_demand_test(ts, bound_method=method)
+            assert r.is_feasible == reference.is_feasible, (method, ts.summary())
+
+    def test_tighter_bound_never_costs_more(self, rng):
+        for _ in range(60):
+            ts = random_feasible_candidate(rng)
+            if ts.utilization >= 1:
+                continue
+            best = processor_demand_test(ts, bound_method=BoundMethod.BEST)
+            baruah = processor_demand_test(ts, bound_method=BoundMethod.BARUAH)
+            assert best.iterations <= baruah.iterations
+
+
+class TestIterationAccounting:
+    def test_counts_distinct_intervals(self):
+        # Two tasks with identical deadline grids: one check per grid point.
+        ts = TaskSet.of((1, 4, 10), (1, 4, 10))
+        r = processor_demand_test(ts, max_interval=34)
+        assert r.verdict is Verdict.FEASIBLE
+        assert r.iterations == 4  # intervals 4, 14, 24, 34
+
+    def test_max_interval_override(self, simple_taskset):
+        r = processor_demand_test(simple_taskset, max_interval=6)
+        assert r.iterations == 1  # only the interval at 6

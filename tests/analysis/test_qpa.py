@@ -1,0 +1,62 @@
+"""Unit tests for the QPA comparator (extension beyond the paper)."""
+
+from repro.analysis import processor_demand_test, qpa_test
+from repro.model import TaskSet
+from repro.result import Verdict
+
+from ..conftest import random_feasible_candidate
+
+
+class TestVerdicts:
+    def test_feasible(self, simple_taskset):
+        assert qpa_test(simple_taskset).verdict is Verdict.FEASIBLE
+
+    def test_infeasible_with_exact_witness(self, infeasible_taskset):
+        r = qpa_test(infeasible_taskset)
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.witness is not None and r.witness.exact
+        assert r.witness.demand > r.witness.interval
+
+    def test_overload(self):
+        assert qpa_test(TaskSet.of((3, 2, 2))).verdict is Verdict.INFEASIBLE
+
+    def test_empty(self):
+        assert qpa_test([]).verdict is Verdict.FEASIBLE
+
+    def test_agreement_with_processor_demand(self, rng):
+        feasible = infeasible = 0
+        for _ in range(400):
+            ts = random_feasible_candidate(rng)
+            q = qpa_test(ts)
+            p = processor_demand_test(ts)
+            assert q.is_feasible == p.is_feasible, ts.summary()
+            feasible += q.is_feasible
+            infeasible += not q.is_feasible
+        assert feasible > 20 and infeasible > 20
+
+
+class TestEffort:
+    def test_usually_cheaper_than_forward_scan(self, rng):
+        """QPA's selling point: far fewer dbf evaluations on average.
+
+        The effect needs sets with a dense deadline grid (many tasks at
+        high utilization); on trivial sets both tests cost almost
+        nothing and the comparison is noise.
+        """
+        from repro.analysis import BoundMethod
+        from repro.generation import generate_taskset
+
+        q_total = p_total = 0
+        for seed in range(25):
+            ts = generate_taskset(
+                n=20,
+                utilization=0.92,
+                period_range=(100, 10_000),
+                gap=(0.1, 0.4),
+                seed=seed,
+            )
+            q_total += qpa_test(ts, bound_method=BoundMethod.BARUAH).iterations
+            p_total += processor_demand_test(
+                ts, bound_method=BoundMethod.BARUAH
+            ).iterations
+        assert q_total < p_total

@@ -1,0 +1,114 @@
+"""Unit tests for sensitivity analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    critical_scaling_factor,
+    minimum_feasible_deadline,
+    processor_demand_test,
+    wcet_slack,
+)
+from repro.model import TaskSet
+
+from ..conftest import random_feasible_candidate
+
+
+class TestCriticalScalingFactor:
+    def test_reciprocal_of_load(self):
+        ts = TaskSet.of((1, 2, 4), (1, 4, 4))  # dbf(2)=1, dbf(4)=2: load 1/2
+        assert critical_scaling_factor(ts) == 2
+
+    def test_none_for_zero_demand(self):
+        assert critical_scaling_factor(TaskSet.of((0, 5, 5))) is None
+
+    def test_factor_is_exact_threshold(self, rng):
+        checked = 0
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            if not processor_demand_test(ts).is_feasible:
+                continue
+            factor = critical_scaling_factor(ts)
+            if factor is None:
+                continue
+            at = TaskSet([t.with_wcet(t.wcet * Fraction(factor)) for t in ts])
+            assert processor_demand_test(at).is_feasible, ts.summary()
+            beyond = TaskSet(
+                [t.with_wcet(t.wcet * Fraction(factor) * Fraction(101, 100)) for t in ts]
+            )
+            assert not processor_demand_test(beyond).is_feasible, ts.summary()
+            checked += 1
+        assert checked > 30
+
+
+class TestWcetSlack:
+    def test_hand_computed(self):
+        # tau1=(1,2,4), tau2=(1,4,4).
+        # Inflating tau1 by delta: dbf(2) = 1+delta <= 2 binds at delta=1.
+        # Inflating tau2 by delta: dbf(8) = 2 + 2(1+delta) <= 8 binds at
+        # delta=2 (dbf(4) = 2+delta <= 4 also gives 2).
+        ts = TaskSet.of((1, 2, 4), (1, 4, 4))
+        assert wcet_slack(ts, 0) == 1
+        assert wcet_slack(ts, 1) == 2
+
+    def test_requires_feasible_start(self):
+        with pytest.raises(ValueError):
+            wcet_slack(TaskSet.of((1, 1, 2), (1, 1, 2)), 0)
+
+    def test_result_is_maximal(self, rng):
+        checked = 0
+        for _ in range(60):
+            ts = random_feasible_candidate(rng, max_tasks=4)
+            if not processor_demand_test(ts).is_feasible:
+                continue
+            slack = wcet_slack(ts, 0)
+            grown = TaskSet(
+                [t.with_wcet(t.wcet + slack) if i == 0 else t for i, t in enumerate(ts)]
+            )
+            assert processor_demand_test(grown).is_feasible
+            broken = TaskSet(
+                [t.with_wcet(t.wcet + slack + 1) if i == 0 else t
+                 for i, t in enumerate(ts)]
+            )
+            assert not processor_demand_test(broken).is_feasible
+            checked += 1
+        assert checked > 20
+
+    def test_resolution_validation(self, simple_taskset):
+        with pytest.raises(ValueError):
+            wcet_slack(simple_taskset, 0, resolution=0)
+
+
+class TestMinimumFeasibleDeadline:
+    def test_hand_computed(self):
+        ts = TaskSet.of((2, 10, 10), (3, 10, 10))
+        # Task 0 alone could go to D=2 but shares the processor: at D=5
+        # dbf(5)=2 fits; the exact minimum here is C=2 while task 1
+        # still meets D=10 (dbf(10) = 5 <= 10).
+        assert minimum_feasible_deadline(ts, 0) == 2
+
+    def test_result_is_minimal(self, rng):
+        checked = 0
+        for _ in range(60):
+            ts = random_feasible_candidate(rng, max_tasks=4)
+            if not processor_demand_test(ts).is_feasible:
+                continue
+            minimal = minimum_feasible_deadline(ts, 0)
+            assert minimal <= ts[0].deadline
+            tightened = TaskSet(
+                [t.with_deadline(minimal) if i == 0 else t for i, t in enumerate(ts)]
+            )
+            assert processor_demand_test(tightened).is_feasible
+            if minimal > ts[0].wcet:
+                broken = TaskSet(
+                    [t.with_deadline(minimal - 1) if i == 0 else t
+                     for i, t in enumerate(ts)]
+                )
+                assert not processor_demand_test(broken).is_feasible
+            checked += 1
+        assert checked > 20
+
+    def test_requires_feasible_start(self):
+        with pytest.raises(ValueError):
+            minimum_feasible_deadline(TaskSet.of((1, 1, 2), (1, 1, 2)), 0)

@@ -1,0 +1,34 @@
+"""Unit tests for the utilization (Liu & Layland) test."""
+
+from fractions import Fraction
+
+from repro.analysis import liu_layland_test, utilization_of
+from repro.model import TaskSet
+from repro.result import Verdict
+
+
+class TestUtilizationOf:
+    def test_exact(self):
+        assert utilization_of(TaskSet.of((1, 4, 4), (1, 2, 4))) == Fraction(1, 2)
+
+
+class TestLiuLayland:
+    def test_overload_infeasible(self):
+        r = liu_layland_test(TaskSet.of((3, 4, 4), (2, 4, 4)))
+        assert r.verdict is Verdict.INFEASIBLE
+
+    def test_implicit_deadlines_feasible(self):
+        r = liu_layland_test(TaskSet.of((2, 4, 4), (2, 4, 4)))
+        assert r.verdict is Verdict.FEASIBLE
+
+    def test_deadline_beyond_period_still_decided(self):
+        r = liu_layland_test(TaskSet.of((2, 6, 4), (2, 5, 4)))
+        assert r.verdict is Verdict.FEASIBLE
+
+    def test_constrained_deadline_unknown(self):
+        r = liu_layland_test(TaskSet.of((2, 3, 4), (1, 4, 4)))
+        assert r.verdict is Verdict.UNKNOWN
+
+    def test_exact_boundary_u_equals_one(self):
+        r = liu_layland_test(TaskSet.of((1, 2, 2), (1, 2, 2)))
+        assert r.verdict is Verdict.FEASIBLE

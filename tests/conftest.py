@@ -1,0 +1,56 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model import SporadicTask, TaskSet
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG; reseed per test for reproducibility."""
+    return random.Random(0xC0FFEE)
+
+
+def random_taskset(
+    rng: random.Random,
+    max_tasks: int = 6,
+    max_period: int = 30,
+    deadline_slack: int = 5,
+) -> TaskSet:
+    """Small random integer task set (may exceed U = 1 — callers filter).
+
+    Kept as a plain helper (not a fixture) so tests can draw many sets
+    from one rng.
+    """
+    n = rng.randint(1, max_tasks)
+    tasks = []
+    for _ in range(n):
+        period = rng.randint(2, max_period)
+        wcet = rng.randint(1, period)
+        deadline = rng.randint(1, period + deadline_slack)
+        tasks.append(SporadicTask(wcet=wcet, deadline=deadline, period=period))
+    return TaskSet(tasks)
+
+
+def random_feasible_candidate(rng: random.Random, **kwargs) -> TaskSet:
+    """Random set with U <= 1 (still possibly infeasible)."""
+    while True:
+        ts = random_taskset(rng, **kwargs)
+        if ts.utilization <= 1:
+            return ts
+
+
+@pytest.fixture
+def simple_taskset() -> TaskSet:
+    """A small feasible constrained-deadline set used across tests."""
+    return TaskSet.of((2, 6, 10), (3, 11, 16), (5, 25, 25))
+
+
+@pytest.fixture
+def infeasible_taskset() -> TaskSet:
+    """U = 1 but dbf(1) = 2 > 1: infeasible with an easy witness."""
+    return TaskSet.of((1, 1, 2), (1, 1, 2))

@@ -1,0 +1,120 @@
+"""Unit tests for the Dynamic Error test (paper Section 4.1, Fig. 5)."""
+
+import pytest
+
+from repro.analysis import BoundMethod, dbf, devi_test, processor_demand_test
+from repro.core import LevelSchedule, dynamic_test
+from repro.model import EventStream, EventStreamTask, TaskSet, as_components
+from repro.result import Verdict
+
+from ..conftest import random_feasible_candidate
+
+
+class TestExactness:
+    def test_agrees_with_processor_demand(self, rng):
+        feasible = infeasible = 0
+        for _ in range(500):
+            ts = random_feasible_candidate(rng)
+            d = dynamic_test(ts)
+            p = processor_demand_test(ts)
+            assert d.is_feasible == p.is_feasible, ts.summary()
+            feasible += d.is_feasible
+            infeasible += not d.is_feasible
+        assert feasible > 50 and infeasible > 50
+
+    def test_infeasible_witness_is_exact(self, infeasible_taskset):
+        r = dynamic_test(infeasible_taskset)
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.witness.exact
+        assert dbf(infeasible_taskset, r.witness.interval) == r.witness.demand
+        assert r.witness.demand > r.witness.interval
+
+    def test_overload(self):
+        r = dynamic_test(TaskSet.of((3, 2, 2)))
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.iterations == 0
+
+    def test_empty(self):
+        assert dynamic_test([]).verdict is Verdict.FEASIBLE
+
+    def test_event_stream_system(self):
+        system = [
+            EventStreamTask(
+                stream=EventStream.burst(count=3, spacing=2, period=40),
+                wcet=2,
+                deadline=6,
+            ),
+            TaskSet.of((5, 20, 25))[0],
+        ]
+        comps = as_components(system)
+        assert dynamic_test(comps).is_feasible == processor_demand_test(comps).is_feasible
+
+
+class TestDeviFastPath:
+    """Paper: sets accepted by Devi run entirely at SuperPos(1)."""
+
+    def test_devi_accepted_costs_one_comparison_per_task(self, rng):
+        checked = 0
+        for _ in range(300):
+            ts = random_feasible_candidate(rng)
+            if not devi_test(ts).is_feasible:
+                continue
+            r = dynamic_test(ts)
+            assert r.is_feasible
+            assert r.max_level == 1
+            assert r.revisions == 0
+            assert r.iterations <= len([t for t in ts if t.wcet > 0])
+            checked += 1
+        assert checked > 50
+
+
+class TestLevelCap:
+    def test_cap_yields_unknown_when_revisions_needed(self):
+        # Feasible but rejected by SuperPos(1): needs level > 1.
+        ts = TaskSet.of((4, 8, 40), (6, 21, 60), (11, 51, 100), (13, 76, 120),
+                        (23, 127, 200), (27, 187, 300), (69, 425, 600),
+                        (92, 765, 1000), (126, 1190, 1500))
+        full = dynamic_test(ts)
+        assert full.is_feasible
+        assert full.max_level > 1
+        capped = dynamic_test(ts, max_level=1)
+        assert capped.verdict is Verdict.UNKNOWN
+        assert capped.witness is not None and not capped.witness.exact
+
+    def test_cap_never_flips_a_verdict(self, rng):
+        for _ in range(200):
+            ts = random_feasible_candidate(rng)
+            full = dynamic_test(ts)
+            capped = dynamic_test(ts, max_level=2)
+            if capped.verdict is not Verdict.UNKNOWN:
+                assert capped.verdict == full.verdict, ts.summary()
+
+    def test_rejects_bad_cap(self, simple_taskset):
+        with pytest.raises(ValueError):
+            dynamic_test(simple_taskset, max_level=0)
+
+
+class TestSchedules:
+    def test_increment_schedule_same_verdicts(self, rng):
+        for _ in range(150):
+            ts = random_feasible_candidate(rng)
+            double = dynamic_test(ts)
+            increment = dynamic_test(ts, level_schedule=LevelSchedule.INCREMENT)
+            assert double.is_feasible == increment.is_feasible, ts.summary()
+
+    def test_unknown_schedule_rejected(self, simple_taskset):
+        with pytest.raises(ValueError):
+            dynamic_test(simple_taskset, level_schedule="fibonacci")
+
+
+class TestBoundMethods:
+    @pytest.mark.parametrize(
+        "method", [BoundMethod.SUPERPOSITION, BoundMethod.BEST, BoundMethod.BUSY_PERIOD]
+    )
+    def test_verdict_independent_of_bound(self, rng, method):
+        for _ in range(150):
+            ts = random_feasible_candidate(rng)
+            assert (
+                dynamic_test(ts, bound_method=method).is_feasible
+                == processor_demand_test(ts).is_feasible
+            ), (method, ts.summary())

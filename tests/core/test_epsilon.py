@@ -1,0 +1,65 @@
+"""Unit tests for the epsilon-parameterised approximation ([8] reading)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import processor_demand_test, scaled_wcets
+from repro.core import approx_test_with_error, epsilon_to_level, superposition_test
+from repro.model import TaskSet
+from repro.result import Verdict
+
+from ..conftest import random_feasible_candidate
+
+
+class TestEpsilonToLevel:
+    def test_mapping(self):
+        assert epsilon_to_level(Fraction(1, 2)) == 2
+        assert epsilon_to_level(Fraction(1, 10)) == 10
+        assert epsilon_to_level(0.3) == 4  # ceil(1/0.3)
+
+    def test_validation(self):
+        for bad in (0, 1, -0.1, 2):
+            with pytest.raises(ValueError):
+                epsilon_to_level(bad)
+
+
+class TestApproxTestWithError:
+    def test_is_superpos_at_mapped_level(self, rng):
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            eps = Fraction(1, 4)
+            a = approx_test_with_error(ts, eps)
+            s = superposition_test(ts, 4)
+            assert a.verdict == s.verdict
+            assert a.iterations == s.iterations
+            assert a.max_level == 4
+            assert a.details["epsilon"] == eps
+
+    def test_acceptance_is_sound(self, rng):
+        for _ in range(150):
+            ts = random_feasible_candidate(rng)
+            if approx_test_with_error(ts, Fraction(1, 3)).is_feasible:
+                assert processor_demand_test(ts).is_feasible, ts.summary()
+
+    def test_rejection_implies_infeasible_at_reduced_speed(self, rng):
+        """The resource-augmentation guarantee, checked mechanically."""
+        rejected = 0
+        eps = Fraction(1, 4)
+        for _ in range(400):
+            ts = random_feasible_candidate(rng)
+            result = approx_test_with_error(ts, eps)
+            if result.verdict is Verdict.FEASIBLE:
+                continue
+            rejected += 1
+            slower = scaled_wcets(ts, 1 - eps)
+            assert not processor_demand_test(slower).is_feasible, ts.summary()
+        assert rejected > 20
+
+    def test_smaller_epsilon_accepts_no_less(self, rng):
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            coarse = approx_test_with_error(ts, Fraction(1, 2)).is_feasible
+            fine = approx_test_with_error(ts, Fraction(1, 8)).is_feasible
+            if coarse:
+                assert fine, ts.summary()

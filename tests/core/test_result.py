@@ -1,0 +1,39 @@
+"""Unit tests for FeasibilityResult / FailureWitness semantics."""
+
+from repro.result import FailureWitness, FeasibilityResult, Verdict
+
+
+class TestVerdictSemantics:
+    def test_bool_only_true_for_feasible(self):
+        assert FeasibilityResult(verdict=Verdict.FEASIBLE, test_name="t")
+        assert not FeasibilityResult(verdict=Verdict.INFEASIBLE, test_name="t")
+        assert not FeasibilityResult(verdict=Verdict.UNKNOWN, test_name="t")
+
+    def test_flags(self):
+        r = FeasibilityResult(verdict=Verdict.UNKNOWN, test_name="t")
+        assert not r.is_feasible and not r.is_infeasible
+        assert not r.accepted
+
+    def test_str_mentions_name_and_verdict(self):
+        r = FeasibilityResult(verdict=Verdict.FEASIBLE, test_name="devi", iterations=5)
+        text = str(r)
+        assert "devi" in text and "feasible" in text and "5" in text
+
+
+class TestWitness:
+    def test_overflow(self):
+        w = FailureWitness(interval=10, demand=13, exact=True)
+        assert w.overflow == 3
+
+    def test_holds_checks_independent_demand(self):
+        w = FailureWitness(interval=10, demand=13, exact=True)
+        assert w.holds(11)
+        assert not w.holds(9)
+
+    def test_str_of_result_with_witness(self):
+        r = FeasibilityResult(
+            verdict=Verdict.INFEASIBLE,
+            test_name="pda",
+            witness=FailureWitness(interval=4, demand=6, exact=True),
+        )
+        assert "witness" in str(r)

@@ -1,0 +1,141 @@
+"""Unit tests for SuperPos(x) (paper Sections 3.4 / 3.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import devi_test, processor_demand_test
+from repro.core import (
+    approximated_component_dbf,
+    approximated_dbf,
+    max_test_interval,
+    superposition_test,
+)
+from repro.model import DemandComponent, TaskSet, as_components
+from repro.result import Verdict
+
+from ..conftest import random_feasible_candidate
+
+
+class TestMaxTestInterval:
+    def test_level_is_kth_job_deadline(self):
+        c = DemandComponent(wcet=1, first_deadline=6, period=10)
+        assert max_test_interval(c, 1) == 6
+        assert max_test_interval(c, 3) == 26
+
+    def test_one_shot(self):
+        c = DemandComponent(wcet=1, first_deadline=6)
+        assert max_test_interval(c, 5) == 6
+
+    def test_rejects_bad_level(self):
+        c = DemandComponent(wcet=1, first_deadline=6, period=10)
+        with pytest.raises(ValueError):
+            max_test_interval(c, 0)
+
+
+class TestApproximatedDbf:
+    """Paper Def. 4: exact up to Im, linear with slope C/T beyond."""
+
+    def test_exact_below_im(self):
+        c = DemandComponent(wcet=2, first_deadline=6, period=10)
+        for interval in range(0, 27):
+            assert approximated_component_dbf(c, interval, 3) == c.dbf(interval)
+
+    def test_linear_beyond_im(self):
+        c = DemandComponent(wcet=2, first_deadline=6, period=10)
+        # Im(level 2) = 16, dbf(16) = 4; beyond: 4 + 0.2 * (I - 16).
+        from fractions import Fraction
+        assert approximated_component_dbf(c, 21, 2) == 4 + Fraction(2, 10) * 5
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_dominates_dbf_and_shrinks_with_level(self, level, interval):
+        c = DemandComponent(wcet=3, first_deadline=5, period=8)
+        value = approximated_component_dbf(c, interval, level)
+        assert value >= c.dbf(interval)
+        assert value >= approximated_component_dbf(c, interval, level + 1)
+
+    def test_superposition_is_sum(self, simple_taskset):
+        comps = as_components(simple_taskset)
+        for interval in (0, 10, 30, 55):
+            assert approximated_dbf(comps, interval, 2) == sum(
+                approximated_component_dbf(c, interval, 2) for c in comps
+            )
+
+
+class TestSuperposTest:
+    def test_soundness(self, rng):
+        """Acceptance at any level implies exact feasibility (Lemma 1)."""
+        accepted = 0
+        for _ in range(250):
+            ts = random_feasible_candidate(rng)
+            exact = processor_demand_test(ts).is_feasible
+            for level in (1, 2, 4):
+                if superposition_test(ts, level).is_feasible:
+                    accepted += 1
+                    assert exact, ts.summary()
+        assert accepted > 100
+
+    def test_monotone_in_level(self, rng):
+        """Higher level never loses an accepted set (paper Figure 1)."""
+        for _ in range(200):
+            ts = random_feasible_candidate(rng)
+            previous = None
+            for level in (1, 2, 3, 5, 8):
+                current = superposition_test(ts, level).is_feasible
+                if previous is not None and previous:
+                    assert current, (level, ts.summary())
+                previous = current
+
+    def test_converges_to_exact(self, rng):
+        """At a level past the bound every feasible set is accepted."""
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            if not processor_demand_test(ts).is_feasible:
+                continue
+            assert superposition_test(ts, 10_000).is_feasible, ts.summary()
+
+    def test_rejection_is_unknown(self):
+        ts = TaskSet.of((4, 8, 40), (6, 21, 60), (11, 51, 100), (13, 76, 120),
+                        (23, 127, 200), (27, 187, 300), (69, 425, 600),
+                        (92, 765, 1000), (126, 1190, 1500))
+        r = superposition_test(ts, 1)
+        assert r.verdict is Verdict.UNKNOWN
+
+    def test_level1_iterations_one_per_task(self):
+        ts = TaskSet.of((1, 10, 10), (1, 12, 12), (1, 14, 14))
+        r = superposition_test(ts, 1)
+        assert r.is_feasible
+        assert r.iterations == 3
+
+    def test_overload(self):
+        assert superposition_test(TaskSet.of((3, 2, 2)), 2).verdict is Verdict.INFEASIBLE
+
+    def test_rejects_bad_level(self, simple_taskset):
+        with pytest.raises(ValueError):
+            superposition_test(simple_taskset, 0)
+
+
+class TestLemma2:
+    """Devi-accepted implies SuperPos(1)-accepted; equality when D <= T."""
+
+    def test_devi_implies_superpos1(self, rng):
+        for _ in range(300):
+            ts = random_feasible_candidate(rng)
+            if devi_test(ts).is_feasible:
+                assert superposition_test(ts, 1).is_feasible, ts.summary()
+
+    def test_equivalence_on_constrained_deadlines(self, rng):
+        agree = 0
+        for _ in range(300):
+            ts = random_feasible_candidate(rng)
+            constrained = TaskSet(
+                [t.with_deadline(min(t.deadline, t.period)) for t in ts]
+            )
+            d = devi_test(constrained).is_feasible
+            s = superposition_test(constrained, 1).is_feasible
+            assert d == s, constrained.summary()
+            agree += 1
+        assert agree == 300

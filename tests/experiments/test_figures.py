@@ -1,0 +1,107 @@
+"""Smoke + shape tests for the figure experiments (tiny populations).
+
+The full-size shape assertions live in ``benchmarks/``; these tests keep
+the experiment plumbing honest on populations small enough for the unit
+suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    Fig1Config,
+    Fig8Config,
+    Fig9Config,
+    render_fig1,
+    render_fig8,
+    render_fig9,
+    render_table1,
+    run_fig1,
+    run_fig8,
+    run_fig9,
+    run_table1,
+)
+
+
+class TestFig1:
+    def test_small_run_structure(self):
+        config = Fig1Config(
+            utilization_lo=0.80,
+            utilization_hi=0.95,
+            bin_width=0.05,
+            sets_per_bin=4,
+            tasks=(5, 10),
+            levels=(2, 3),
+            period_range=(100, 5_000),
+        )
+        agg = run_fig1(config)
+        assert len(agg) == 3  # three bins
+        for stats in agg.values():
+            assert set(stats) == {"devi", "superpos(2)", "superpos(3)", "processor-demand"}
+            for test_stats in stats.values():
+                assert 0.0 <= test_stats["acceptance_rate"] <= 1.0
+        text = render_fig1(agg)
+        assert "U%" in text and "superpos(2)" in text
+
+    def test_acceptance_ordering_holds(self):
+        config = Fig1Config(
+            utilization_lo=0.85,
+            utilization_hi=1.0,
+            bin_width=0.05,
+            sets_per_bin=10,
+            tasks=(5, 15),
+            levels=(2, 6),
+            period_range=(100, 5_000),
+        )
+        agg = run_fig1(config)
+        for stats in agg.values():
+            assert (
+                stats["devi"]["acceptance_rate"]
+                <= stats["superpos(2)"]["acceptance_rate"]
+                <= stats["superpos(6)"]["acceptance_rate"] + 1e-12
+            )
+            assert (
+                stats["superpos(6)"]["acceptance_rate"]
+                <= stats["processor-demand"]["acceptance_rate"]
+            )
+
+
+class TestFig8:
+    def test_small_run_structure_and_shape(self):
+        config = Fig8Config(bins=3, sets_per_bin=5, tasks=(5, 20))
+        agg = run_fig8(config)
+        assert len(agg) == 3
+        total_new = total_pda = 0.0
+        for stats in agg.values():
+            total_new += stats["all-approx"]["mean_iterations"]
+            total_pda += stats["processor-demand"]["mean_iterations"]
+        assert total_pda > 2 * total_new  # the paper's 10-20x, relaxed
+        text = render_fig8(agg)
+        assert "Average effort" in text and "Maximum effort" in text
+
+
+class TestFig9:
+    def test_small_run_structure_and_shape(self):
+        config = Fig9Config(ratios=(100, 1_000), sets_per_ratio=4, tasks=(5, 20))
+        agg = run_fig9(config)
+        assert set(agg) == {100, 1_000}
+        # PDA effort grows with the ratio; the new tests stay flat-ish.
+        pda_100 = agg[100]["processor-demand"]["max_iterations"]
+        pda_1k = agg[1_000]["processor-demand"]["max_iterations"]
+        assert pda_1k > pda_100
+        text = render_fig9(agg)
+        assert "Tmax/Tmin" in text
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        rows = run_table1()
+        assert [r.system for r in rows] == [
+            "Burns", "Ma & Shin", "GAP", "Gresser 1", "Gresser 2",
+        ]
+        assert all(r.feasible for r in rows)
+        by_name = {r.system: r for r in rows}
+        assert by_name["Burns"].devi is not None
+        assert by_name["Ma & Shin"].devi is None
+        text = render_table1(rows)
+        assert "FAILED" in text
+        assert "Proc. Dem." in text

@@ -1,0 +1,102 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments import (
+    TestSpec,
+    aggregate,
+    paper_test_battery,
+    run_battery,
+    scale_factor,
+    scaled,
+    superpos_battery,
+)
+from repro.model import TaskSet
+
+
+class TestBatteries:
+    def test_paper_battery_lineup(self):
+        names = [s.name for s in paper_test_battery()]
+        assert names == ["devi", "dynamic", "all-approx", "processor-demand"]
+
+    def test_superpos_battery_levels(self):
+        names = [s.name for s in superpos_battery([2, 5])]
+        assert names == ["devi", "superpos(2)", "superpos(5)", "processor-demand"]
+
+
+class TestRunBattery:
+    def test_records_per_set_and_test(self, simple_taskset, infeasible_taskset):
+        records = run_battery(
+            [simple_taskset, infeasible_taskset], paper_test_battery()
+        )
+        assert len(records) == 2 * 4
+        exact = [r for r in records if r.test == "processor-demand"]
+        assert exact[0].feasible and exact[0].accepted
+        assert not exact[1].feasible and not exact[1].accepted
+
+    def test_reference_defines_feasible_flag(self, infeasible_taskset):
+        records = run_battery([infeasible_taskset], paper_test_battery())
+        assert all(not r.feasible for r in records)
+
+    def test_unknown_reference_rejected(self, simple_taskset):
+        with pytest.raises(ValueError):
+            run_battery([simple_taskset], paper_test_battery(), reference="nope")
+
+    def test_empty_battery_rejected(self, simple_taskset):
+        with pytest.raises(ValueError):
+            run_battery([simple_taskset], [])
+
+    def test_grouping(self, simple_taskset):
+        records = run_battery(
+            [simple_taskset, simple_taskset],
+            paper_test_battery(),
+            group_of=lambda s, i: f"g{i}",
+        )
+        assert {r.group for r in records} == {"g0", "g1"}
+
+
+class TestAggregate:
+    def test_statistics(self, simple_taskset, infeasible_taskset):
+        records = run_battery(
+            [simple_taskset, infeasible_taskset],
+            paper_test_battery(),
+            group_of=lambda s, i: "all",
+        )
+        stats = aggregate(records)["all"]
+        pda = stats["processor-demand"]
+        assert pda["count"] == 2
+        assert pda["acceptance_rate"] == 0.5
+        assert pda["acceptance_of_feasible"] == 1.0
+        assert pda["max_iterations"] >= pda["mean_iterations"]
+
+    def test_acceptance_of_feasible_ignores_infeasible(self, infeasible_taskset):
+        records = run_battery(
+            [infeasible_taskset], paper_test_battery(), group_of=lambda s, i: "g"
+        )
+        stats = aggregate(records)["g"]
+        # No feasible sets in the group: the ratio defaults to 1.0.
+        assert stats["devi"]["acceptance_of_feasible"] == 1.0
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_factor() == 1.0
+        assert scaled(10) == 10
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale_factor() == 2.5
+        assert scaled(10) == 25
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert scaled(10) == 1
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError):
+            scale_factor()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scale_factor()

@@ -1,0 +1,46 @@
+"""Unit tests for report rendering."""
+
+from repro.experiments import ascii_table, rows_to_csv, series_table
+
+
+class TestAsciiTable:
+    def test_alignment_and_title(self):
+        text = ascii_table(
+            headers=["name", "value"],
+            rows=[["a", 1], ["bbbb", 22]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = ascii_table(["x"], [[1.23456789]])
+        assert "1.235" in text
+
+
+class TestSeriesTable:
+    def test_rows_sorted_by_group(self):
+        aggregated = {
+            90: {"devi": {"mean_iterations": 5.0}},
+            70: {"devi": {"mean_iterations": 3.0}},
+        }
+        text = series_table(aggregated, "mean_iterations", ["devi"], x_label="U%")
+        lines = text.splitlines()
+        assert lines[2].strip().startswith("70")
+        assert lines[3].strip().startswith("90")
+
+    def test_missing_test_shows_dash(self):
+        aggregated = {1: {"devi": {"mean_iterations": 5.0}}}
+        text = series_table(aggregated, "mean_iterations", ["devi", "other"])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestCsv:
+    def test_round_trippable_layout(self):
+        csv = rows_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"

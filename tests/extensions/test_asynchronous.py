@@ -1,0 +1,56 @@
+"""Unit tests for the asynchronous (phased) feasibility decision."""
+
+import pytest
+
+from repro.extensions import asynchronous_feasibility
+from repro.model import TaskSet, task
+from repro.result import Verdict
+
+
+class TestAsynchronous:
+    def test_overload(self):
+        r = asynchronous_feasibility(TaskSet.of((3, 2, 2)))
+        assert r.verdict is Verdict.INFEASIBLE
+
+    def test_synchronous_acceptance_is_sufficient(self, simple_taskset):
+        r = asynchronous_feasibility(simple_taskset)
+        assert r.verdict is Verdict.FEASIBLE
+        assert r.details["decided_by"] == "synchronous-sufficient"
+
+    def test_phasing_rescues_a_synchronous_miss(self):
+        """The classic asynchronous phenomenon: two jobs that collide
+        when released together fit perfectly when phased apart."""
+        colliding = TaskSet(
+            [task(1, 1, 2, name="a"), task(1, 1, 2, name="b")]
+        )
+        r_sync = asynchronous_feasibility(colliding)
+        assert r_sync.verdict is Verdict.INFEASIBLE  # phases 0/0 collide
+
+        phased = TaskSet(
+            [task(1, 1, 2, name="a"), task(1, 1, 2, phase=1, name="b")]
+        )
+        r = asynchronous_feasibility(phased)
+        assert r.verdict is Verdict.FEASIBLE
+        assert r.details["decided_by"] == "periodic-simulation"
+
+    def test_bad_phasing_detected(self):
+        # Two 2-unit jobs with deadline 2 every 4, phased 1 apart: the
+        # second job can start only after the first finishes at 2 and
+        # misses its deadline at 3.  (Phases 0/2 would be feasible.)
+        ts = TaskSet(
+            [task(2, 2, 4, name="a"), task(2, 2, 4, phase=1, name="b")]
+        )
+        r = asynchronous_feasibility(ts)
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.details["decided_by"] == "periodic-simulation"
+
+    def test_refuses_huge_windows(self):
+        primes = TaskSet(
+            [
+                task(1, 1, 10_007, phase=1, name="p1"),
+                task(1, 1, 10_009, phase=2, name="p2"),
+                task(10_000, 10_001, 10_013, name="p3"),
+            ]
+        )
+        with pytest.raises(ValueError, match="max_jobs"):
+            asynchronous_feasibility(primes, max_jobs=100)

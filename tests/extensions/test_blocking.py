@@ -1,0 +1,81 @@
+"""Unit tests for the EDF+SRP blocking extension."""
+
+import pytest
+
+from repro.extensions import blocking_function, srp_blocking_test
+from repro.model import TaskSet, task
+from repro.result import Verdict
+
+
+def named_set():
+    return TaskSet(
+        [
+            task(2, 6, 10, name="fast"),
+            task(3, 11, 16, name="mid"),
+            task(5, 25, 25, name="slow"),
+        ]
+    )
+
+
+class TestBlockingFunction:
+    def test_staircase_shape(self):
+        ts = named_set()
+        b = blocking_function(ts, {"slow": 4, "mid": 2})
+        # Below D=11 both mid and slow can block: max(2, 4) = 4.
+        assert b(6) == 4
+        # Between 11 and 25 only slow's section blocks.
+        assert b(11) == 4
+        assert b(24) == 4
+        # At and beyond the largest deadline nothing blocks.
+        assert b(25) == 0
+        assert b(100) == 0
+
+    def test_unknown_tasks_use_no_resources(self):
+        b = blocking_function(named_set(), {})
+        assert b(1) == 0
+
+    def test_validation(self):
+        ts = named_set()
+        with pytest.raises(ValueError):
+            blocking_function(ts, {"slow": -1})
+        with pytest.raises(ValueError):
+            blocking_function(ts, {"slow": 6})  # exceeds WCET 5
+        unnamed = TaskSet.of((1, 2, 3))
+        with pytest.raises(ValueError):
+            blocking_function(unnamed, {"": 1})
+
+
+class TestSrpTest:
+    def test_no_resources_reduces_to_plain_demand(self):
+        ts = named_set()
+        r = srp_blocking_test(ts, {})
+        assert r.verdict is Verdict.FEASIBLE
+
+    def test_blocking_can_break_a_tight_deadline(self):
+        # fast's deadline at 6 has slack 4 (dbf(6) = 2): a section of 4
+        # still fits, 5 does not (it exceeds mid's WCET? use slow: 5).
+        ts = named_set()
+        assert srp_blocking_test(ts, {"slow": 4}).verdict is Verdict.FEASIBLE
+        r = srp_blocking_test(ts, {"slow": 5})
+        assert r.verdict is Verdict.UNKNOWN
+        assert r.witness is not None and not r.witness.exact
+
+    def test_infeasible_without_blocking_is_exact(self):
+        ts = TaskSet([task(1, 1, 2, name="a"), task(1, 1, 2, name="b")])
+        r = srp_blocking_test(ts, {"a": 1})
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.witness.exact
+
+    def test_overload(self):
+        ts = TaskSet([task(3, 2, 2, name="x")])
+        assert srp_blocking_test(ts, {}).verdict is Verdict.INFEASIBLE
+
+    def test_monotone_in_section_length(self):
+        ts = named_set()
+        verdicts = [
+            srp_blocking_test(ts, {"slow": cs}).is_feasible for cs in range(0, 6)
+        ]
+        # Once blocked, longer sections never help again.
+        for earlier, later in zip(verdicts, verdicts[1:]):
+            if not earlier:
+                assert not later

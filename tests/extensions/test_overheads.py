@@ -1,0 +1,78 @@
+"""Unit tests for overhead transformations (paper Section 3.5)."""
+
+import pytest
+
+from repro.analysis import processor_demand_test
+from repro.extensions import with_context_switch_overhead, with_release_jitter
+from repro.extensions.overheads import jittered_components
+from repro.model import TaskParameterError, TaskSet, task
+
+from ..conftest import random_feasible_candidate
+
+
+class TestContextSwitchOverhead:
+    def test_inflates_wcet_by_two_switches(self):
+        ts = TaskSet.of((2, 6, 10), (3, 11, 16))
+        inflated = with_context_switch_overhead(ts, 1)
+        assert [t.wcet for t in inflated] == [4, 5]
+        assert [t.deadline for t in inflated] == [6, 11]
+
+    def test_zero_cost_tasks_stay_free(self):
+        ts = TaskSet.of((0, 5, 5))
+        assert with_context_switch_overhead(ts, 2)[0].wcet == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(TaskParameterError):
+            with_context_switch_overhead(TaskSet.of((1, 2, 3)), -1)
+
+    def test_overhead_only_hurts(self, rng):
+        """Adding switching cost can never turn infeasible feasible."""
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            with_cs = with_context_switch_overhead(ts, 1)
+            if with_cs.utilization > 1:
+                continue
+            before = processor_demand_test(ts).is_feasible
+            after = processor_demand_test(with_cs).is_feasible
+            if after:
+                assert before
+
+    def test_name_preserved(self):
+        ts = TaskSet.of((1, 2, 3)).renamed("sys")
+        assert with_context_switch_overhead(ts, 1).name == "sys"
+
+
+class TestReleaseJitter:
+    def test_shrinks_demand_window(self):
+        comp = with_release_jitter(task(2, 10, 20), 3)
+        assert comp.first_deadline == 7
+        assert comp.period == 20
+        assert comp.wcet == 2
+
+    def test_zero_jitter_identity(self):
+        comp = with_release_jitter(task(2, 10, 20), 0)
+        assert comp.first_deadline == 10
+
+    def test_rejects_jitter_at_deadline(self):
+        with pytest.raises(TaskParameterError):
+            with_release_jitter(task(2, 10, 20), 10)
+        with pytest.raises(TaskParameterError):
+            with_release_jitter(task(2, 10, 20), -1)
+
+    def test_jitter_only_hurts(self, rng):
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            usable = [t for t in ts if t.deadline > 1 and t.wcet > 0]
+            if not usable:
+                continue
+            comps = [with_release_jitter(t, 1) for t in usable]
+            if processor_demand_test(comps).is_feasible:
+                assert processor_demand_test(TaskSet(usable)).is_feasible
+
+    def test_jittered_components_length_check(self):
+        with pytest.raises(ValueError):
+            jittered_components([task(1, 5, 5)], [1, 2])
+
+    def test_jittered_components_drops_idle_tasks(self):
+        comps = jittered_components([task(0, 5, 5), task(1, 5, 5)], [1, 1])
+        assert len(comps) == 1

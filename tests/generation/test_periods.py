@@ -1,0 +1,67 @@
+"""Unit tests for period samplers."""
+
+import math
+import random
+
+import pytest
+
+from repro.generation import (
+    loguniform_periods,
+    ratio_constrained_periods,
+    uniform_periods,
+)
+
+
+class TestUniform:
+    def test_range_respected(self):
+        rng = random.Random(1)
+        periods = uniform_periods(500, 10, 99, rng)
+        assert all(10 <= p <= 99 for p in periods)
+
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            uniform_periods(0, 1, 10, rng)
+        with pytest.raises(ValueError):
+            uniform_periods(5, 10, 9, rng)
+        with pytest.raises(ValueError):
+            uniform_periods(5, 0, 9, rng)
+
+
+class TestLogUniform:
+    def test_range_respected(self):
+        rng = random.Random(2)
+        periods = loguniform_periods(500, 10, 100_000, rng)
+        assert all(10 <= p <= 100_000 for p in periods)
+
+    def test_decades_roughly_balanced(self):
+        rng = random.Random(3)
+        periods = loguniform_periods(4000, 10, 100_000, rng)
+        decades = [0] * 4
+        for p in periods:
+            decades[min(3, int(math.log10(p / 10)))] += 1
+        # Each of the four decades gets a substantial share.
+        assert all(d > 400 for d in decades)
+
+
+class TestRatioConstrained:
+    def test_extremes_pinned(self):
+        rng = random.Random(4)
+        for n in (2, 5, 50):
+            periods = ratio_constrained_periods(n, 100, 1000.0, rng)
+            assert min(periods) == 100
+            assert max(periods) == 100_000
+            assert len(periods) == n
+
+    def test_single_period(self):
+        rng = random.Random(5)
+        assert ratio_constrained_periods(1, 100, 10.0, rng) == [100]
+
+    def test_ratio_one(self):
+        rng = random.Random(6)
+        periods = ratio_constrained_periods(4, 100, 1.0, rng)
+        assert all(p == 100 for p in periods)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ratio_constrained_periods(3, 100, 0.5, random.Random(1))

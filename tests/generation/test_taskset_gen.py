@@ -1,0 +1,98 @@
+"""Unit tests for the random task-set generator."""
+
+import pytest
+
+from repro.generation import GeneratorConfig, TaskSetGenerator, generate_taskset
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(tasks=(0, 5)),
+            dict(tasks=(5, 2)),
+            dict(utilization=(0.0, 0.5)),
+            dict(utilization=(0.9, 0.8)),
+            dict(gap=(0.5, 0.2)),
+            dict(gap=(0.2, 1.0)),
+            dict(gap=(-0.2, 0.2)),
+            dict(period_range=(0, 100)),
+            dict(period_range=(100, 10)),
+            dict(period_distribution="exponential"),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+    def test_negative_gap_opt_in(self):
+        cfg = GeneratorConfig(gap=(-0.3, 0.1), allow_deadline_above_period=True)
+        gen = TaskSetGenerator(cfg, seed=1)
+        sets = list(gen.sets(20))
+        assert any(any(t.deadline > t.period for t in ts) for ts in sets)
+
+    def test_scalar_shorthand(self):
+        cfg = GeneratorConfig(tasks=7, utilization=0.9, gap=0.2)
+        ts = TaskSetGenerator(cfg, seed=1).one()
+        assert len(ts) == 7
+
+
+class TestGeneratedStructure:
+    def test_bounds_respected(self):
+        cfg = GeneratorConfig(
+            tasks=(5, 15),
+            utilization=(0.8, 0.9),
+            period_range=(1_000, 20_000),
+            gap=(0.1, 0.4),
+        )
+        gen = TaskSetGenerator(cfg, seed=99)
+        for ts in gen.sets(40):
+            assert 5 <= len(ts) <= 15
+            for t in ts:
+                assert 1_000 <= t.period <= 20_000
+                assert 1 <= t.wcet <= t.period
+                assert t.wcet <= t.deadline <= t.period
+
+    def test_utilization_close_to_target(self):
+        ts = generate_taskset(n=20, utilization=0.9, seed=5)
+        assert abs(float(ts.utilization) - 0.9) < 0.02
+
+    def test_gap_statistics(self):
+        cfg = GeneratorConfig(
+            tasks=(50, 50), utilization=(0.5, 0.5), gap=(0.25, 0.35)
+        )
+        ts = TaskSetGenerator(cfg, seed=11).one()
+        assert 0.2 < ts.average_gap_ratio < 0.4
+
+    def test_ratio_distribution_pins_extremes(self):
+        cfg = GeneratorConfig(
+            tasks=(10, 10),
+            utilization=(0.9, 0.9),
+            period_range=(100, 100_000),
+            period_distribution="ratio",
+        )
+        ts = TaskSetGenerator(cfg, seed=2).one()
+        assert ts.min_period == 100
+        assert ts.max_period == 100_000
+
+
+class TestDeterminism:
+    def test_same_seed_same_sets(self):
+        cfg = GeneratorConfig()
+        a = list(TaskSetGenerator(cfg, seed=123).sets(5))
+        b = list(TaskSetGenerator(cfg, seed=123).sets(5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        cfg = GeneratorConfig()
+        a = TaskSetGenerator(cfg, seed=1).one()
+        b = TaskSetGenerator(cfg, seed=2).one()
+        assert a != b
+
+    def test_iterator_protocol(self):
+        gen = TaskSetGenerator(GeneratorConfig(), seed=3)
+        it = iter(gen)
+        assert next(it) is not None

@@ -1,0 +1,59 @@
+"""Unit tests for UUniFast sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generation import uunifast, uunifast_discard
+
+
+class TestUUniFast:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0.05, max_value=0.999),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=80)
+    def test_sums_to_target_and_positive(self, n, total, seed):
+        values = uunifast(n, total, random.Random(seed))
+        assert len(values) == n
+        assert all(v > 0 for v in values)
+        assert sum(values) == pytest.approx(total, rel=1e-9)
+
+    def test_single_task_gets_everything(self):
+        assert uunifast(1, 0.7, random.Random(1)) == [0.7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uunifast(0, 0.5)
+        with pytest.raises(ValueError):
+            uunifast(3, 0.0)
+
+    def test_deterministic_under_seed(self):
+        a = uunifast(10, 0.9, random.Random(42))
+        b = uunifast(10, 0.9, random.Random(42))
+        assert a == b
+
+    def test_not_biased_to_equal_split(self):
+        """The simplex sample must show real spread (Bini's point [4])."""
+        rng = random.Random(7)
+        spreads = []
+        for _ in range(200):
+            v = uunifast(5, 0.9, rng)
+            spreads.append(max(v) - min(v))
+        assert sum(s > 0.2 for s in spreads) > 100
+
+
+class TestDiscardVariant:
+    def test_caps_respected(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            values = uunifast_discard(3, 2.5, rng)
+            assert all(v <= 1.0 for v in values)
+            assert sum(values) == pytest.approx(2.5)
+
+    def test_impossible_target_rejected(self):
+        with pytest.raises(ValueError):
+            uunifast_discard(2, 2.5)

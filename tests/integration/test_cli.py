@@ -1,0 +1,157 @@
+"""Integration tests for the command-line interface (in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.generation import gap_taskset
+from repro.model import dump_taskset
+
+
+@pytest.fixture
+def taskset_file(tmp_path):
+    path = tmp_path / "gap.json"
+    dump_taskset(gap_taskset(), path)
+    return str(path)
+
+
+@pytest.fixture
+def infeasible_file(tmp_path):
+    from repro.model import TaskSet
+
+    path = tmp_path / "bad.json"
+    dump_taskset(TaskSet.of((1, 1, 2), (1, 1, 2)), path)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_default_test(self, taskset_file, capsys):
+        assert main(["analyze", taskset_file]) == 0
+        assert "all-approx" in capsys.readouterr().out
+
+    def test_all_tests_table(self, taskset_file, capsys):
+        assert main(["analyze", taskset_file, "--all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("devi", "dynamic", "processor-demand", "qpa"):
+            assert name in out
+
+    def test_superpos_requires_level(self, taskset_file, capsys):
+        assert main(["analyze", taskset_file, "--test", "superpos"]) == 2
+        assert main(["analyze", taskset_file, "--test", "superpos", "--level", "2"]) == 0
+
+    def test_infeasible_exit_code_and_witness(self, infeasible_file, capsys):
+        assert main(["analyze", infeasible_file, "--test", "processor-demand"]) == 1
+        assert "witness" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "gen.json"
+        code = main(
+            ["generate", "--tasks", "5", "--utilization", "0.8",
+             "--seed", "3", "-o", str(out_file)]
+        )
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert len(data["tasks"]) == 5
+
+    def test_prints_json_without_output(self, capsys):
+        assert main(["generate", "--tasks", "3", "--utilization", "0.5"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["tasks"]) == 3
+
+
+class TestSimulate:
+    def test_feasible(self, taskset_file, capsys):
+        assert main(["simulate", taskset_file]) == 0
+
+    def test_infeasible(self, infeasible_file):
+        assert main(["simulate", infeasible_file]) == 1
+
+
+class TestBounds:
+    def test_lists_all_bounds(self, taskset_file, capsys):
+        assert main(["bounds", taskset_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("baruah", "george", "superposition", "busy_period"):
+            assert name in out
+
+
+class TestExample:
+    def test_lists_examples(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "burns" in out and "gresser2" in out
+
+    def test_prints_taskset_example(self, capsys):
+        assert main(["example", "gap"]) == 0
+        assert "weapon-release" in capsys.readouterr().out
+
+    def test_prints_event_stream_example(self, capsys):
+        assert main(["example", "gresser1"]) == 0
+        assert "demand components" in capsys.readouterr().out
+
+    def test_exports_taskset(self, tmp_path):
+        out_file = tmp_path / "burns.json"
+        assert main(["example", "burns", "-o", str(out_file)]) == 0
+        assert out_file.exists()
+
+    def test_event_stream_export_rejected(self, tmp_path, capsys):
+        code = main(["example", "gresser1", "-o", str(tmp_path / "x.json")])
+        assert code == 2
+
+    def test_unknown_example(self, capsys):
+        assert main(["example", "nope"]) == 2
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Burns" in out and "FAILED" in out
+
+    def test_table1_csv_export(self, tmp_path, capsys):
+        csv_file = tmp_path / "t1.csv"
+        assert main(["experiment", "table1", "--csv", str(csv_file)]) == 0
+        content = csv_file.read_text()
+        assert content.startswith("system,devi,dynamic")
+        assert "Burns" in content and "FAILED" in content
+
+
+class TestLoad:
+    def test_reports_load_and_scaling(self, taskset_file, capsys):
+        assert main(["load", taskset_file]) == 0
+        out = capsys.readouterr().out
+        assert "system load" in out
+        assert "critical scaling" in out
+        assert "feasible" in out
+
+    def test_infeasible_exit_code(self, infeasible_file, capsys):
+        assert main(["load", infeasible_file]) == 1
+
+    def test_hyperperiod_scale_refusal_is_graceful(self, tmp_path, capsys):
+        from repro.model import TaskSet, dump_taskset
+
+        nasty = TaskSet.of(
+            (2505, 33808, 37048),
+            (775, 26408, 33098),
+            (13633, 29935, 30256),
+            (2423, 17755, 19289),
+            (22027, 72177, 97530),
+            (100, 11288, 14434),
+        )
+        path = tmp_path / "nasty.json"
+        dump_taskset(nasty, path)
+        assert main(["load", str(path)]) == 2
+        assert "exact_decision_limit" in capsys.readouterr().err
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0

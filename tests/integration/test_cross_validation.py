@@ -1,0 +1,107 @@
+"""Integration: all exact tests agree, sufficiency chain holds.
+
+This is the library's central correctness argument (DESIGN.md §6.1):
+four independently implemented exact algorithms — processor demand, QPA,
+Dynamic Error, All-Approximated — plus the brute-force staircase scan
+must return identical verdicts on every input, and the sufficient tests
+must form an implication chain into them.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    busy_period_of_components,
+    devi_test,
+    first_overflow,
+    liu_layland_test,
+    processor_demand_test,
+    qpa_test,
+)
+from repro.core import all_approx_test, dynamic_test, superposition_test
+from repro.model import SporadicTask, TaskSet, as_components
+from repro.result import Verdict
+
+from ..conftest import random_feasible_candidate
+
+EXACT_TESTS = [processor_demand_test, qpa_test, dynamic_test, all_approx_test]
+
+
+task_strategy = st.builds(
+    SporadicTask,
+    wcet=st.integers(min_value=1, max_value=8),
+    deadline=st.integers(min_value=1, max_value=40),
+    period=st.integers(min_value=1, max_value=30),
+)
+
+taskset_strategy = st.lists(task_strategy, min_size=1, max_size=5).map(TaskSet)
+
+
+class TestExactAgreement:
+    @given(taskset_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_all_exact_tests_agree_with_brute_force(self, ts):
+        if ts.utilization > 1:
+            for test in EXACT_TESTS:
+                assert test(ts).verdict is Verdict.INFEASIBLE
+            return
+        horizon = busy_period_of_components(as_components(ts))
+        truth = first_overflow(ts, horizon) is None
+        for test in EXACT_TESTS:
+            assert test(ts).is_feasible == truth, (test.__name__, ts.summary())
+
+    def test_large_randomised_sweep(self, rng):
+        """Higher-volume version with plain randomness (hypothesis would
+        shrink; here we want raw coverage)."""
+        outcomes = {True: 0, False: 0}
+        for _ in range(800):
+            ts = random_feasible_candidate(rng)
+            verdicts = {test(ts).is_feasible for test in EXACT_TESTS}
+            assert len(verdicts) == 1, ts.summary()
+            outcomes[verdicts.pop()] += 1
+        assert min(outcomes.values()) > 100
+
+
+class TestSufficiencyChain:
+    """liu-layland(D>=T) => feasible; devi => superpos(1) => ... => exact."""
+
+    @given(taskset_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_chain(self, ts):
+        if ts.utilization > 1:
+            return
+        exact = processor_demand_test(ts).is_feasible
+        ll = liu_layland_test(ts)
+        if ll.verdict is Verdict.FEASIBLE:
+            assert exact
+        devi = devi_test(ts)
+        levels = [1, 2, 4, 8]
+        sp = [superposition_test(ts, level).is_feasible for level in levels]
+        if devi.is_feasible:
+            assert sp[0], ts.summary()
+        for weaker, stronger in zip(sp, sp[1:]):
+            if weaker:
+                assert stronger, ts.summary()
+        if sp[-1]:
+            assert exact, ts.summary()
+
+
+class TestWitnessCertificates:
+    def test_every_infeasible_verdict_carries_checkable_witness(self, rng):
+        from repro.analysis import dbf
+
+        found = 0
+        for _ in range(400):
+            ts = random_feasible_candidate(rng)
+            for test in EXACT_TESTS:
+                r = test(ts)
+                if r.is_infeasible:
+                    found += 1
+                    assert r.witness is not None, test.__name__
+                    assert r.witness.exact, test.__name__
+                    # Independent recomputation validates the certificate.
+                    assert dbf(ts, r.witness.interval) > r.witness.interval
+        assert found > 100

@@ -1,0 +1,68 @@
+"""Every shipped example must run to completion.
+
+Examples are the quickstart documentation; a broken one is a
+documentation bug.  Each script is executed in-process with stdout
+captured; assertions check for the landmark lines rather than full
+golden output, so cosmetic tweaks don't break the suite.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "all-approx" in out
+        assert "EDF simulation" in out
+        assert "infeasible" in out  # the overload demo
+
+    def test_avionics_gap(self):
+        out = run_example("avionics_gap.py")
+        assert "weapon-release" in out
+        assert "feasibility bounds" in out
+        assert "infeasible" in out  # sensitivity sweep end
+
+    def test_bursty_event_streams(self):
+        out = run_example("bursty_event_streams.py")
+        assert "demand components" in out
+        assert "exact tests" in out
+
+    def test_design_space_sweep(self):
+        out = run_example("design_space_sweep.py")
+        assert "saturated" in out
+
+    def test_interrupt_heavy_system(self):
+        out = run_example("interrupt_heavy_system.py")
+        assert "period ratio" in out
+        assert "fewer intervals" in out
+
+    def test_shared_resources(self):
+        out = run_example("shared_resources.py")
+        assert "context-switch overhead" in out
+        assert "EDF + SRP" in out
+        assert "phased pair" in out
+
+    def test_approximation_anatomy(self):
+        out = run_example("approximation_anatomy.py")
+        assert "SuperPos(1): crosses at" in out
+        assert "#" in out  # the plot rendered
+
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py")
+        assert "exact system load" in out
+        assert "per-task margins" in out

@@ -1,0 +1,88 @@
+"""Metamorphic properties: transformations with known verdict effects."""
+
+import pytest
+
+from repro.analysis import processor_demand_test
+from repro.core import all_approx_test, dynamic_test
+from repro.model import SporadicTask, TaskSet, task
+
+from ..conftest import random_feasible_candidate
+
+ALL_TESTS = [processor_demand_test, dynamic_test, all_approx_test]
+
+
+class TestScalingInvariance:
+    """Multiplying every time parameter by c > 0 changes nothing."""
+
+    @pytest.mark.parametrize("factor", [2, 10, 1000])
+    def test_verdict_and_effort_invariant(self, rng, factor):
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            scaled = ts.scaled(factor)
+            for test in ALL_TESTS:
+                original = test(ts)
+                transformed = test(scaled)
+                assert original.verdict == transformed.verdict
+                assert original.iterations == transformed.iterations
+                assert original.revisions == transformed.revisions
+
+    def test_fractional_scaling(self, rng):
+        from fractions import Fraction
+
+        for _ in range(50):
+            ts = random_feasible_candidate(rng)
+            scaled = ts.scaled(Fraction(1, 3))
+            for test in ALL_TESTS:
+                assert test(ts).verdict == test(scaled).verdict
+
+
+class TestMonotonicity:
+    def test_adding_zero_cost_task_changes_nothing(self, rng):
+        for _ in range(80):
+            ts = random_feasible_candidate(rng)
+            extended = ts.extended([task(0, 1, 1)])
+            for test in ALL_TESTS:
+                assert test(ts).verdict == test(extended).verdict
+
+    def test_removing_a_task_preserves_feasibility(self, rng):
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            if len(ts) < 2:
+                continue
+            if processor_demand_test(ts).is_feasible:
+                smaller = ts.without(0)
+                for test in ALL_TESTS:
+                    assert test(smaller).is_feasible, smaller.summary()
+
+    def test_loosening_deadline_preserves_feasibility(self, rng):
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            if not processor_demand_test(ts).is_feasible:
+                continue
+            loosened = TaskSet([t.with_deadline(t.deadline + 3) for t in ts])
+            for test in ALL_TESTS:
+                assert test(loosened).is_feasible, loosened.summary()
+
+    def test_increasing_wcet_preserves_infeasibility(self, rng):
+        found = 0
+        for _ in range(200):
+            ts = random_feasible_candidate(rng)
+            if processor_demand_test(ts).is_feasible:
+                continue
+            found += 1
+            heavier = TaskSet([t.with_wcet(t.wcet + 1) for t in ts])
+            for test in ALL_TESTS:
+                assert test(heavier).is_infeasible, heavier.summary()
+        assert found > 20
+
+    def test_extending_period_preserves_feasibility(self, rng):
+        """Slower arrivals only reduce demand (sporadic semantics)."""
+        from dataclasses import replace
+
+        for _ in range(100):
+            ts = random_feasible_candidate(rng)
+            if not processor_demand_test(ts).is_feasible:
+                continue
+            slower = TaskSet([replace(t, period=t.period * 2) for t in ts])
+            for test in ALL_TESTS:
+                assert test(slower).is_feasible, slower.summary()

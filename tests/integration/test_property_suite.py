@@ -1,0 +1,154 @@
+"""Property-based integration tests over richer input spaces.
+
+These complement the per-module hypothesis tests with whole-pipeline
+properties: event-stream systems through every exact test, serialization
+fuzzing, and the public ``analyze`` dispatcher.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TESTS, analyze
+from repro.analysis import (
+    busy_period_of_components,
+    first_overflow,
+    processor_demand_test,
+)
+from repro.core import all_approx_test, dynamic_test
+from repro.model import (
+    EventStream,
+    EventStreamTask,
+    SporadicTask,
+    TaskSet,
+    as_components,
+    loads_taskset,
+    dumps_taskset,
+    total_utilization,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+burst_stream = st.builds(
+    lambda count, spacing, slack: EventStream.burst(
+        count=count,
+        spacing=spacing,
+        period=(count - 1) * spacing + slack if count > 1 else slack,
+    ),
+    count=st.integers(min_value=1, max_value=4),
+    spacing=st.integers(min_value=1, max_value=5),
+    slack=st.integers(min_value=5, max_value=40),
+)
+
+event_task = st.builds(
+    EventStreamTask,
+    stream=burst_stream,
+    wcet=st.integers(min_value=1, max_value=4),
+    deadline=st.integers(min_value=1, max_value=25),
+)
+
+sporadic_task = st.builds(
+    SporadicTask,
+    wcet=st.integers(min_value=1, max_value=6),
+    deadline=st.integers(min_value=1, max_value=30),
+    period=st.integers(min_value=2, max_value=25),
+)
+
+mixed_system = st.lists(
+    st.one_of(sporadic_task, event_task), min_size=1, max_size=4
+)
+
+rational_time = st.fractions(
+    min_value=Fraction(1, 8), max_value=40
+).map(lambda f: f.limit_denominator(8))
+
+
+class TestEventStreamSystems:
+    @given(mixed_system)
+    @settings(max_examples=150, deadline=None)
+    def test_exact_tests_agree_on_mixed_systems(self, system):
+        components = as_components(system)
+        if total_utilization(components) > 1:
+            return
+        horizon = busy_period_of_components(components)
+        truth = first_overflow(components, horizon) is None
+        assert processor_demand_test(components).is_feasible == truth
+        assert dynamic_test(components).is_feasible == truth
+        assert all_approx_test(components).is_feasible == truth
+
+    @given(event_task)
+    @settings(max_examples=100, deadline=None)
+    def test_flattening_preserves_demand(self, task):
+        components = task.to_components()
+        for interval in range(0, 120, 7):
+            assert task.dbf(interval) == sum(
+                c.dbf(interval) for c in components
+            )
+
+
+class TestRationalTimeSystems:
+    @given(
+        st.lists(
+            st.tuples(rational_time, rational_time, rational_time),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exact_tests_agree_on_rational_parameters(self, rows):
+        tasks = [
+            SporadicTask(
+                wcet=min(c, d),
+                deadline=d,
+                period=t,
+            )
+            for c, d, t in rows
+        ]
+        ts = TaskSet(tasks)
+        if ts.utilization > 1:
+            return
+        horizon = busy_period_of_components(as_components(ts))
+        truth = first_overflow(ts, horizon) is None
+        assert processor_demand_test(ts).is_feasible == truth
+        assert all_approx_test(ts).is_feasible == truth
+
+    @given(
+        st.lists(
+            st.tuples(rational_time, rational_time, rational_time),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_serialization_round_trip(self, rows):
+        ts = TaskSet(
+            [SporadicTask(wcet=c, deadline=d, period=t) for c, d, t in rows]
+        )
+        again = loads_taskset(dumps_taskset(ts))
+        assert again == ts
+
+
+class TestAnalyzeDispatcher:
+    def test_every_registered_test_runs(self, simple_taskset):
+        for name in TESTS:
+            result = analyze(simple_taskset, name)
+            assert result.test_name  # ran and produced a result
+
+    def test_superpos_requires_level(self, simple_taskset):
+        with pytest.raises(ValueError, match="level"):
+            analyze(simple_taskset, "superpos")
+
+    def test_level_rejected_elsewhere(self, simple_taskset):
+        with pytest.raises(ValueError, match="level"):
+            analyze(simple_taskset, "devi", level=2)
+
+    def test_unknown_method(self, simple_taskset):
+        with pytest.raises(ValueError, match="available"):
+            analyze(simple_taskset, "magic")
+
+    def test_default_is_all_approx(self, simple_taskset):
+        assert analyze(simple_taskset).test_name == "all-approx"

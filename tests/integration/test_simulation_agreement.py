@@ -1,0 +1,58 @@
+"""Integration: the EDF simulation oracle agrees with every exact test."""
+
+from repro.analysis import processor_demand_test
+from repro.core import all_approx_test, dynamic_test
+from repro.generation import GeneratorConfig, TaskSetGenerator
+from repro.model import EventStream, EventStreamTask, as_components, task
+from repro.sim import simulate_feasibility
+
+from ..conftest import random_feasible_candidate
+
+
+class TestSimulationAgreement:
+    def test_small_random_sets(self, rng):
+        feasible = infeasible = 0
+        for _ in range(250):
+            ts = random_feasible_candidate(rng, max_tasks=4, max_period=18)
+            analytic = all_approx_test(ts).is_feasible
+            assert analytic == dynamic_test(ts).is_feasible
+            assert analytic == simulate_feasibility(ts).is_feasible, ts.summary()
+            feasible += analytic
+            infeasible += not analytic
+        assert feasible > 30 and infeasible > 30
+
+    def test_generated_high_utilization_sets(self):
+        gen = TaskSetGenerator(
+            GeneratorConfig(
+                tasks=(5, 10),
+                utilization=(0.92, 0.99),
+                period_range=(10, 200),
+                gap=(0.0, 0.4),
+            ),
+            seed=77,
+        )
+        for ts in gen.sets(40):
+            analytic = processor_demand_test(ts).is_feasible
+            assert analytic == simulate_feasibility(ts).is_feasible, ts.summary()
+
+    def test_event_stream_systems(self, rng):
+        for trial in range(60):
+            system = [
+                EventStreamTask(
+                    stream=EventStream.burst(
+                        count=rng.randint(1, 3),
+                        spacing=rng.randint(1, 3),
+                        period=rng.randint(12, 40),
+                    ),
+                    wcet=rng.randint(1, 3),
+                    deadline=rng.randint(2, 10),
+                ),
+                task(rng.randint(1, 4), rng.randint(3, 20), rng.randint(5, 25)),
+            ]
+            comps = as_components(system)
+            from repro.model import total_utilization
+
+            if total_utilization(comps) > 1:
+                continue
+            analytic = all_approx_test(comps).is_feasible
+            assert analytic == simulate_feasibility(system).is_feasible, system

@@ -1,0 +1,85 @@
+"""Stress: cross-validation on generator-realistic workloads.
+
+The other integration tests use tiny hand-rolled sets (good for
+shrinking); this module runs the full test stack over populations the
+*experiments* actually use — dozens of tasks, 90%+ utilization, wide
+period ranges — where bookkeeping bugs (approximation rebasing, queue
+tie-breaks, bound interactions) would actually surface.
+"""
+
+import random
+
+from repro.analysis import (
+    BoundMethod,
+    devi_test,
+    processor_demand_test,
+    qpa_test,
+)
+from repro.core import all_approx_test, dynamic_test, superposition_test
+from repro.generation import GeneratorConfig, TaskSetGenerator
+
+
+def population(seed, count, **overrides):
+    defaults = dict(
+        tasks=(10, 40),
+        utilization=(0.90, 0.99),
+        period_range=(100, 10_000),
+        gap=(0.0, 0.5),
+    )
+    defaults.update(overrides)
+    gen = TaskSetGenerator(GeneratorConfig(**defaults), seed=seed)
+    return list(gen.sets(count))
+
+
+class TestRealisticWorkloads:
+    def test_exact_tests_agree_at_high_utilization(self):
+        feasible = infeasible = 0
+        for ts in population(seed=101, count=60):
+            reference = processor_demand_test(
+                ts, bound_method=BoundMethod.BEST
+            ).is_feasible
+            assert dynamic_test(ts).is_feasible == reference, ts.summary()
+            assert all_approx_test(ts).is_feasible == reference, ts.summary()
+            assert qpa_test(ts).is_feasible == reference, ts.summary()
+            feasible += reference
+            infeasible += not reference
+        assert feasible > 5 and infeasible > 5
+
+    def test_sufficiency_chain_on_wide_period_sets(self):
+        for ts in population(
+            seed=202,
+            count=30,
+            period_range=(100, 1_000_000),
+            period_distribution="ratio",
+            utilization=(0.90, 0.96),
+        ):
+            exact = all_approx_test(ts).is_feasible
+            devi = devi_test(ts).is_feasible
+            sp2 = superposition_test(ts, 2).is_feasible
+            if devi:
+                assert sp2, ts.summary()
+            if sp2:
+                assert exact, ts.summary()
+
+    def test_effort_relations_hold_per_set(self):
+        """The paper's headline, asserted per instance (not pooled):
+        the new tests never cost more intervals than the baseline."""
+        for ts in population(seed=303, count=40):
+            baseline = processor_demand_test(
+                ts, bound_method=BoundMethod.BARUAH
+            )
+            if not baseline.is_feasible:
+                continue
+            for test in (dynamic_test, all_approx_test):
+                result = test(ts)
+                assert result.iterations <= baseline.iterations, ts.summary()
+
+    def test_dynamic_level_stays_logarithmic(self):
+        """Doubling bounds the level by 2^ceil(log2(needed)): the final
+        level must stay far below the per-component job counts the
+        baseline walks."""
+        for ts in population(seed=404, count=40):
+            result = dynamic_test(ts)
+            assert result.max_level <= 1 << 20
+            if result.revisions == 0:
+                assert result.max_level == 1

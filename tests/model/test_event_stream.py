@@ -1,0 +1,124 @@
+"""Unit tests for the event-stream model (Gresser)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import (
+    EventStream,
+    EventStreamElement,
+    EventStreamError,
+    EventStreamTask,
+)
+
+
+class TestElement:
+    def test_validation(self):
+        with pytest.raises(EventStreamError):
+            EventStreamElement(offset=-1)
+        with pytest.raises(EventStreamError):
+            EventStreamElement(offset=0, period=0)
+
+    def test_eta_periodic(self):
+        e = EventStreamElement(offset=2, period=5)  # events at 2, 7, 12...
+        assert e.eta(1) == 0
+        assert e.eta(2) == 1
+        assert e.eta(7) == 2
+        assert e.eta(11) == 2
+
+    def test_eta_one_shot(self):
+        e = EventStreamElement(offset=3)
+        assert e.eta(2) == 0
+        assert e.eta(3) == 1
+        assert e.eta(100) == 1
+
+
+class TestStream:
+    def test_needs_elements(self):
+        with pytest.raises(EventStreamError):
+            EventStream([])
+
+    def test_elements_sorted_by_offset(self):
+        s = EventStream([EventStreamElement(5, 10), EventStreamElement(0, 10)])
+        assert [e.offset for e in s.elements] == [0, 5]
+
+    def test_periodic_constructor(self):
+        s = EventStream.periodic(10)
+        assert s.eta(0) == 1
+        assert s.eta(10) == 2
+        assert s.rate == Fraction(1, 10)
+
+    def test_burst_constructor(self):
+        s = EventStream.burst(count=3, spacing=2, period=20)
+        # events at 0,2,4 then 20,22,24, ...
+        assert s.eta(0) == 1
+        assert s.eta(2) == 2
+        assert s.eta(4) == 3
+        assert s.eta(19) == 3
+        assert s.eta(20) == 4
+        assert s.rate == Fraction(3, 20)
+
+    def test_burst_validation(self):
+        with pytest.raises(EventStreamError):
+            EventStream.burst(count=0, spacing=1, period=10)
+        with pytest.raises(EventStreamError):
+            EventStream.burst(count=3, spacing=5, period=10)  # doesn't fit
+        with pytest.raises(EventStreamError):
+            EventStream.burst(count=2, spacing=0, period=10)
+
+    def test_equality_and_hash(self):
+        a = EventStream.periodic(10)
+        b = EventStream.periodic(10)
+        assert a == b and hash(a) == hash(b)
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_eta_monotone(self, x):
+        s = EventStream.burst(count=3, spacing=3, period=25)
+        assert s.eta(x) <= s.eta(x + 1)
+
+    def test_is_monotone_consistent(self):
+        s = EventStream.burst(count=4, spacing=2, period=30)
+        assert s.is_monotone_consistent(100)
+
+
+class TestEventStreamTask:
+    def test_validation(self):
+        stream = EventStream.periodic(10)
+        with pytest.raises(EventStreamError):
+            EventStreamTask(stream=stream, wcet=-1, deadline=5)
+        with pytest.raises(EventStreamError):
+            EventStreamTask(stream=stream, wcet=1, deadline=0)
+
+    def test_utilization(self):
+        est = EventStreamTask(
+            stream=EventStream.burst(count=2, spacing=3, period=10), wcet=2, deadline=4
+        )
+        assert est.utilization == Fraction(2, 5)  # 2 events/10 * C=2
+
+    def test_dbf_shifts_eta_by_deadline(self):
+        est = EventStreamTask(stream=EventStream.periodic(10), wcet=3, deadline=4)
+        assert est.dbf(3) == 0
+        assert est.dbf(4) == 3
+        assert est.dbf(14) == 6
+
+    def test_dbf_equals_component_sum(self):
+        """The flattening (the paper's event-stream extension) is exact."""
+        est = EventStreamTask(
+            stream=EventStream.burst(count=3, spacing=4, period=50),
+            wcet=2,
+            deadline=7,
+        )
+        comps = est.to_components()
+        for interval in range(0, 160):
+            assert est.dbf(interval) == sum(c.dbf(interval) for c in comps), interval
+
+    def test_component_sources_labelled(self):
+        est = EventStreamTask(
+            stream=EventStream.burst(count=2, spacing=1, period=9),
+            wcet=1,
+            deadline=2,
+            name="burst",
+        )
+        assert [c.source for c in est.to_components()] == ["burst[0]", "burst[1]"]

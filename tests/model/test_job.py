@@ -1,0 +1,35 @@
+"""Unit tests for simulator job instances."""
+
+from repro.model import Job
+
+
+class TestJob:
+    def test_released_factory(self):
+        j = Job.released(task_index=1, job_index=2, release=10, deadline=5, wcet=3)
+        assert j.absolute_deadline == 15
+        assert j.remaining == 3
+        assert not j.is_complete
+        assert j.response_time is None
+
+    def test_edf_ordering(self):
+        early = Job.released(0, 0, release=0, deadline=5, wcet=1)
+        late = Job.released(1, 0, release=0, deadline=9, wcet=1)
+        assert early < late
+
+    def test_tie_broken_by_release_then_task(self):
+        a = Job.released(0, 0, release=0, deadline=10, wcet=1)
+        b = Job.released(1, 0, release=2, deadline=8, wcet=1)  # same abs deadline
+        assert a < b
+        c = Job.released(0, 0, release=0, deadline=10, wcet=1)
+        d = Job.released(1, 0, release=0, deadline=10, wcet=1)
+        assert c < d
+
+    def test_completion_and_miss(self):
+        j = Job.released(0, 0, release=0, deadline=5, wcet=2)
+        j.remaining = 0
+        j.completion = 4
+        assert j.is_complete
+        assert j.response_time == 4
+        assert not j.missed_deadline()
+        j.completion = 6
+        assert j.missed_deadline()

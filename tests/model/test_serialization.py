@@ -1,0 +1,70 @@
+"""Unit tests for JSON round-tripping of task sets."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import (
+    ModelError,
+    SporadicTask,
+    TaskSet,
+    dump_taskset,
+    dumps_taskset,
+    load_taskset,
+    loads_taskset,
+    task,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_integer_set(self):
+        ts = TaskSet.of((2, 6, 10), (3, 11, 16)).renamed("demo")
+        again = loads_taskset(dumps_taskset(ts))
+        assert again == ts
+        assert again.name == "demo"
+
+    def test_fraction_parameters_survive_exactly(self):
+        ts = TaskSet([task(Fraction(1, 3), Fraction(5, 7), 2, name="frac")])
+        again = loads_taskset(dumps_taskset(ts))
+        assert again[0].wcet == Fraction(1, 3)
+        assert again[0].deadline == Fraction(5, 7)
+
+    def test_phase_preserved(self):
+        ts = TaskSet([task(1, 2, 3, phase=7)])
+        assert loads_taskset(dumps_taskset(ts))[0].phase == 7
+
+    def test_file_round_trip(self, tmp_path):
+        ts = TaskSet.of((1, 2, 3))
+        path = tmp_path / "set.json"
+        dump_taskset(ts, path)
+        assert load_taskset(path) == ts
+
+
+class TestValidation:
+    def test_requires_tasks_key(self):
+        with pytest.raises(ModelError):
+            taskset_from_dict({"format": "repro/taskset-v1"})
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ModelError, match="format"):
+            taskset_from_dict({"format": "other/v9", "tasks": []})
+
+    def test_rejects_bad_time_strings(self):
+        doc = taskset_to_dict(TaskSet.of((1, 2, 3)))
+        doc["tasks"][0]["wcet"] = "not-a-number"
+        with pytest.raises(ModelError):
+            taskset_from_dict(doc)
+
+    def test_rejects_bool_time(self):
+        doc = taskset_to_dict(TaskSet.of((1, 2, 3)))
+        doc["tasks"][0]["wcet"] = True
+        with pytest.raises(ModelError):
+            taskset_from_dict(doc)
+
+    def test_float_times_accepted(self):
+        doc = taskset_to_dict(TaskSet.of((1, 2, 3)))
+        doc["tasks"][0]["wcet"] = 0.5
+        ts = taskset_from_dict(doc)
+        assert ts[0].wcet == Fraction(1, 2)

@@ -1,0 +1,142 @@
+"""Unit tests for the sporadic task model."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import SporadicTask, TaskParameterError, task
+
+
+class TestConstruction:
+    def test_parameters_normalised(self):
+        t = SporadicTask(wcet=2.0, deadline=Fraction(6, 2), period=4)
+        assert t.wcet == 2 and type(t.wcet) is int
+        assert t.deadline == 3 and type(t.deadline) is int
+
+    def test_equality_across_representations(self):
+        assert task(0.5, 1, 2) == task(Fraction(1, 2), 1, 2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(wcet=-1, deadline=1, period=1),
+            dict(wcet=1, deadline=0, period=1),
+            dict(wcet=1, deadline=1, period=0),
+            dict(wcet=1, deadline=1, period=-2),
+            dict(wcet=1, deadline=1, period=1, phase=-1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(TaskParameterError):
+            SporadicTask(**kwargs)
+
+    def test_zero_wcet_allowed(self):
+        assert task(0, 5, 10).utilization == 0
+
+    def test_name_not_part_of_equality(self):
+        assert task(1, 2, 3, name="a") == task(1, 2, 3, name="b")
+
+
+class TestDerivedQuantities:
+    def test_utilization_exact(self):
+        assert task(1, 3, 3).utilization == Fraction(1, 3)
+        assert task(2, 4, 4).utilization == Fraction(1, 2)
+
+    def test_density_uses_min_deadline_period(self):
+        assert task(2, 4, 8).density == Fraction(1, 2)
+        assert task(2, 8, 4).density == Fraction(1, 2)
+
+    def test_laxity_and_gap(self):
+        t = task(2, 6, 10)
+        assert t.laxity == 4
+        assert t.gap == 4
+
+    def test_deadline_classes(self):
+        assert task(1, 5, 5).is_implicit_deadline
+        assert task(1, 4, 5).is_constrained_deadline
+        assert not task(1, 6, 5).is_constrained_deadline
+
+
+class TestDemand:
+    def test_dbf_staircase_hand_computed(self):
+        t = task(2, 6, 10)  # deadlines at 6, 16, 26, ...
+        assert t.dbf(5) == 0
+        assert t.dbf(6) == 2
+        assert t.dbf(15) == 2
+        assert t.dbf(16) == 4
+        assert t.dbf(26) == 6
+
+    def test_dbf_deadline_beyond_period(self):
+        t = task(3, 12, 5)  # deadlines at 12, 17, 22, ...
+        assert t.dbf(11) == 0
+        assert t.dbf(12) == 3
+        assert t.dbf(17) == 6
+
+    def test_rbf(self):
+        t = task(2, 6, 10)
+        assert t.rbf(0) == 0
+        assert t.rbf(1) == 2
+        assert t.rbf(10) == 2
+        assert t.rbf(11) == 4
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_dbf_between_rbf_relationship(self, interval):
+        t = task(3, 4, 7)
+        # Demand by deadline can never exceed demand released.
+        assert t.dbf(interval) <= t.rbf(interval) + t.wcet
+
+    @given(st.integers(min_value=0, max_value=300), st.integers(min_value=0, max_value=300))
+    def test_dbf_monotone(self, a, b):
+        t = task(2, 5, 9)
+        lo, hi = min(a, b), max(a, b)
+        assert t.dbf(lo) <= t.dbf(hi)
+
+
+class TestDeadlines:
+    def test_deadlines_bounded(self):
+        t = task(1, 4, 10)
+        assert list(t.deadlines(30)) == [4, 14, 24]
+
+    def test_job_deadline(self):
+        t = task(1, 4, 10)
+        assert t.job_deadline(0) == 4
+        assert t.job_deadline(3) == 34
+        with pytest.raises(ValueError):
+            t.job_deadline(-1)
+
+    def test_next_deadline_after_lemma5(self):
+        t = task(1, 4, 10)
+        assert t.next_deadline_after(0) == 4
+        assert t.next_deadline_after(4) == 14  # strictly after
+        assert t.next_deadline_after(13) == 14
+        assert t.next_deadline_after(14) == 24
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_next_deadline_is_first_strictly_greater(self, instant):
+        t = task(2, 7, 11)
+        nxt = t.next_deadline_after(instant)
+        assert nxt > instant
+        assert (nxt - t.deadline) % t.period == 0
+        # No deadline lies strictly between instant and nxt.
+        previous = nxt - t.period
+        assert previous <= instant or previous < t.deadline
+
+
+class TestTransformations:
+    def test_scaled_preserves_structure(self):
+        t = task(2, 6, 10, phase=4)
+        s = t.scaled(3)
+        assert (s.wcet, s.deadline, s.period, s.phase) == (6, 18, 30, 12)
+        assert s.utilization == t.utilization
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(TaskParameterError):
+            task(1, 2, 3).scaled(0)
+
+    def test_with_deadline_and_wcet(self):
+        t = task(2, 6, 10, name="x")
+        assert t.with_deadline(8).deadline == 8
+        assert t.with_wcet(1).wcet == 1
+        assert t.with_deadline(8).name == "x"

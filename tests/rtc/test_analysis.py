@@ -1,0 +1,131 @@
+"""Unit tests for the RTC feasibility test and the §3.6 comparison."""
+
+import pytest
+
+from repro.analysis import BoundMethod, feasibility_bound, processor_demand_test
+from repro.analysis.dbf import dbf_points
+from repro.core import superposition_test
+from repro.model import EventStream, EventStreamTask, TaskSet, task
+from repro.result import Verdict
+from repro.rtc import (
+    approximate_arrival_curve,
+    approximation_gap,
+    arrival_staircase,
+    demand_curve,
+    rtc_feasibility_test,
+)
+
+from ..conftest import random_feasible_candidate
+
+
+class TestArrivalCurves:
+    def test_staircase_matches_eta(self):
+        stream = EventStream.burst(count=3, spacing=2, period=20)
+        for x, y in arrival_staircase(stream, 60):
+            assert y == stream.eta(x)
+
+    def test_approximation_dominates_staircase(self):
+        stream = EventStream.burst(count=3, spacing=2, period=20)
+        corners = arrival_staircase(stream, 100)
+        for segments in (2, 3, 4):
+            curve = approximate_arrival_curve(stream, segments, 100)
+            assert curve.segment_count <= segments
+            assert curve.dominates(corners)
+
+    def test_periodic_two_segments_tight_at_corners(self):
+        """Fig. 4a: a periodic stream needs only the burst+rate pair."""
+        stream = EventStream.periodic(10)
+        curve = approximate_arrival_curve(stream, 2, 100)
+        # Exact at the staircase corners (the envelope through corners).
+        for k in range(0, 10):
+            assert curve(10 * k) == k + 1
+
+
+class TestDemandCurve:
+    def test_dominates_dbf_everywhere_in_bound(self, rng):
+        for _ in range(60):
+            ts = random_feasible_candidate(rng)
+            if ts.utilization >= 1:
+                continue
+            bound = feasibility_bound(ts, BoundMethod.BEST)
+            if not bound:
+                continue
+            corners = list(dbf_points(ts, bound))
+            if not corners:
+                continue
+            for segments in (2, 3):
+                assert demand_curve(ts, segments, bound).dominates(corners)
+
+
+class TestRtcTest:
+    def test_sound(self, rng):
+        """RTC acceptance implies exact feasibility — for any segment
+        budget (the approximation only over-estimates demand)."""
+        accepted = 0
+        for _ in range(250):
+            ts = random_feasible_candidate(rng)
+            exact = processor_demand_test(ts).is_feasible
+            for segments in (2, 3):
+                if rtc_feasibility_test(ts, segments).is_feasible:
+                    accepted += 1
+                    assert exact, ts.summary()
+        assert accepted > 100
+
+    def test_more_segments_accept_no_less(self, rng):
+        for _ in range(150):
+            ts = random_feasible_candidate(rng)
+            if rtc_feasibility_test(ts, 2).is_feasible:
+                assert rtc_feasibility_test(ts, 4).is_feasible, ts.summary()
+
+    def test_rejection_is_unknown(self):
+        ts = TaskSet.of((4, 8, 40), (6, 21, 60), (11, 51, 100))
+        r = rtc_feasibility_test(ts, 2)
+        if not r.is_feasible:
+            assert r.verdict is Verdict.UNKNOWN
+
+    def test_overload(self):
+        assert rtc_feasibility_test(TaskSet.of((3, 2, 2))).verdict is Verdict.INFEASIBLE
+
+    def test_single_periodic_task_two_segments_equals_superpos1(self, rng):
+        """Paper §3.6: on one periodic task the 2-segment RTC
+        approximation and the SuperPos(1)/Devi envelope coincide, so the
+        verdicts must match."""
+        for _ in range(100):
+            period = rng.randint(2, 30)
+            wcet = rng.randint(1, period)
+            deadline = rng.randint(1, period)
+            ts = TaskSet.of((wcet, deadline, period))
+            assert (
+                rtc_feasibility_test(ts, 2).is_feasible
+                == superposition_test(ts, 1).is_feasible
+            ), ts.summary()
+
+
+class TestApproximationGap:
+    def test_errors_nonnegative(self, simple_taskset):
+        stats = approximation_gap(simple_taskset, 3, 100)
+        assert stats["rtc_max"] >= stats["rtc_mean"] >= 0
+        assert stats["envelope_max"] >= stats["envelope_mean"] >= 0
+
+    def test_burstier_systems_need_more_segments(self):
+        """Fig. 4b's point: with bursts, 2 segments overestimate more
+        than 3."""
+        system = [
+            EventStreamTask(
+                stream=EventStream.burst(count=4, spacing=2, period=50),
+                wcet=3,
+                deadline=6,
+            )
+        ]
+        two = approximation_gap(system, 2, 200)
+        three = approximation_gap(system, 3, 200)
+        assert three["rtc_mean"] <= two["rtc_mean"]
+
+    def test_empty_horizon(self):
+        stats = approximation_gap(TaskSet.of((1, 50, 50)), 2, 10)
+        assert stats == {
+            "rtc_max": 0.0,
+            "rtc_mean": 0.0,
+            "envelope_max": 0.0,
+            "envelope_mean": 0.0,
+        }

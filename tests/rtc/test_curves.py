@@ -1,0 +1,139 @@
+"""Unit tests for the piecewise-linear curve algebra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.rtc import (
+    MinOfLinesCurve,
+    PiecewiseLinearCurve,
+    hull_lines,
+    reduce_lines,
+    upper_hull,
+)
+
+
+class TestPiecewiseLinearCurve:
+    def test_evaluation(self):
+        c = PiecewiseLinearCurve.from_points([(2, 1), (4, 5)], final_slope=2)
+        assert c(1) == 0        # before first breakpoint
+        assert c(2) == 1
+        assert c(3) == 3        # interpolation
+        assert c(4) == 5
+        assert c(6) == 9        # final ray
+
+    def test_plus(self):
+        a = PiecewiseLinearCurve.from_points([(0, 0), (2, 2)], final_slope=1)
+        b = PiecewiseLinearCurve.from_points([(1, 3)], final_slope=0)
+        s = a.plus(b)
+        assert s(2) == a(2) + b(2)
+        assert s(10) == a(10) + b(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCurve.from_points([], final_slope=1)
+        with pytest.raises(ValueError):
+            PiecewiseLinearCurve.from_points([(2, 1), (2, 3)], final_slope=1)
+
+    def test_dominates(self):
+        c = PiecewiseLinearCurve.from_points([(0, 1)], final_slope=1)
+        assert c.dominates([(0, 1), (3, 4)])
+        assert not c.dominates([(1, 3)])
+
+
+class TestMinOfLines:
+    def test_evaluation_with_start_cutoff(self):
+        c = MinOfLinesCurve(lines=((4, 1), (0, 2)), start=3)
+        assert c(2) == 0            # before start
+        assert c(3) == 6            # min(7, 6)
+        assert c(10) == 14          # min(14, 20)
+
+    def test_negative_clip(self):
+        c = MinOfLinesCurve(lines=((-5, 1),), start=0)
+        assert c(2) == 0
+        assert c(7) == 2
+
+    def test_without_moves_up(self):
+        c = MinOfLinesCurve(lines=((4, 1), (0, 2)), start=0)
+        reduced = c.without(0)
+        for x in range(0, 20):
+            assert reduced(x) >= c(x)
+
+    def test_cannot_remove_last_line(self):
+        with pytest.raises(ValueError):
+            MinOfLinesCurve(lines=((1, 1),)).without(0)
+
+    def test_breakpoint_candidates_include_intersections(self):
+        c = MinOfLinesCurve(lines=((4, 1), (0, 2)), start=0)
+        assert 4 in c.breakpoint_candidates()  # 4 + x = 2x at x=4
+
+
+class TestUpperHull:
+    def test_dominates_input(self):
+        points = [(3, 1), (7, 6), (10, 7), (11, 12), (13, 14), (19, 15), (23, 20)]
+        hull = upper_hull(points)
+        curve = PiecewiseLinearCurve.from_points(hull, final_slope=0)
+        for x, y in points:
+            assert curve(x) >= y
+
+    def test_concave_slopes(self):
+        points = [(1, 1), (2, 3), (3, 4), (5, 9), (8, 10)]
+        hull = upper_hull(points)
+        slopes = [
+            Fraction(y1 - y0, x1 - x0)
+            for (x0, y0), (x1, y1) in zip(hull, hull[1:])
+        ]
+        assert all(a >= b for a, b in zip(slopes, slopes[1:]))
+
+    def test_keeps_extremes(self):
+        points = [(1, 1), (2, 5), (3, 6)]
+        hull = upper_hull(points)
+        assert hull[0] == (1, 1)
+        assert hull[-1] == (3, 6)
+
+
+class TestHullLines:
+    def test_min_of_lines_equals_hull_on_range(self):
+        points = [(3, 1), (11, 12), (13, 14), (23, 20)]
+        curve = hull_lines(points, final_slope=Fraction(1, 2), start=3)
+        pwl = PiecewiseLinearCurve.from_points(points, final_slope=Fraction(1, 2))
+        for x in range(3, 24):
+            assert curve(x) >= pwl(x) - 0  # dominates
+            # and is tight at hull corners:
+        for x, y in points:
+            assert curve(x) == y
+
+    def test_steep_final_ray_does_not_undercut(self):
+        """Regression: a rate ray steeper than the last hull segment must
+        not dip below earlier corners (the bug found during Section 3.6
+        validation)."""
+        points = [(3, 1), (11, 12), (13, 14), (23, 20), (29, 23)]
+        curve = hull_lines(points, final_slope=Fraction(87, 112), start=3)
+        for x, y in points:
+            assert curve(x) >= y
+
+
+class TestReduceLines:
+    def test_still_dominates_after_reduction(self):
+        points = [(2, 2), (5, 6), (9, 8), (14, 13), (20, 15)]
+        hull = upper_hull(points)
+        curve = hull_lines(hull, final_slope=Fraction(1, 2), start=2)
+        for k in (3, 2, 1):
+            reduced = reduce_lines(curve, k, points)
+            assert reduced.segment_count <= k
+            for x, y in points:
+                assert reduced(x) >= y
+
+    def test_more_segments_never_worse(self):
+        points = [(2, 2), (5, 6), (9, 8), (14, 13), (20, 15)]
+        hull = upper_hull(points)
+        curve = hull_lines(hull, final_slope=Fraction(1, 2), start=2)
+        two = reduce_lines(curve, 2, points)
+        three = reduce_lines(curve, 3, points)
+        for x in range(2, 25):
+            assert three(x) <= two(x)
+
+    def test_validation(self):
+        c = MinOfLinesCurve(lines=((1, 1),))
+        with pytest.raises(ValueError):
+            reduce_lines(c, 0, [(1, 1)])

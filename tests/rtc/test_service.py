@@ -1,0 +1,26 @@
+"""Unit tests for service curves."""
+
+import pytest
+
+from repro.rtc import ServiceCurve, bounded_delay, full_processor
+
+
+class TestServiceCurve:
+    def test_full_processor_is_bisecting_line(self):
+        beta = full_processor()
+        for x in (0, 1, 7, 100):
+            assert beta(x) == x
+
+    def test_rate_latency(self):
+        beta = bounded_delay(rate=0.5, delay=4)
+        assert beta(2) == 0
+        assert beta(4) == 0
+        assert beta(8) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceCurve(rate=0)
+        with pytest.raises(ValueError):
+            ServiceCurve(rate=1.5)
+        with pytest.raises(ValueError):
+            ServiceCurve(rate=1, delay=-1)

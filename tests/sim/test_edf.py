@@ -1,0 +1,98 @@
+"""Unit tests for the preemptive EDF dispatcher."""
+
+from fractions import Fraction
+
+from repro.model import TaskSet, task
+from repro.sim import releases_for_taskset, simulate_edf
+
+
+def run(ts: TaskSet, horizon):
+    trace = simulate_edf(releases_for_taskset(ts, horizon))
+    trace.validate()
+    return trace
+
+
+class TestSchedulingOrder:
+    def test_earliest_deadline_runs_first(self):
+        ts = TaskSet.of((2, 10, 20), (2, 5, 20))
+        trace = run(ts, 20)
+        # Task 1 (deadline 5) must execute before task 0.
+        assert trace.segments[0].task_index == 1
+        assert trace.segments[1].task_index == 0
+
+    def test_preemption_on_earlier_deadline_arrival(self):
+        # Long job starts, short-deadline job arrives and preempts.
+        ts = TaskSet([task(6, 20, 50), task(1, 2, 7, phase=2)])
+        trace = simulate_edf(releases_for_taskset(ts, 20, synchronous=False))
+        trace.validate()
+        by_task = [(s.task_index, s.start, s.end) for s in trace.segments]
+        assert by_task[0] == (0, 0, 2)      # long job runs first
+        assert by_task[1] == (1, 2, 3)      # preempted by short deadline
+        assert by_task[2][0] == 0           # long job resumes
+
+    def test_deterministic_tie_break(self):
+        ts = TaskSet.of((1, 10, 10), (1, 10, 10))
+        trace = run(ts, 10)
+        assert [s.task_index for s in trace.segments] == [0, 1]
+
+    def test_idle_gap(self):
+        ts = TaskSet([task(1, 2, 10, phase=5)])
+        trace = simulate_edf(releases_for_taskset(ts, 10, synchronous=False))
+        trace.validate()
+        assert trace.segments[0].start == 5
+        assert trace.idle_time == 9
+
+
+class TestMissDetection:
+    def test_miss_recorded_at_deadline(self):
+        ts = TaskSet.of((2, 1, 10))  # C > D: certain miss
+        trace = run(ts, 10)
+        assert not trace.feasible
+        miss = trace.misses[0]
+        assert miss.deadline == 1
+
+    def test_completion_exactly_at_deadline_ok(self):
+        ts = TaskSet.of((3, 3, 10))
+        trace = run(ts, 10)
+        assert trace.feasible
+
+    def test_miss_of_non_running_job_detected(self):
+        # Two units of demand due at 1: one job must miss.
+        ts = TaskSet.of((1, 1, 10), (1, 1, 10))
+        trace = run(ts, 10)
+        assert len(trace.misses) == 1
+
+    def test_deadline_beyond_horizon_not_judged(self):
+        ts = TaskSet.of((5, 100, 100))
+        trace = run(ts, 10)
+        assert trace.feasible  # deadline at 100 outside window
+
+    def test_stop_on_first_miss(self):
+        ts = TaskSet.of((2, 1, 3))
+        plan = releases_for_taskset(ts, 30)
+        trace = simulate_edf(plan, stop_on_first_miss=True)
+        assert len(trace.misses) >= 1
+
+
+class TestAccounting:
+    def test_busy_plus_idle_equals_horizon(self, rng):
+        from ..conftest import random_feasible_candidate
+        for _ in range(50):
+            ts = random_feasible_candidate(rng, max_tasks=4, max_period=15)
+            trace = run(ts, 40)
+            assert trace.busy_time + trace.idle_time == 40
+
+    def test_response_times(self):
+        ts = TaskSet.of((2, 10, 10), (3, 9, 15))
+        trace = run(ts, 15)
+        rts = trace.response_times()
+        assert rts[(1, 0)] == 3   # earliest deadline runs first
+        assert rts[(0, 0)] == 5
+        assert trace.worst_response_time(0) == 5
+        assert trace.worst_response_time(9) is None
+
+    def test_fraction_parameters(self):
+        ts = TaskSet([task(Fraction(1, 2), 1, Fraction(3, 2))])
+        trace = run(ts, 6)
+        assert trace.feasible
+        assert trace.busy_time == 2

@@ -1,0 +1,67 @@
+"""Unit tests for release-plan construction."""
+
+import pytest
+
+from repro.model import EventStream, EventStreamTask, TaskSet, task
+from repro.sim import ReleasePlan, releases_for_system, releases_for_taskset
+
+
+class TestTasksetPlans:
+    def test_synchronous_releases(self):
+        ts = TaskSet.of((1, 4, 10), (2, 5, 6))
+        plan = releases_for_taskset(ts, 20)
+        releases = [(j.task_index, j.release) for j in plan.jobs]
+        assert releases == [(0, 0), (1, 0), (1, 6), (0, 10), (1, 12), (1, 18)]
+
+    def test_release_at_horizon_excluded(self):
+        ts = TaskSet.of((1, 4, 10))
+        plan = releases_for_taskset(ts, 10)
+        assert len(plan.jobs) == 1  # job at 10 excluded
+
+    def test_phases_honoured_when_not_synchronous(self):
+        ts = TaskSet([task(1, 4, 10, phase=3)])
+        plan = releases_for_taskset(ts, 25, synchronous=False)
+        assert [j.release for j in plan.jobs] == [3, 13, 23]
+
+    def test_synchronous_overrides_phase(self):
+        ts = TaskSet([task(1, 4, 10, phase=3)])
+        plan = releases_for_taskset(ts, 25, synchronous=True)
+        assert [j.release for j in plan.jobs] == [0, 10, 20]
+
+    def test_zero_cost_tasks_skipped(self):
+        plan = releases_for_taskset(TaskSet.of((0, 5, 5)), 20)
+        assert len(plan.jobs) == 0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            releases_for_taskset(TaskSet.of((1, 2, 3)), 0)
+
+    def test_plan_validates_ordering(self):
+        from repro.model import Job
+        good = Job.released(0, 0, 0, 4, 1)
+        late = Job.released(0, 1, 5, 4, 1)
+        ReleasePlan(jobs=(good, late), horizon=10)
+        with pytest.raises(ValueError):
+            ReleasePlan(jobs=(late, good), horizon=10)
+
+
+class TestSystemPlans:
+    def test_event_stream_releases_at_element_offsets(self):
+        est = EventStreamTask(
+            stream=EventStream.burst(count=2, spacing=3, period=20),
+            wcet=1,
+            deadline=5,
+        )
+        plan = releases_for_system([est], 25)
+        assert [j.release for j in plan.jobs] == [0, 3, 20, 23]
+        assert [j.absolute_deadline for j in plan.jobs] == [5, 8, 25, 28]
+
+    def test_mixed_system(self):
+        est = EventStreamTask(stream=EventStream.periodic(10), wcet=1, deadline=5)
+        plan = releases_for_system([est, task(2, 6, 8)], 16)
+        indices = {j.task_index for j in plan.jobs}
+        assert indices == {0, 1}
+
+    def test_rejects_unknown_entries(self):
+        with pytest.raises(TypeError):
+            releases_for_system([42], 10)  # type: ignore[list-item]

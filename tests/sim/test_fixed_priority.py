@@ -1,0 +1,91 @@
+"""Unit tests for the fixed-priority dispatcher and EDF optimality."""
+
+from repro.analysis import processor_demand_test
+from repro.model import TaskSet
+from repro.sim import (
+    deadline_monotonic_priorities,
+    releases_for_taskset,
+    simulate_edf,
+    simulate_fixed_priority,
+)
+from repro.analysis import synchronous_busy_period
+
+from ..conftest import random_feasible_candidate
+
+
+def dm_schedulable(ts: TaskSet) -> bool:
+    horizon = synchronous_busy_period(ts)
+    if horizon is None:
+        return False
+    if horizon == 0:
+        return True
+    plan = releases_for_taskset(ts, horizon)
+    trace = simulate_fixed_priority(
+        plan, deadline_monotonic_priorities(ts), stop_on_first_miss=True
+    )
+    return trace.feasible
+
+
+class TestPriorities:
+    def test_deadline_monotonic_ordering(self):
+        ts = TaskSet.of((1, 9, 10), (1, 3, 10), (1, 6, 10))
+        assert deadline_monotonic_priorities(ts) == [2, 0, 1]
+
+    def test_deterministic_tie(self):
+        ts = TaskSet.of((1, 5, 10), (1, 5, 10))
+        assert deadline_monotonic_priorities(ts) == [0, 1]
+
+
+class TestDispatcher:
+    def test_static_priority_wins_regardless_of_deadline(self):
+        # Task 0 has the shorter deadline -> higher DM priority, and it
+        # preempts task 1 at every release.
+        ts = TaskSet.of((2, 4, 5), (4, 15, 15))
+        plan = releases_for_taskset(ts, 15)
+        trace = simulate_fixed_priority(plan, deadline_monotonic_priorities(ts))
+        trace.validate()
+        assert trace.segments[0].task_index == 0
+        starts = [s for s in trace.segments if s.task_index == 0]
+        assert [s.start for s in starts] == [0, 5, 10]
+
+    def test_trace_validates(self, rng):
+        for _ in range(50):
+            ts = random_feasible_candidate(rng, max_tasks=4, max_period=15)
+            plan = releases_for_taskset(ts, 40)
+            trace = simulate_fixed_priority(plan, deadline_monotonic_priorities(ts))
+            trace.validate()
+
+
+class TestEdfOptimality:
+    """The claim the paper leans on: EDF schedules everything feasible."""
+
+    def test_dm_never_beats_edf(self, rng):
+        for _ in range(200):
+            ts = random_feasible_candidate(rng, max_tasks=4, max_period=15)
+            if dm_schedulable(ts):
+                assert processor_demand_test(ts).is_feasible, ts.summary()
+
+    def test_edf_strictly_dominates_on_a_witness(self):
+        """A classic set: EDF-feasible, DM-infeasible."""
+        # Leung/Whitehead-style example; verified by both simulators.
+        ts = TaskSet.of((2, 5, 5), (4, 7, 7))
+        assert processor_demand_test(ts).is_feasible  # U = 0.971..., EDF ok
+        assert not dm_schedulable(ts)
+
+    def test_existence_of_gap_in_random_population(self, rng):
+        """EDF-feasible but DM-unschedulable sets exist in the wild —
+        concentrated at high utilization, so sample there."""
+        from repro.generation import generate_taskset
+
+        edf_only = 0
+        for seed in range(120):
+            ts = generate_taskset(
+                n=3,
+                utilization=0.97,
+                period_range=(5, 40),
+                gap=(0.0, 0.2),
+                seed=seed,
+            )
+            if processor_demand_test(ts).is_feasible and not dm_schedulable(ts):
+                edf_only += 1
+        assert edf_only >= 3  # the gap is real and not rare

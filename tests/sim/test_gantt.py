@@ -1,0 +1,60 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.model import TaskSet
+from repro.sim import releases_for_taskset, render_gantt, simulate_edf
+
+
+def trace_for(ts: TaskSet, horizon: int):
+    return simulate_edf(releases_for_taskset(ts, horizon))
+
+
+class TestRenderGantt:
+    def test_execution_cells_marked(self):
+        ts = TaskSet.of((2, 10, 10))
+        text = render_gantt(trace_for(ts, 10), ts)
+        row = [line for line in text.splitlines() if "|" in line][0]
+        cells = row.split("|")[1]
+        assert cells.startswith("##")
+        assert "#" not in cells[2:]
+
+    def test_waiting_cells_marked(self):
+        # Task 1 waits while task 0 (earlier deadline) executes.
+        ts = TaskSet.of((2, 4, 10), (2, 8, 10))
+        text = render_gantt(trace_for(ts, 10), ts)
+        rows = [line for line in text.splitlines() if "|" in line]
+        second = rows[1].split("|")[1]
+        assert second[0] == "."  # released, not yet running
+        assert "#" in second
+
+    def test_miss_marked(self):
+        ts = TaskSet.of((2, 1, 10))
+        text = render_gantt(trace_for(ts, 10), ts)
+        assert "!" in text
+
+    def test_labels_from_taskset(self):
+        ts = TaskSet([TaskSet.of((1, 5, 5))[0].__class__(
+            wcet=1, deadline=5, period=5, name="sensor")])
+        text = render_gantt(trace_for(ts, 5), ts)
+        assert "sensor" in text
+
+    def test_truncation_notice(self):
+        ts = TaskSet.of((1, 5, 5))
+        text = render_gantt(trace_for(ts, 500), ts, width=20)
+        assert "truncated" in text
+
+    def test_cell_scaling(self):
+        ts = TaskSet.of((10, 50, 50))
+        text = render_gantt(trace_for(ts, 100), ts, cell=10)
+        row = [line for line in text.splitlines() if "|" in line][0]
+        assert row.split("|")[1].startswith("#")
+
+    def test_validation(self):
+        ts = TaskSet.of((1, 5, 5))
+        with pytest.raises(ValueError):
+            render_gantt(trace_for(ts, 5), ts, cell=0)
+
+    def test_empty_trace(self):
+        from repro.sim import SimulationTrace
+        assert "empty" in render_gantt(SimulationTrace(horizon=10))

@@ -1,0 +1,57 @@
+"""Unit tests for the simulation feasibility oracle."""
+
+from repro.analysis import processor_demand_test
+from repro.model import EventStream, EventStreamTask, TaskSet, task
+from repro.result import Verdict
+from repro.sim import simulate_feasibility
+
+from ..conftest import random_feasible_candidate
+
+
+class TestOracle:
+    def test_feasible(self, simple_taskset):
+        assert simulate_feasibility(simple_taskset).verdict is Verdict.FEASIBLE
+
+    def test_infeasible_names_missed_deadline(self, infeasible_taskset):
+        r = simulate_feasibility(infeasible_taskset)
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.witness is not None
+        assert r.witness.interval == 1
+
+    def test_overload_short_circuits(self):
+        r = simulate_feasibility(TaskSet.of((3, 2, 2)))
+        assert r.verdict is Verdict.INFEASIBLE
+        assert r.iterations == 0
+
+    def test_horizon_override(self, simple_taskset):
+        r = simulate_feasibility(simple_taskset, horizon=100)
+        assert r.verdict is Verdict.FEASIBLE
+        assert r.bound == 100
+
+    def test_zero_cost_system(self):
+        assert simulate_feasibility(TaskSet.of((0, 5, 5))).verdict is Verdict.FEASIBLE
+
+    def test_event_stream_system(self):
+        system = [
+            EventStreamTask(
+                stream=EventStream.burst(count=3, spacing=2, period=30),
+                wcet=2,
+                deadline=8,
+            ),
+            task(5, 15, 20),
+        ]
+        r = simulate_feasibility(system)
+        from repro.model import as_components
+        assert r.is_feasible == processor_demand_test(as_components(system)).is_feasible
+
+    def test_agreement_with_analysis(self, rng):
+        """The central soundness check: simulation == analysis."""
+        feasible = infeasible = 0
+        for _ in range(300):
+            ts = random_feasible_candidate(rng, max_tasks=4, max_period=20)
+            analytic = processor_demand_test(ts).is_feasible
+            simulated = simulate_feasibility(ts).is_feasible
+            assert analytic == simulated, ts.summary()
+            feasible += analytic
+            infeasible += not analytic
+        assert feasible > 30 and infeasible > 30

@@ -1,0 +1,65 @@
+"""Unit tests for trace structures and their self-checks."""
+
+import pytest
+
+from repro.model import Job
+from repro.sim import DeadlineMiss, ExecutionSegment, SimulationTrace
+
+
+class TestSegments:
+    def test_rejects_empty_segment(self):
+        with pytest.raises(ValueError):
+            ExecutionSegment(start=5, end=5, task_index=0, job_index=0)
+
+    def test_length(self):
+        assert ExecutionSegment(start=2, end=7, task_index=0, job_index=0).length == 5
+
+
+class TestValidate:
+    def _job(self, wcet=2, remaining=0, completion=2):
+        j = Job.released(0, 0, release=0, deadline=10, wcet=wcet)
+        j.remaining = remaining
+        j.completion = completion
+        return j
+
+    def test_accepts_consistent_trace(self):
+        trace = SimulationTrace(
+            horizon=10,
+            segments=[ExecutionSegment(0, 2, 0, 0)],
+            jobs=[self._job()],
+        )
+        trace.validate()
+
+    def test_rejects_overlapping_segments(self):
+        trace = SimulationTrace(
+            horizon=10,
+            segments=[ExecutionSegment(0, 3, 0, 0), ExecutionSegment(2, 4, 1, 0)],
+            jobs=[],
+        )
+        with pytest.raises(AssertionError, match="overlap"):
+            trace.validate()
+
+    def test_rejects_over_execution(self):
+        trace = SimulationTrace(
+            horizon=10,
+            segments=[ExecutionSegment(0, 5, 0, 0)],
+            jobs=[self._job(wcet=2, remaining=0, completion=5)],
+        )
+        with pytest.raises(AssertionError, match="over-executed"):
+            trace.validate()
+
+    def test_rejects_incomplete_marked_complete(self):
+        job = self._job(wcet=4, remaining=0, completion=2)
+        trace = SimulationTrace(
+            horizon=10,
+            segments=[ExecutionSegment(0, 2, 0, 0)],
+            jobs=[job],
+        )
+        with pytest.raises(AssertionError):
+            trace.validate()
+
+    def test_feasible_flag(self):
+        trace = SimulationTrace(horizon=5)
+        assert trace.feasible
+        trace.misses.append(DeadlineMiss(0, 0, deadline=3, completion=None))
+        assert not trace.feasible
