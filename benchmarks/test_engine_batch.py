@@ -1,0 +1,120 @@
+"""Engine benchmark: batched analysis vs. the sequential seed path.
+
+The acceptance bar for the engine refactor: running the paper battery
+over ≥100 task sets through :class:`~repro.engine.batch.BatchRunner`
+must be no slower than the seed's sequential loop (direct function
+calls, one test at a time).  Both paths start from a cold context cache
+so neither inherits the other's preflight work; the batch path then
+amortizes normalization and bound resolution across the battery, which
+is where it wins back its dispatch overhead.
+"""
+
+import random
+import time
+
+from repro.analysis import processor_demand_test
+from repro.analysis.bounds import BoundMethod
+from repro.analysis.devi import devi_test
+from repro.core import all_approx_test, dynamic_test
+from repro.engine import AnalysisRequest, BatchRunner, clear_context_cache
+from repro.experiments import ascii_table
+from repro.generation import GeneratorConfig, TaskSetGenerator
+
+SET_COUNT = 120
+
+
+def _population(count=SET_COUNT, seed=20050307):
+    rng = random.Random(seed)
+    sets = []
+    for _ in range(count):
+        gen = TaskSetGenerator(
+            GeneratorConfig(
+                tasks=(5, 40),
+                utilization=(0.85, 0.97),
+                period_range=(1_000, 100_000),
+                gap=(0.1, 0.4),
+            ),
+            seed=rng.randrange(2**32),
+        )
+        sets.append(gen.one())
+    return sets
+
+
+_BATTERY = [
+    ("devi", {}),
+    ("dynamic", {}),
+    ("all-approx", {}),
+    ("processor-demand", {"bound_method": BoundMethod.BARUAH}),
+]
+
+
+def _sequential_seed_path(sets):
+    """The pre-engine execution shape: direct calls, one at a time."""
+    results = []
+    for ts in sets:
+        results.append(devi_test(ts))
+        results.append(dynamic_test(ts))
+        results.append(all_approx_test(ts))
+        results.append(processor_demand_test(ts, bound_method=BoundMethod.BARUAH))
+    return results
+
+
+def _engine_batch(sets, jobs=1):
+    runner = BatchRunner(jobs=jobs)
+    return runner.run(
+        AnalysisRequest(source=ts, test=test, options=options)
+        for ts in sets
+        for test, options in _BATTERY
+    )
+
+
+def _timed(fn, *args):
+    clear_context_cache()
+    start = time.perf_counter()
+    out = fn(*args)
+    return time.perf_counter() - start, out
+
+
+def test_batch_not_slower_than_sequential(benchmark):
+    sets = _population()
+    assert len(sets) >= 100
+
+    # Warm-up outside the measurement: JIT-free Python, but the first
+    # pass pays import and allocator effects both paths share.
+    _timed(_sequential_seed_path, sets[:5])
+    _timed(_engine_batch, sets[:5])
+
+    seq_time, seq_results = _timed(_sequential_seed_path, sets)
+    batch_time, batch_results = benchmark.pedantic(
+        lambda: _timed(_engine_batch, sets), rounds=1, iterations=1
+    )
+
+    print(
+        "\n"
+        + ascii_table(
+            headers=["path", "seconds", "sets/s"],
+            rows=[
+                ["sequential (seed shape)", f"{seq_time:.3f}",
+                 f"{len(sets) / seq_time:.1f}"],
+                ["engine batch (jobs=1)", f"{batch_time:.3f}",
+                 f"{len(sets) / batch_time:.1f}"],
+            ],
+            title=f"Batch analysis of {len(sets)} task sets × {len(_BATTERY)} tests",
+        )
+    )
+
+    # Identical work, identical results.
+    assert batch_results == seq_results
+    # The engine path must not regress the seed path; allow a small
+    # scheduling-noise margin on top of strict parity.
+    assert batch_time <= seq_time * 1.10 + 0.05, (
+        f"batch path slower than sequential: {batch_time:.3f}s vs {seq_time:.3f}s"
+    )
+
+
+def test_parallel_batch_matches_sequential_results():
+    """Multiprocess execution is a pure scheduling change."""
+    sets = _population(count=30, seed=99)
+    sequential = _engine_batch(sets, jobs=1)
+    parallel = _engine_batch(sets, jobs=2)
+    assert parallel == sequential

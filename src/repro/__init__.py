@@ -10,16 +10,28 @@ evaluation needs — random task-set generation after Bini, literature
 example sets, an EDF simulation oracle, and the experiment harness that
 regenerates every figure and table.
 
+Every analysis flows through the **engine** (:mod:`repro.engine`): a
+registry of feasibility tests invocable by name, a shared preflight
+pipeline that normalizes and caches per-system work, and a batch runner
+that fans analysis out over worker processes.
+
 Quickstart::
 
     from repro import TaskSet, analyze
 
     gamma = TaskSet.of((2, 6, 10), (3, 11, 16), (5, 25, 25))
-    result = analyze(gamma)            # All-Approximated exact test
+    result = analyze(gamma)                      # All-Approximated exact test
     print(result.verdict, result.iterations)
 
-See ``examples/`` for richer scenarios and ``EXPERIMENTS.md`` for the
-paper-versus-measured record.
+    analyze(gamma, "dynamic")                    # any registered test by name
+    analyze(gamma, "superpos", level=3)          # with validated options
+    analyze(gamma, "processor-demand", bound_method="best")
+
+    from repro import BatchRunner                # many sets at once
+    results = BatchRunner().map(thousands_of_sets, test="dynamic")
+
+See ``examples/`` for richer scenarios, ``README.md`` for the engine
+API, and ``EXPERIMENTS.md`` for the paper-versus-measured record.
 """
 
 from __future__ import annotations
@@ -70,12 +82,25 @@ from .model import (
     load_taskset,
     task,
 )
+from .engine import (
+    AnalysisContext,
+    AnalysisRequest,
+    BatchRunner,
+    TestDefinition,
+    TestKind,
+    TestRegistry,
+    default_registry,
+)
+from .engine import analyze as _engine_analyze
 from .model.components import DemandSource
 from .result import FailureWitness, FeasibilityResult, Verdict
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-#: Registry of every feasibility test exposed by :func:`analyze`.
+#: Legacy mapping of test names to their direct entry points.  New code
+#: should go through :func:`analyze` / :func:`repro.engine.analyze`,
+#: which resolve the same tests (plus ``superpos`` and ``rtc``) from the
+#: engine registry with option validation.
 TESTS = {
     "all-approx": all_approx_test,
     "dynamic": dynamic_test,
@@ -90,44 +115,56 @@ def analyze(
     source: DemandSource,
     method: str = "all-approx",
     level: Optional[int] = None,
+    **options,
 ) -> FeasibilityResult:
     """Run a feasibility test by name — the one-call entry point.
+
+    Dispatches through the engine registry
+    (:func:`repro.engine.analyze`), so every registered test — including
+    extensions registered at runtime — is reachable and its options are
+    validated against the test's schema.
 
     Args:
         source: a :class:`TaskSet`, a sequence of tasks or event-stream
             tasks, or raw demand components.
-        method: one of ``"all-approx"`` (default; the paper's strongest
-            test), ``"dynamic"``, ``"processor-demand"``, ``"qpa"``,
-            ``"devi"``, ``"liu-layland"``, or ``"superpos"``.
+        method: a registered test name: ``"all-approx"`` (default; the
+            paper's strongest test), ``"dynamic"``,
+            ``"processor-demand"``, ``"qpa"``, ``"devi"``,
+            ``"liu-layland"``, ``"superpos"``, ``"rtc"``, ...
         level: approximation level, required for ``method="superpos"``.
+        **options: further test options (e.g. ``bound_method=``,
+            ``revision_policy=``), validated by the registry.
 
     Returns:
         The test's :class:`FeasibilityResult`.
 
     Raises:
-        ValueError: for an unknown method name, or a missing/extra
-            ``level`` argument.
+        ValueError: for an unknown method name, an unknown or invalid
+            option, or a missing/extra ``level`` argument.
     """
     if method == "superpos":
         if level is None:
             raise ValueError('method "superpos" requires a level')
-        return superposition_test(source, level)
+        return _engine_analyze(source, method, level=level, **options)
     if level is not None:
         raise ValueError(
             f'level is only meaningful for method "superpos", not {method!r}'
         )
-    try:
-        test = TESTS[method]
-    except KeyError:
-        known = ", ".join(sorted(TESTS) + ["superpos"])
-        raise ValueError(f"unknown method {method!r}; available: {known}") from None
-    return test(source)
+    return _engine_analyze(source, method, **options)
 
 
 __all__ = [
     "analyze",
     "TESTS",
     "__version__",
+    # engine
+    "AnalysisContext",
+    "AnalysisRequest",
+    "BatchRunner",
+    "TestDefinition",
+    "TestKind",
+    "TestRegistry",
+    "default_registry",
     # models
     "SporadicTask",
     "task",

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..model.components import DemandSource, as_components, total_utilization
+from ..engine.context import preflight
+from ..model.components import DemandSource
 from ..result import FailureWitness, FeasibilityResult, Verdict
 
 __all__ = ["devi_test"]
@@ -37,15 +38,13 @@ def devi_test(source: DemandSource) -> FeasibilityResult:
     One-shot components (from event-stream bursts) are handled with zero
     rate and full slack-less demand, the natural generalisation.
     """
-    components = as_components(source)
-    u = total_utilization(components)
-    if u > 1:
-        return FeasibilityResult(
-            verdict=Verdict.INFEASIBLE,
-            test_name="devi",
-            iterations=1,
-            details={"utilization": u},
-        )
+    ctx, early = preflight(
+        source, "devi", overload_iterations=1, overload_reason=None
+    )
+    if early is not None:
+        return early
+    components = ctx.components
+    u = ctx.utilization
     ordered = sorted(
         components, key=lambda c: (c.first_deadline, c.period or 0, c.wcet)
     )

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..model.components import DemandSource, as_components, total_utilization
+from ..engine.context import preflight
+from ..model.components import DemandSource
 from ..model.numeric import ExactTime, Time, to_exact
 from ..result import FailureWitness, FeasibilityResult, Verdict
-from .bounds import BoundMethod, feasibility_bound
+from .bounds import BoundMethod
 from .intervals import IntervalQueue
 
 __all__ = ["processor_demand_test"]
@@ -45,20 +46,16 @@ def processor_demand_test(
         A :class:`FeasibilityResult` with an exact verdict; on
         INFEASIBLE the witness carries the true ``dbf`` overflow.
     """
-    components = as_components(source)
     name = "processor-demand"
-    u = total_utilization(components)
-    if u > 1:
-        return FeasibilityResult(
-            verdict=Verdict.INFEASIBLE,
-            test_name=name,
-            iterations=0,
-            details={"utilization": u, "reason": "U > 1"},
-        )
+    ctx, early = preflight(source, name)
+    if early is not None:
+        return early
+    components = ctx.components
+    u = ctx.utilization
     if max_interval is not None:
         bound: Optional[ExactTime] = to_exact(max_interval)
     else:
-        bound = feasibility_bound(components, bound_method)
+        bound = ctx.bound(bound_method)
     if bound is None:  # pragma: no cover - U > 1 handled above
         raise AssertionError("no finite bound despite U <= 1")
 

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..model.components import DemandSource, as_components, total_utilization
+from ..engine.context import preflight
+from ..model.components import DemandSource
 from ..model.numeric import ExactTime
 from ..result import FailureWitness, FeasibilityResult, Verdict
-from .bounds import BoundMethod, feasibility_bound
-from .dbf import dbf
+from .bounds import BoundMethod
 
 __all__ = ["qpa_test"]
 
@@ -56,24 +56,20 @@ def qpa_test(
     source: DemandSource, bound_method: BoundMethod = BoundMethod.BEST
 ) -> FeasibilityResult:
     """Exact EDF feasibility via Zhang & Burns' backward iteration."""
-    components = as_components(source)
     name = "qpa"
-    u = total_utilization(components)
-    if u > 1:
-        return FeasibilityResult(
-            verdict=Verdict.INFEASIBLE,
-            test_name=name,
-            iterations=0,
-            details={"utilization": u, "reason": "U > 1"},
-        )
+    ctx, early = preflight(source, name)
+    if early is not None:
+        return early
+    components = ctx.components
+    u = ctx.utilization
     if not components:
         return FeasibilityResult(
             verdict=Verdict.FEASIBLE, test_name=name, iterations=0
         )
-    bound = feasibility_bound(components, bound_method)
+    bound = ctx.bound(bound_method)
     if bound is None:  # pragma: no cover - U > 1 handled above
         raise AssertionError("no finite bound despite U <= 1")
-    min_deadline = min(c.first_deadline for c in components)
+    min_deadline = ctx.min_first_deadline
 
     # The forward tests check deadlines <= bound; QPA starts just past the
     # bound so the same closed range is covered.
@@ -89,7 +85,7 @@ def qpa_test(
 
     iterations = 0
     while True:
-        demand = dbf(components, t)
+        demand = ctx.dbf(t)
         iterations += 1
         if demand > t:
             return FeasibilityResult(

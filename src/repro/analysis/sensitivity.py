@@ -2,7 +2,7 @@
 
 What a schedulability engineer asks after "is it feasible?" is "by how
 much?".  This module answers three standard questions, each reduced to
-a sequence of exact All-Approximated runs (which is what makes them
+a sequence of exact feasibility runs (which is what makes them
 affordable — the paper's point):
 
 * :func:`critical_scaling_factor` — the largest uniform WCET scaling
@@ -12,18 +12,30 @@ affordable — the paper's point):
 * :func:`minimum_feasible_deadline` — how far one task's deadline can
   be tightened.
 
-WCET slack and deadline minimisation use binary search over integers
-(or rationals with a configurable resolution), with the exact test as
-the oracle; the scaling factor is computed in closed form from the
-demand staircase, no search needed.
+WCET slack and deadline minimisation search over integers (or rationals
+with a configurable resolution) with an exact engine test as the oracle;
+the scaling factor is computed in closed form from the demand staircase,
+no search needed.
+
+The searches run through the analysis engine's
+:class:`~repro.engine.batch.BatchRunner`: each round probes several
+candidates *in one batch* (a k-section of the remaining range, ``k`` =
+the runner's worker count), so a parallel runner narrows the range by
+``k+1`` per round instead of halving it, and every probe benefits from
+the engine's shared preflight cache.  The default runner is in-process
+(``jobs=1`` — individual probes are far too small to amortize a worker
+pool per round), where the procedure is plain binary search; pass a
+multi-worker runner to k-section instead.  The result is identical in
+all cases because the feasibility predicate is monotone in the probed
+parameter.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional
+from typing import Callable, List, Optional
 
-from ..core.all_approx import all_approx_test
+from ..engine.batch import AnalysisRequest, BatchRunner
 from ..model.numeric import ExactTime, Time, to_exact
 from ..model.taskset import TaskSet
 from .load import system_load
@@ -33,6 +45,9 @@ __all__ = [
     "wcet_slack",
     "minimum_feasible_deadline",
 ]
+
+#: Exact oracle used by the searches (must have two-sided verdicts).
+_ORACLE = "all-approx"
 
 
 def critical_scaling_factor(tasks: TaskSet) -> Optional[ExactTime]:
@@ -49,11 +64,56 @@ def critical_scaling_factor(tasks: TaskSet) -> Optional[ExactTime]:
     return value.numerator if value.denominator == 1 else value
 
 
+def _probe_batch(
+    runner: BatchRunner,
+    candidates: List[TaskSet],
+) -> List[bool]:
+    """Feasibility of each candidate set, via one engine batch."""
+    results = runner.run(
+        AnalysisRequest(source=ts, test=_ORACLE) for ts in candidates
+    )
+    return [r.is_feasible for r in results]
+
+
+def _largest_feasible(
+    lo: int,
+    hi: int,
+    candidate_of: Callable[[int], TaskSet],
+    runner: BatchRunner,
+) -> int:
+    """Largest ``k`` in ``[lo, hi]`` whose candidate is feasible.
+
+    Assumes monotonicity (feasible up to some threshold, infeasible
+    beyond) and that ``candidate_of(lo)`` is known feasible.  Each round
+    evaluates up to ``runner.jobs`` probes as one batch — k-section
+    search; with one worker this is binary search.
+    """
+    probes_per_round = max(1, runner.jobs)
+    while lo < hi:
+        span = hi - lo
+        count = min(probes_per_round, span)
+        # Evenly spaced probes strictly inside (lo, hi], highest last.
+        points = sorted({lo + (span * (i + 1)) // (count + 1) for i in range(count)} | {hi})
+        points = [p for p in points if lo < p <= hi]
+        verdicts = _probe_batch(runner, [candidate_of(p) for p in points])
+        new_lo, new_hi = lo, hi
+        for p, ok in zip(points, verdicts):
+            if ok:
+                new_lo = max(new_lo, p)
+            else:
+                new_hi = min(new_hi, p - 1)
+        if (new_lo, new_hi) == (lo, hi):  # pragma: no cover - defensive
+            raise AssertionError("search failed to narrow the range")
+        lo, hi = new_lo, new_hi
+    return lo
+
+
 def wcet_slack(
     tasks: TaskSet,
     index: int,
     resolution: Time = 1,
     max_extra: Optional[Time] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> ExactTime:
     """Largest ``delta`` with task *index* at ``C + delta`` still feasible.
 
@@ -64,41 +124,43 @@ def wcet_slack(
         resolution: granularity of the answer (1 for integer systems).
         max_extra: optional search cap; defaults to the task's deadline
             (a job can never use more than ``D`` and stay feasible).
+        runner: batch runner driving the probes; defaults to an
+            in-process runner (pass a multi-worker ``BatchRunner`` to
+            k-section the search).
 
     Returns:
         The largest multiple of *resolution* that keeps the set feasible
         (0 when even one unit breaks it).
     """
-    if not all_approx_test(tasks).is_feasible:
+    if runner is None:
+        runner = BatchRunner(jobs=1)
+    if not _probe_batch(runner, [tasks])[0]:
         raise ValueError("wcet_slack needs a feasible starting point")
     step = to_exact(resolution)
     if step <= 0:
         raise ValueError(f"resolution must be > 0, got {resolution!r}")
     task = tasks[index]
     cap = to_exact(max_extra) if max_extra is not None else task.deadline
-    # Binary search on k where delta = k * step.
-    def feasible_with(extra: ExactTime) -> bool:
-        candidate = TaskSet(
+
+    def candidate_of(k: int) -> TaskSet:
+        extra = k * step
+        return TaskSet(
             [
                 t.with_wcet(t.wcet + extra) if i == index else t
                 for i, t in enumerate(tasks)
             ],
             name=tasks.name,
         )
-        return all_approx_test(candidate).is_feasible
 
-    lo, hi = 0, int(cap // step)
-    while lo < hi:
-        mid = (lo + hi + 1) // 2
-        if feasible_with(mid * step):
-            lo = mid
-        else:
-            hi = mid - 1
-    return lo * step
+    best = _largest_feasible(0, int(cap // step), candidate_of, runner)
+    return best * step
 
 
 def minimum_feasible_deadline(
-    tasks: TaskSet, index: int, resolution: Time = 1
+    tasks: TaskSet,
+    index: int,
+    resolution: Time = 1,
+    runner: Optional[BatchRunner] = None,
 ) -> ExactTime:
     """Smallest deadline task *index* can sustain, to *resolution*.
 
@@ -107,34 +169,32 @@ def minimum_feasible_deadline(
     keeps the whole set feasible.  Raises ``ValueError`` when the set is
     infeasible to begin with.
     """
-    if not all_approx_test(tasks).is_feasible:
+    if runner is None:
+        runner = BatchRunner(jobs=1)
+    if not _probe_batch(runner, [tasks])[0]:
         raise ValueError("minimum_feasible_deadline needs a feasible starting point")
     step = to_exact(resolution)
     if step <= 0:
         raise ValueError(f"resolution must be > 0, got {resolution!r}")
     task = tasks[index]
 
-    def feasible_with(deadline: ExactTime) -> bool:
-        candidate = TaskSet(
+    def candidate_of(k: int) -> TaskSet:
+        # Negated index: searching for the *smallest* feasible deadline
+        # with a largest-feasible search over k = -deadline_multiple.
+        deadline = -k * step
+        return TaskSet(
             [
                 t.with_deadline(deadline) if i == index else t
                 for i, t in enumerate(tasks)
             ],
             name=tasks.name,
         )
-        return all_approx_test(candidate).is_feasible
 
-    # Search k in [k_min, k_max] with deadline = k * step; feasibility is
-    # monotone in the deadline, so binary search applies.
+    # Feasibility is monotone in the deadline: search the largest
+    # feasible negated multiple in [-k_max, -k_min].
     k_max = int(task.deadline // step)
     k_min = max(1, int(-(-task.wcet // step)))  # ceil(C / step)
     if k_min > k_max:
         return task.deadline
-    lo, hi = k_min, k_max
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if feasible_with(mid * step):
-            hi = mid
-        else:
-            lo = mid + 1
-    return lo * step
+    best = _largest_feasible(-k_max, -k_min, candidate_of, runner)
+    return -best * step

@@ -9,7 +9,8 @@ take over there.
 
 from __future__ import annotations
 
-from ..model.components import DemandSource, as_components, total_utilization
+from ..engine.context import AnalysisContext, preflight
+from ..model.components import DemandSource
 from ..model.numeric import ExactTime
 from ..result import FeasibilityResult, Verdict
 
@@ -18,7 +19,7 @@ __all__ = ["utilization_of", "liu_layland_test"]
 
 def utilization_of(source: DemandSource) -> ExactTime:
     """Exact total utilization ``U = sum C_i / T_i`` of *source*."""
-    return total_utilization(as_components(source))
+    return AnalysisContext.of(source).utilization
 
 
 def liu_layland_test(source: DemandSource) -> FeasibilityResult:
@@ -31,15 +32,13 @@ def liu_layland_test(source: DemandSource) -> FeasibilityResult:
       ``D >= T``).
     * otherwise → UNKNOWN (the test cannot decide constrained deadlines).
     """
-    components = as_components(source)
-    u = total_utilization(components)
-    if u > 1:
-        return FeasibilityResult(
-            verdict=Verdict.INFEASIBLE,
-            test_name="liu-layland",
-            iterations=1,
-            details={"utilization": u},
-        )
+    ctx, early = preflight(
+        source, "liu-layland", overload_iterations=1, overload_reason=None
+    )
+    if early is not None:
+        return early
+    components = ctx.components
+    u = ctx.utilization
     deadline_at_least_period = all(
         c.is_recurrent and c.first_deadline >= c.period for c in components
     )

@@ -18,8 +18,10 @@ import json
 import sys
 from typing import List, Optional
 
-from . import TESTS, __version__, analyze
-from .core import compare_bounds, superposition_test
+from . import __version__
+from .analysis.bounds import BoundMethod
+from .core import compare_bounds
+from .engine import AnalysisRequest, BatchRunner, analyze, default_registry
 from .experiments import (
     Fig1Config,
     Fig8Config,
@@ -51,19 +53,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    registry = default_registry()
     p_analyze = sub.add_parser("analyze", help="run a feasibility test on a task set")
     p_analyze.add_argument("file", help="task set JSON (see 'generate')")
     p_analyze.add_argument(
         "--test",
         default="all-approx",
-        choices=sorted(TESTS) + ["superpos"],
+        choices=registry.names(),
         help="feasibility test to run (default: all-approx)",
     )
     p_analyze.add_argument(
         "--level", type=int, default=None, help="level for --test superpos"
     )
     p_analyze.add_argument(
+        "--bound-method",
+        default=None,
+        choices=[m.value for m in BoundMethod],
+        help="feasibility bound for tests that take one",
+    )
+    p_analyze.add_argument(
         "--all", action="store_true", help="run every test and tabulate"
+    )
+    p_analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --all (default: REPRO_JOBS / CPU count)",
     )
 
     p_generate = sub.add_parser("generate", help="generate a random task set")
@@ -100,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="additionally write the raw series as CSV",
+    )
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the battery (default: REPRO_JOBS / CPU count)",
     )
 
     p_load = sub.add_parser(
@@ -138,22 +159,33 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     tasks = load_taskset(args.file)
+    registry = default_registry()
     if args.all:
+        # Every registered test that runs without required options, as
+        # one engine batch (parallel when workers are available).
+        names = [
+            d.name for d in registry.definitions() if d.runnable_without_options
+        ]
+        runner = BatchRunner(jobs=args.jobs)
+        results = runner.run(
+            AnalysisRequest(source=tasks, test=name) for name in names
+        )
         print(f"{'test':>18s}  {'verdict':>10s}  {'iterations':>10s}")
         worst = 0
-        for name in sorted(TESTS):
-            result = analyze(tasks, name)
+        for name, result in zip(names, results):
             print(f"{name:>18s}  {str(result.verdict):>10s}  {result.iterations:>10d}")
             if result.is_infeasible:
                 worst = 1
         return worst
-    if args.test == "superpos":
-        if args.level is None:
-            print("error: --test superpos requires --level", file=sys.stderr)
-            return 2
-        result = superposition_test(tasks, args.level)
-    else:
-        result = analyze(tasks, args.test)
+    if args.test == "superpos" and args.level is None:
+        print("error: --test superpos requires --level", file=sys.stderr)
+        return 2
+    options = {}
+    if args.level is not None:
+        options["level"] = args.level
+    if args.bound_method is not None:
+        options["bound_method"] = args.bound_method
+    result = analyze(tasks, args.test, **options)
     print(result)
     if result.witness is not None:
         print(
@@ -236,8 +268,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     from .experiments import rows_to_csv
 
+    runner = BatchRunner(jobs=args.jobs) if args.jobs is not None else None
     if args.which == "table1":
-        rows = run_table1()
+        rows = run_table1(runner=runner)
         print(render_table1(rows))
         if args.csv:
             Path(args.csv).write_text(
@@ -263,7 +296,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "fig9": (run_fig9, render_fig9, Fig9Config(), "mean_iterations"),
     }
     run, render, config, metric = runners[args.which]
-    aggregated = run(config)
+    aggregated = run(config, runner=runner)
     print(render(aggregated))
     if args.csv:
         tests = sorted({t for stats in aggregated.values() for t in stats})

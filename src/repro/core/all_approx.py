@@ -49,10 +49,9 @@ from collections import deque
 from fractions import Fraction
 from typing import Deque, List, Optional
 
-from ..analysis.busy_period import busy_period_of_components
-from ..analysis.dbf import dbf as exact_dbf
 from ..analysis.intervals import IntervalQueue
-from ..model.components import DemandSource, as_components, total_utilization
+from ..engine.context import preflight
+from ..model.components import DemandSource
 from ..model.numeric import ExactTime
 from ..result import FailureWitness, FeasibilityResult, Verdict
 
@@ -80,22 +79,18 @@ def all_approx_test(
     """
     if revision_policy not in RevisionPolicy._ALL:
         raise ValueError(f"unknown revision policy {revision_policy!r}")
-    components = as_components(source)
     name = "all-approx"
-    u = total_utilization(components)
-    if u > 1:
-        return FeasibilityResult(
-            verdict=Verdict.INFEASIBLE,
-            test_name=name,
-            iterations=0,
-            details={"utilization": u, "reason": "U > 1"},
-        )
+    ctx, early = preflight(source, name)
+    if early is not None:
+        return early
+    components = ctx.components
+    u = ctx.utilization
 
     # Backstop for U == 1, where the implicit superposition bound
     # diverges; within U < 1 the test list provably drains on its own.
     backstop: Optional[ExactTime] = None
     if u == 1:
-        backstop = busy_period_of_components(components)
+        backstop = ctx.busy_period()
 
     n = len(components)
     queue: IntervalQueue[int] = IntervalQueue()
@@ -128,7 +123,7 @@ def all_approx_test(
 
         while value > interval:
             if not approx_fifo:
-                true_demand = exact_dbf(components, interval)
+                true_demand = ctx.dbf(interval)
                 return FeasibilityResult(
                     verdict=Verdict.INFEASIBLE,
                     test_name=name,

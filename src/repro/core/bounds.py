@@ -27,8 +27,8 @@ from ..analysis.bounds import (
     george_bound,
     superposition_bound,
 )
-from ..analysis.busy_period import busy_period_of_components
-from ..model.components import DemandSource, as_components
+from ..engine.context import AnalysisContext
+from ..model.components import DemandSource
 from ..model.numeric import ExactTime
 
 __all__ = [
@@ -46,10 +46,10 @@ def compare_bounds(source: DemandSource) -> Dict[str, Optional[ExactTime]]:
     marks an inapplicable bound (``U >= 1`` for the closed forms,
     ``U > 1`` for the busy period).
     """
-    components = as_components(source)
+    ctx = AnalysisContext.of(source)
     return {
-        "baruah": baruah_bound(components),
-        "george": george_bound(components),
-        "superposition": superposition_bound(components),
-        "busy_period": busy_period_of_components(components),
+        "baruah": baruah_bound(ctx.components),
+        "george": george_bound(ctx.components),
+        "superposition": superposition_bound(ctx.components),
+        "busy_period": ctx.busy_period(),
     }

@@ -33,13 +33,12 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import List, Optional
 
-from ..analysis.bounds import BoundMethod, feasibility_bound
-from ..analysis.dbf import dbf as exact_dbf
+from ..analysis.bounds import BoundMethod
 from ..analysis.intervals import IntervalQueue
-from ..model.components import DemandSource, as_components, total_utilization
+from ..engine.context import preflight
+from ..model.components import DemandSource
 from ..model.numeric import ExactTime
 from ..result import FailureWitness, FeasibilityResult, Verdict
-from .superposition import max_test_interval
 
 __all__ = ["dynamic_test", "LevelSchedule"]
 
@@ -85,18 +84,13 @@ def dynamic_test(
         raise ValueError(f"unknown level schedule {level_schedule!r}")
     if max_level is not None and max_level < 1:
         raise ValueError(f"max_level must be >= 1, got {max_level}")
-    components = as_components(source)
     name = "dynamic"
-    u = total_utilization(components)
-    if u > 1:
-        return FeasibilityResult(
-            verdict=Verdict.INFEASIBLE,
-            test_name=name,
-            iterations=0,
-            max_level=1,
-            details={"utilization": u, "reason": "U > 1"},
-        )
-    bound = feasibility_bound(components, bound_method)
+    ctx, early = preflight(source, name, overload_max_level=1)
+    if early is not None:
+        return early
+    components = ctx.components
+    u = ctx.utilization
+    bound = ctx.bound(bound_method)
     if bound is None:  # pragma: no cover - U > 1 handled above
         raise AssertionError("no finite bound despite U <= 1")
 
@@ -137,7 +131,7 @@ def dynamic_test(
         while value > interval:
             revivable = [j for j in range(n) if approximated[j]]
             if not revivable:
-                true_demand = exact_dbf(components, interval)
+                true_demand = ctx.dbf(interval)
                 return FeasibilityResult(
                     verdict=Verdict.INFEASIBLE,
                     test_name=name,
@@ -178,7 +172,7 @@ def dynamic_test(
             revived = [
                 j
                 for j in revivable
-                if max_test_interval(components[j], level) > interval
+                if ctx.max_test_interval(j, level) > interval
             ]
             for j in revived:
                 comp_j = components[j]

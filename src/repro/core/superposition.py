@@ -26,10 +26,11 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import List, Optional
 
-from ..model.components import DemandSource, as_components, total_utilization
+from ..engine.context import preflight
+from ..model.components import DemandSource, as_components
 from ..model.numeric import ExactTime, Time, to_exact
 from ..result import FailureWitness, FeasibilityResult, Verdict
-from ..analysis.bounds import BoundMethod, feasibility_bound
+from ..analysis.bounds import BoundMethod
 from ..analysis.intervals import IntervalQueue
 
 __all__ = [
@@ -101,18 +102,13 @@ def superposition_test(
     """
     if level < 1:
         raise ValueError(f"superposition level must be >= 1, got {level}")
-    components = as_components(source)
     name = f"superpos({level})"
-    u = total_utilization(components)
-    if u > 1:
-        return FeasibilityResult(
-            verdict=Verdict.INFEASIBLE,
-            test_name=name,
-            iterations=0,
-            max_level=level,
-            details={"utilization": u, "reason": "U > 1"},
-        )
-    bound = feasibility_bound(components, bound_method)
+    ctx, early = preflight(source, name, overload_max_level=level)
+    if early is not None:
+        return early
+    components = ctx.components
+    u = ctx.utilization
+    bound = ctx.bound(bound_method)
     if bound is None:  # pragma: no cover - U > 1 handled above
         raise AssertionError("no finite bound despite U <= 1")
 

@@ -1,0 +1,201 @@
+"""Batched analysis execution with optional multiprocessing.
+
+:class:`BatchRunner` is the engine's throughput layer: it takes a flat
+sequence of :class:`AnalysisRequest` (source, test name, options) and
+returns one :class:`~repro.result.FeasibilityResult` per request, in
+request order, regardless of how the work was scheduled.  Requests are
+expressed in registry vocabulary — names and plain option values — so a
+batch pickles cleanly and can be fanned out over a process pool in
+chunks.
+
+Guarantees:
+
+* **Deterministic ordering** — results align index-for-index with the
+  requests, sequential or parallel.
+* **Deterministic values** — every test in the library is deterministic,
+  so a parallel run returns bit-identical results to a sequential one.
+* **Graceful degradation** — one worker process, an unpicklable source,
+  or a sandbox that forbids process pools all fall back to in-process
+  execution (which still benefits from the shared
+  :class:`~repro.engine.context.AnalysisContext` cache).
+
+``REPRO_JOBS`` sets the default worker count (``0``/``1`` force
+sequential); otherwise ``os.cpu_count()`` decides.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..model.components import DemandSource
+from ..result import FeasibilityResult
+from .registry import TestRegistry, default_registry
+
+__all__ = ["AnalysisRequest", "BatchRunner", "default_jobs"]
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One unit of batch work: run *test* on *source* with *options*.
+
+    ``tag`` is opaque caller data (e.g. a set index or group label)
+    carried alongside the request; the runner never interprets it.
+    """
+
+    source: DemandSource
+    test: str = "all-approx"
+    options: Mapping[str, Any] = field(default_factory=dict)
+    tag: Any = None
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+        if value < 0:
+            raise ValueError(f"REPRO_JOBS must be >= 0, got {value}")
+        return max(1, value)
+    return os.cpu_count() or 1
+
+
+def _execute_chunk(
+    payload: Sequence[Tuple[int, DemandSource, str, Mapping[str, Any]]],
+) -> List[Tuple[int, FeasibilityResult]]:
+    """Worker entry point: run one chunk, return indexed results."""
+    registry = default_registry()
+    return [
+        (index, registry.run(source, test, **options))
+        for index, source, test, options in payload
+    ]
+
+
+class BatchRunner:
+    """Run many analysis requests, optionally across worker processes.
+
+    Args:
+        jobs: worker processes; ``None`` uses :func:`default_jobs`,
+            ``1`` (or a single-core machine) executes in-process.
+        chunk_size: requests per work unit in parallel mode; ``None``
+            picks ``ceil(n / (4 * jobs))`` so the pool load-balances
+            while keeping per-chunk pickling overhead amortized.
+        registry: registry resolving test names.  Parallel execution is
+            only used with the default registry (a custom registry does
+            not exist in the worker processes); custom registries run
+            sequentially.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        registry: Optional[TestRegistry] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.chunk_size = chunk_size
+        self._registry = registry
+        self._custom_registry = registry is not None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def registry(self) -> TestRegistry:
+        return self._registry if self._registry is not None else default_registry()
+
+    def run(self, requests: Iterable[AnalysisRequest]) -> List[FeasibilityResult]:
+        """Execute *requests*; results align with request order."""
+        batch = list(requests)
+        if not batch:
+            return []
+        if self.jobs <= 1 or len(batch) < 2 or self._custom_registry:
+            return self._run_sequential(batch)
+        try:
+            return self._run_parallel(batch)
+        except Exception:
+            # No process pool available (restricted sandbox, missing
+            # semaphores, daemonic caller) or an unpicklable source:
+            # analysis must still land.  Tests are pure, so re-running
+            # sequentially is safe, and a genuine per-test error will
+            # reproduce here with a cleaner traceback.
+            return self._run_sequential(batch)
+
+    def map(
+        self,
+        sources: Iterable[DemandSource],
+        test: str = "all-approx",
+        **options: Any,
+    ) -> List[FeasibilityResult]:
+        """Run one *test* over many *sources* (convenience wrapper)."""
+        return self.run(
+            AnalysisRequest(source=s, test=test, options=options) for s in sources
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_sequential(
+        self, batch: Sequence[AnalysisRequest]
+    ) -> List[FeasibilityResult]:
+        registry = self.registry
+        # A battery repeats few unique (test, options) signatures over
+        # many sets: resolve and validate each signature once so the per
+        # -request cost is one dict lookup plus the test itself.
+        resolved: Dict[Any, Tuple[Any, Dict[str, Any]]] = {}
+        results: List[FeasibilityResult] = []
+        for request in batch:
+            try:
+                key: Any = (request.test, tuple(sorted(request.options.items())))
+            except TypeError:  # unhashable option value
+                key = None
+            entry = resolved.get(key) if key is not None else None
+            if entry is None:
+                definition = registry.get(request.test)
+                entry = (definition.runner, definition.resolve_options(request.options))
+                if key is not None:
+                    resolved[key] = entry
+            runner, options = entry
+            results.append(runner(request.source, **options))
+        return results
+
+    def _run_parallel(
+        self, batch: Sequence[AnalysisRequest]
+    ) -> List[FeasibilityResult]:
+        import multiprocessing
+
+        # Validate up front so option errors raise in the caller with a
+        # clean traceback instead of surfacing from a worker.
+        registry = self.registry
+        for request in batch:
+            registry.get(request.test).resolve_options(request.options)
+
+        payload = [
+            (index, r.source, r.test, dict(r.options))
+            for index, r in enumerate(batch)
+        ]
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(payload) // (4 * self.jobs)))
+        chunks = [payload[i : i + size] for i in range(0, len(payload), size)]
+        workers = min(self.jobs, len(chunks))
+
+        results: List[Optional[FeasibilityResult]] = [None] * len(batch)
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=workers) as pool:
+            for chunk_result in pool.imap_unordered(_execute_chunk, chunks):
+                for index, result in chunk_result:
+                    results[index] = result
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise RuntimeError(f"batch lost results for indices {missing}")
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchRunner(jobs={self.jobs}, chunk_size={self.chunk_size})"

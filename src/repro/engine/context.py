@@ -1,0 +1,288 @@
+"""Shared analysis preflight: one normalized, memoized view per system.
+
+Every feasibility test used to open with the same copy-pasted preamble —
+normalize the source via :func:`~repro.model.components.as_components`,
+sum the utilization, short-circuit on overload, resolve a feasibility
+bound.  :class:`AnalysisContext` performs that pipeline once and caches
+the expensive intermediates (feasibility bounds, busy period, exact
+``dbf`` evaluations, per-component maximum test intervals) keyed on a
+canonical fingerprint of the task set, so that
+
+* running several tests on the same system (the experiment batteries,
+  ``analyze --all``) shares the normalization and bound work;
+* re-analysing a system within one process (sensitivity loops probing
+  the same candidate twice, repeated CLI calls on a cached set) hits the
+  module-level context cache instead of recomputing.
+
+The cache is a small LRU — analysis sweeps over millions of *distinct*
+sets stay O(cache size) in memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from ..model.components import (
+    DemandComponent,
+    DemandSource,
+    as_components,
+    total_utilization,
+)
+from ..model.numeric import ExactTime, Time, to_exact
+from ..result import FeasibilityResult, Verdict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.bounds import BoundMethod
+
+# The bound implementations live in repro.analysis, whose package init
+# imports the test modules, which import this module: resolve the
+# analysis symbols lazily at call time to keep the import graph acyclic.
+
+__all__ = ["AnalysisContext", "preflight", "context_cache_info", "clear_context_cache"]
+
+#: Canonical per-component key: everything a feasibility test can observe.
+Fingerprint = Tuple[Tuple[ExactTime, ExactTime, Optional[ExactTime], str], ...]
+
+_CACHE_MAX = 256
+_CONTEXTS: "OrderedDict[Fingerprint, AnalysisContext]" = OrderedDict()
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+class AnalysisContext:
+    """Normalized components plus memoized per-system quantities.
+
+    Instances are obtained through :meth:`AnalysisContext.of`, never
+    constructed directly by tests; identity of the underlying system is
+    its :attr:`fingerprint` (component parameters in source order).
+    """
+
+    __slots__ = (
+        "components",
+        "fingerprint",
+        "utilization",
+        "_bounds",
+        "_busy_period",
+        "_dbf_cache",
+        "_max_test_intervals",
+    )
+
+    def __init__(self, components: Tuple[DemandComponent, ...]) -> None:
+        self.components = components
+        self.fingerprint: Fingerprint = tuple(
+            (c.wcet, c.first_deadline, c.period, c.source) for c in components
+        )
+        self.utilization = total_utilization(components)
+        self._bounds: Dict["BoundMethod", Optional[ExactTime]] = {}
+        self._busy_period: Optional[ExactTime] = None
+        self._dbf_cache: Dict[ExactTime, ExactTime] = {}
+        self._max_test_intervals: Dict[Tuple[int, int], ExactTime] = {}
+
+    # ------------------------------------------------------------------
+    # Construction / cache
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, source: DemandSource) -> "AnalysisContext":
+        """Normalize *source* into a context, reusing the LRU cache."""
+        global _CACHE_HITS, _CACHE_MISSES
+        if isinstance(source, AnalysisContext):
+            return source
+        components = tuple(as_components(source))
+        key: Fingerprint = tuple(
+            (c.wcet, c.first_deadline, c.period, c.source) for c in components
+        )
+        cached = _CONTEXTS.get(key)
+        if cached is not None:
+            _CONTEXTS.move_to_end(key)
+            _CACHE_HITS += 1
+            return cached
+        _CACHE_MISSES += 1
+        ctx = cls(components)
+        _CONTEXTS[key] = ctx
+        while len(_CONTEXTS) > _CACHE_MAX:
+            _CONTEXTS.popitem(last=False)
+        return ctx
+
+    # ------------------------------------------------------------------
+    # Preflight gates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_overloaded(self) -> bool:
+        """``U > 1`` — no finite bound, every test rejects outright."""
+        return self.utilization > 1
+
+    def overload_result(
+        self,
+        test_name: str,
+        *,
+        iterations: int = 0,
+        max_level: Optional[int] = None,
+        reason: Optional[str] = "U > 1",
+    ) -> FeasibilityResult:
+        """The INFEASIBLE result every test returns when ``U > 1``."""
+        details: Dict[str, Any] = {"utilization": self.utilization}
+        if reason is not None:
+            details["reason"] = reason
+        return FeasibilityResult(
+            verdict=Verdict.INFEASIBLE,
+            test_name=test_name,
+            iterations=iterations,
+            max_level=max_level,
+            details=details,
+        )
+
+    # ------------------------------------------------------------------
+    # Memoized quantities
+    # ------------------------------------------------------------------
+
+    def bound(self, method: "Optional[BoundMethod]" = None) -> Optional[ExactTime]:
+        """Feasibility bound under *method*, memoized per method.
+
+        Mirrors :func:`repro.analysis.bounds.feasibility_bound`: ``None``
+        only when ``U > 1``; closed forms fall back to the busy period at
+        ``U = 1``.  *method* defaults to ``BoundMethod.BEST``.
+        """
+        from ..analysis.bounds import (
+            BoundMethod,
+            baruah_bound,
+            george_bound,
+            superposition_bound,
+        )
+
+        if method is None:
+            method = BoundMethod.BEST
+        if method in self._bounds:
+            return self._bounds[method]
+        if self.utilization > 1:
+            value: Optional[ExactTime] = None
+        elif method is BoundMethod.BARUAH:
+            value = baruah_bound(self.components)
+        elif method is BoundMethod.GEORGE:
+            value = george_bound(self.components)
+        elif method is BoundMethod.SUPERPOSITION:
+            value = superposition_bound(self.components)
+        elif method is BoundMethod.BUSY_PERIOD:
+            value = self.busy_period()
+        elif method is BoundMethod.BEST:
+            candidates = [
+                b
+                for b in (
+                    self.bound(BoundMethod.BARUAH),
+                    self.bound(BoundMethod.GEORGE),
+                    self.bound(BoundMethod.SUPERPOSITION),
+                )
+                if b is not None
+            ]
+            value = min(candidates) if candidates else self.busy_period()
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown bound method {method!r}")
+        if value is None and self.utilization <= 1:
+            # Closed-form bound inapplicable at U == 1: busy period.
+            value = self.busy_period()
+        self._bounds[method] = value
+        return value
+
+    def busy_period(self) -> Optional[ExactTime]:
+        """First synchronous busy period (memoized; ``None`` at ``U > 1``)."""
+        if self._busy_period is None:
+            from ..analysis.busy_period import busy_period_of_components
+
+            self._busy_period = busy_period_of_components(self.components)
+        return self._busy_period
+
+    def dbf(self, interval: Time) -> ExactTime:
+        """Exact system demand at *interval*, memoized per interval.
+
+        The staircase evaluations dominate QPA and witness construction;
+        re-checks of the same interval (across tests, or across QPA's
+        backward jumps landing on a previously probed point) are free.
+        """
+        t = to_exact(interval)
+        cached = self._dbf_cache.get(t)
+        if cached is None:
+            cached = sum((c.dbf(t) for c in self.components), 0)
+            self._dbf_cache[t] = cached
+        return cached
+
+    def max_test_interval(self, index: int, level: int) -> ExactTime:
+        """``Im`` of component *index* at *level* (paper Def. 4), memoized.
+
+        The Dynamic test re-evaluates these for every approximated
+        component on every level switch; the memo turns the inner
+        revision scans into dictionary lookups.
+        """
+        key = (index, level)
+        cached = self._max_test_intervals.get(key)
+        if cached is None:
+            comp = self.components[index]
+            if level < 1:
+                raise ValueError(f"superposition level must be >= 1, got {level}")
+            if comp.period is None:
+                cached = comp.first_deadline
+            else:
+                cached = comp.first_deadline + (level - 1) * comp.period
+            self._max_test_intervals[key] = cached
+        return cached
+
+    @property
+    def min_first_deadline(self) -> Optional[ExactTime]:
+        """Smallest first deadline, or ``None`` for an empty system."""
+        if not self.components:
+            return None
+        return min(c.first_deadline for c in self.components)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AnalysisContext(n={len(self.components)}, "
+            f"U={float(self.utilization):.4f})"
+        )
+
+
+def preflight(
+    source: DemandSource,
+    test_name: str,
+    *,
+    overload_iterations: int = 0,
+    overload_reason: Optional[str] = "U > 1",
+    overload_max_level: Optional[int] = None,
+) -> Tuple[AnalysisContext, Optional[FeasibilityResult]]:
+    """Shared test preamble: normalize, then gate on utilization.
+
+    Returns the (cached) context and, when ``U > 1``, the early
+    INFEASIBLE result the caller must return unchanged.  The keyword
+    knobs reproduce the small per-test differences in how the overload
+    verdict is reported (Devi and Liu & Layland count it as one
+    comparison and omit the reason string).
+    """
+    ctx = AnalysisContext.of(source)
+    if ctx.is_overloaded:
+        return ctx, ctx.overload_result(
+            test_name,
+            iterations=overload_iterations,
+            reason=overload_reason,
+            max_level=overload_max_level,
+        )
+    return ctx, None
+
+
+def context_cache_info() -> Dict[str, int]:
+    """Diagnostics for the module-level context cache."""
+    return {
+        "size": len(_CONTEXTS),
+        "max_size": _CACHE_MAX,
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+    }
+
+
+def clear_context_cache() -> None:
+    """Drop all cached contexts (tests and long-lived processes)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _CONTEXTS.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..engine.batch import BatchRunner
 from ..generation.taskset_gen import GeneratorConfig, TaskSetGenerator
 from .harness import aggregate, run_battery, scaled, superpos_battery
 from .report import series_table
@@ -49,11 +50,14 @@ class Fig1Config:
     seed: int = 20050307  # DATE'05 conference date
 
 
-def run_fig1(config: Fig1Config = Fig1Config()) -> Dict[object, Dict[str, Dict[str, float]]]:
+def run_fig1(
+    config: Fig1Config = Fig1Config(), runner: Optional[BatchRunner] = None
+) -> Dict[object, Dict[str, Dict[str, float]]]:
     """Generate the population and run the Figure-1 battery.
 
     Returns ``aggregate()`` output keyed by utilization-bin lower edge
-    (percent).  Sample counts honour ``REPRO_SCALE``.
+    (percent).  Sample counts honour ``REPRO_SCALE``; *runner* controls
+    batch parallelism (default: ``REPRO_JOBS`` / CPU count).
     """
     rng = random.Random(config.seed)
     sets = []
@@ -76,7 +80,9 @@ def run_fig1(config: Fig1Config = Fig1Config()) -> Dict[object, Dict[str, Dict[s
             groups.append(round(lo * 100, 1))
         lo = hi
     battery = superpos_battery(config.levels)
-    records = run_battery(sets, battery, group_of=lambda s, i: groups[i])
+    records = run_battery(
+        sets, battery, group_of=lambda s, i: groups[i], runner=runner
+    )
     return aggregate(records)
 
 

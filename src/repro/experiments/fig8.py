@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..engine.batch import BatchRunner
 from ..generation.taskset_gen import GeneratorConfig, TaskSetGenerator
 from .harness import aggregate, paper_test_battery, run_battery, scaled
 from .report import series_table
@@ -44,7 +45,9 @@ class Fig8Config:
     seed: int = 1530159105
 
 
-def run_fig8(config: Fig8Config = Fig8Config()) -> Dict[object, Dict[str, Dict[str, float]]]:
+def run_fig8(
+    config: Fig8Config = Fig8Config(), runner: Optional[BatchRunner] = None
+) -> Dict[object, Dict[str, Dict[str, float]]]:
     """Run the Figure-8 sweep; aggregate keyed by utilization bin (%)."""
     rng = random.Random(config.seed)
     sets = []
@@ -71,7 +74,9 @@ def run_fig8(config: Fig8Config = Fig8Config()) -> Dict[object, Dict[str, Dict[s
             )
             sets.append(gen.one())
             groups.append(int(round(lo * 100)))
-    records = run_battery(sets, paper_test_battery(), group_of=lambda s, i: groups[i])
+    records = run_battery(
+        sets, paper_test_battery(), group_of=lambda s, i: groups[i], runner=runner
+    )
     return aggregate(records)
 
 

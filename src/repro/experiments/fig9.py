@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..engine.batch import BatchRunner
 from ..generation.taskset_gen import GeneratorConfig, TaskSetGenerator
 from .harness import aggregate, paper_test_battery, run_battery, scaled
 from .report import series_table
@@ -47,7 +48,9 @@ class Fig9Config:
             raise ValueError(f"ratios must be >= 1, got {self.ratios}")
 
 
-def run_fig9(config: Fig9Config = Fig9Config()) -> Dict[object, Dict[str, Dict[str, float]]]:
+def run_fig9(
+    config: Fig9Config = Fig9Config(), runner: Optional[BatchRunner] = None
+) -> Dict[object, Dict[str, Dict[str, float]]]:
     """Run the Figure-9 sweep; aggregate keyed by ``Tmax/Tmin`` ratio."""
     rng = random.Random(config.seed)
     sets = []
@@ -67,7 +70,9 @@ def run_fig9(config: Fig9Config = Fig9Config()) -> Dict[object, Dict[str, Dict[s
         for ts in gen.sets(per_ratio):
             sets.append(ts)
             groups.append(ratio)
-    records = run_battery(sets, paper_test_battery(), group_of=lambda s, i: groups[i])
+    records = run_battery(
+        sets, paper_test_battery(), group_of=lambda s, i: groups[i], runner=runner
+    )
     return aggregate(records)
 
 

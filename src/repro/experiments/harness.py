@@ -5,20 +5,23 @@ The paper's metric is "test intervals checked" per algorithm
 ``FeasibilityResult.iterations``.  The harness runs a configurable
 battery over generated or fixed task sets, collects per-run records and
 aggregates them the way the figures need (mean/max per group).
+
+Execution routes through the analysis engine: a battery is a list of
+``(name, registered test, options)`` specs, the whole population × battery
+matrix becomes one flat request batch, and a
+:class:`~repro.engine.batch.BatchRunner` executes it — chunked over
+worker processes when available, in-process otherwise — with
+deterministic, set-major result ordering either way.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..analysis.bounds import BoundMethod
-from ..analysis.devi import devi_test
-from ..analysis.processor_demand import processor_demand_test
-from ..core.all_approx import all_approx_test
-from ..core.dynamic import dynamic_test
-from ..core.superposition import superposition_test
+from ..engine.batch import AnalysisRequest, BatchRunner
 from ..model.components import DemandSource
 from ..result import FeasibilityResult
 
@@ -36,13 +39,27 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TestSpec:
-    """A named feasibility test to include in an experiment."""
+    """A named feasibility test to include in an experiment.
+
+    Either *test* (a registered engine test name, plus *options*) or
+    *run* (an arbitrary callable) defines the execution.  Name-based
+    specs are the norm — they batch, pickle and parallelise; callable
+    specs exist for ad-hoc experiments and always run in-process.
+    """
 
     #: Tell pytest this is not a test class despite the name.
     __test__ = False
 
     name: str
-    run: Callable[[DemandSource], FeasibilityResult]
+    run: Optional[Callable[[DemandSource], FeasibilityResult]] = None
+    test: Optional[str] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.run is None) == (self.test is None):
+            raise ValueError(
+                f"TestSpec {self.name!r} needs exactly one of run= or test="
+            )
 
 
 @dataclass(frozen=True)
@@ -68,12 +85,13 @@ def paper_test_battery() -> List[TestSpec]:
     "minimum feasibility interval"), All-Approximated needs none.
     """
     return [
-        TestSpec("devi", devi_test),
-        TestSpec("dynamic", dynamic_test),
-        TestSpec("all-approx", all_approx_test),
+        TestSpec("devi", test="devi"),
+        TestSpec("dynamic", test="dynamic"),
+        TestSpec("all-approx", test="all-approx"),
         TestSpec(
             "processor-demand",
-            lambda s: processor_demand_test(s, bound_method=BoundMethod.BARUAH),
+            test="processor-demand",
+            options={"bound_method": BoundMethod.BARUAH},
         ),
     ]
 
@@ -81,18 +99,18 @@ def paper_test_battery() -> List[TestSpec]:
 def superpos_battery(levels: Sequence[int]) -> List[TestSpec]:
     """Devi + SuperPos(x) for each level + the exact reference
     (Figure 1's line-up)."""
-    specs: List[TestSpec] = [TestSpec("devi", devi_test)]
+    specs: List[TestSpec] = [TestSpec("devi", test="devi")]
     for level in levels:
         specs.append(
             TestSpec(
-                f"superpos({level})",
-                lambda s, level=level: superposition_test(s, level),
+                f"superpos({level})", test="superpos", options={"level": level}
             )
         )
     specs.append(
         TestSpec(
             "processor-demand",
-            lambda s: processor_demand_test(s, bound_method=BoundMethod.BARUAH),
+            test="processor-demand",
+            options={"bound_method": BoundMethod.BARUAH},
         )
     )
     return specs
@@ -103,6 +121,7 @@ def run_battery(
     specs: Sequence[TestSpec],
     group_of: Optional[Callable[[DemandSource, int], object]] = None,
     reference: Optional[str] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> List[RunRecord]:
     """Run every test in *specs* over every set; return flat records.
 
@@ -114,10 +133,15 @@ def run_battery(
         reference: name of the exact test whose verdict defines
             ``feasible`` for acceptance-rate reporting; defaults to the
             last spec (the battery convention puts the exact test last).
+        runner: the :class:`BatchRunner` executing the name-based part
+            of the battery; defaults to a fresh runner (worker count
+            from ``REPRO_JOBS`` / CPU count).
 
     Records carry both ``accepted`` (this test's verdict) and
     ``feasible`` (the reference verdict), so acceptance *rates among
     feasible sets* — what the paper's Figure 1 plots — fall out directly.
+    Record order is deterministic (set-major, then battery order),
+    independent of how the batch was scheduled.
     """
     specs = list(specs)
     if not specs:
@@ -125,12 +149,36 @@ def run_battery(
     ref_name = reference if reference is not None else specs[-1].name
     if all(spec.name != ref_name for spec in specs):
         raise ValueError(f"reference test {ref_name!r} not in battery")
-    records: List[RunRecord] = []
-    for index, source in enumerate(sets):
-        group = group_of(source, index) if group_of else None
+    population = list(sets)
+    if runner is None:
+        runner = BatchRunner()
+
+    # One flat batch over the whole (set × named spec) matrix; callable
+    # specs cannot cross process boundaries and run inline afterwards.
+    named = [spec for spec in specs if spec.test is not None]
+    requests = [
+        AnalysisRequest(source=source, test=spec.test, options=spec.options)
+        for source in population
+        for spec in named
+    ]
+    batch_results = runner.run(requests)
+
+    results_by_set: List[Dict[str, FeasibilityResult]] = []
+    cursor = 0
+    for source in population:
         results: Dict[str, FeasibilityResult] = {}
+        for spec in named:
+            results[spec.name] = batch_results[cursor]
+            cursor += 1
         for spec in specs:
-            results[spec.name] = spec.run(source)
+            if spec.run is not None:
+                results[spec.name] = spec.run(source)
+        results_by_set.append(results)
+
+    records: List[RunRecord] = []
+    for index, source in enumerate(population):
+        group = group_of(source, index) if group_of else None
+        results = results_by_set[index]
         feasible = results[ref_name].is_feasible
         for spec in specs:
             r = results[spec.name]

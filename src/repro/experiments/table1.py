@@ -20,10 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..analysis.bounds import BoundMethod
-from ..analysis.devi import devi_test
-from ..analysis.processor_demand import processor_demand_test
-from ..core.all_approx import all_approx_test
-from ..core.dynamic import dynamic_test
+from ..engine.batch import AnalysisRequest, BatchRunner
 from ..generation.examples import example_systems
 from ..model.components import as_components
 from .report import ascii_table
@@ -52,15 +49,27 @@ class Table1Row:
     feasible: bool
 
 
-def run_table1() -> List[Table1Row]:
-    """Run the four tests on every example system."""
+def run_table1(runner: Optional[BatchRunner] = None) -> List[Table1Row]:
+    """Run the four tests on every example system (one engine batch)."""
+    if runner is None:
+        runner = BatchRunner()
+    systems = {
+        key: as_components(system) for key, system in example_systems().items()
+    }
+    battery = [
+        ("devi", {}),
+        ("dynamic", {}),
+        ("all-approx", {}),
+        ("processor-demand", {"bound_method": BoundMethod.BARUAH}),
+    ]
+    results = runner.run(
+        AnalysisRequest(source=components, test=test, options=options)
+        for components in systems.values()
+        for test, options in battery
+    )
     rows: List[Table1Row] = []
-    for key, system in example_systems().items():
-        components = as_components(system)
-        devi = devi_test(components)
-        dyn = dynamic_test(components)
-        aa = all_approx_test(components)
-        pda = processor_demand_test(components, bound_method=BoundMethod.BARUAH)
+    for offset, key in enumerate(systems):
+        devi, dyn, aa, pda = results[offset * len(battery) : (offset + 1) * len(battery)]
         if not (dyn.is_feasible == aa.is_feasible == pda.is_feasible):
             raise AssertionError(f"exact tests disagree on {key}")
         rows.append(

@@ -23,8 +23,9 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional
 
-from ..analysis.bounds import BoundMethod, feasibility_bound
+from ..analysis.bounds import BoundMethod
 from ..analysis.dbf import dbf_points
+from ..engine.context import preflight
 from ..model.components import DemandSource, as_components, total_utilization
 from ..model.numeric import ExactTime, Time, to_exact
 from ..result import FailureWitness, FeasibilityResult, Verdict
@@ -62,18 +63,14 @@ def rtc_feasibility_test(
     Verdicts mirror the other sufficient tests: FEASIBLE on acceptance,
     INFEASIBLE only via ``U > 1``, UNKNOWN otherwise.
     """
-    components = as_components(source)
     name = f"rtc({segments})"
-    u = total_utilization(components)
-    if u > 1:
-        return FeasibilityResult(
-            verdict=Verdict.INFEASIBLE,
-            test_name=name,
-            iterations=0,
-            details={"utilization": u, "reason": "U > 1"},
-        )
+    ctx, early = preflight(source, name)
+    if early is not None:
+        return early
+    components = ctx.components
+    u = ctx.utilization
     service = service or full_processor()
-    bound = feasibility_bound(components, BoundMethod.BEST)
+    bound = ctx.bound(BoundMethod.BEST)
     if bound is None:  # pragma: no cover - U > 1 handled above
         raise AssertionError("no finite bound despite U <= 1")
     if bound == 0:

@@ -1,0 +1,139 @@
+"""Unit tests for BatchRunner: ordering, parallel/sequential parity."""
+
+import pytest
+
+from repro.core import all_approx_test
+from repro.engine import AnalysisRequest, BatchRunner, default_jobs
+from repro.model import TaskSet
+
+from ..conftest import random_feasible_candidate
+
+
+def _population(rng, count=12):
+    return [random_feasible_candidate(rng) for _ in range(count)]
+
+
+class TestSequentialExecution:
+    def test_results_align_with_requests(self, rng):
+        sets = _population(rng)
+        runner = BatchRunner(jobs=1)
+        results = runner.map(sets, test="all-approx")
+        assert len(results) == len(sets)
+        for ts, result in zip(sets, results):
+            assert result == all_approx_test(ts)
+
+    def test_empty_batch(self):
+        assert BatchRunner(jobs=1).run([]) == []
+
+    def test_mixed_tests_in_one_batch(self, simple_taskset, infeasible_taskset):
+        requests = [
+            AnalysisRequest(source=simple_taskset, test="devi"),
+            AnalysisRequest(source=infeasible_taskset, test="qpa"),
+            AnalysisRequest(source=simple_taskset, test="superpos",
+                            options={"level": 2}),
+        ]
+        results = BatchRunner(jobs=1).run(requests)
+        assert [r.test_name for r in results] == ["devi", "qpa", "superpos(2)"]
+        assert results[1].is_infeasible
+
+    def test_option_errors_surface(self, simple_taskset):
+        runner = BatchRunner(jobs=1)
+        with pytest.raises(ValueError, match="level"):
+            runner.run([AnalysisRequest(source=simple_taskset, test="superpos")])
+
+
+class TestParallelExecution:
+    def test_parallel_matches_sequential(self, rng):
+        sets = _population(rng, count=16)
+        requests = [
+            AnalysisRequest(source=ts, test=test)
+            for ts in sets
+            for test in ("devi", "dynamic", "all-approx")
+        ]
+        sequential = BatchRunner(jobs=1).run(requests)
+        parallel = BatchRunner(jobs=2, chunk_size=5).run(requests)
+        assert parallel == sequential
+
+    def test_parallel_validates_before_fanout(self, simple_taskset):
+        runner = BatchRunner(jobs=2)
+        with pytest.raises(ValueError, match="unknown test"):
+            runner.run(
+                [
+                    AnalysisRequest(source=simple_taskset, test="all-approx"),
+                    AnalysisRequest(source=simple_taskset, test="bogus"),
+                ]
+            )
+
+
+class TestConfiguration:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(jobs=0)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(chunk_size=0)
+
+    def test_default_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        assert BatchRunner().jobs == 3
+
+    def test_default_jobs_zero_means_sequential(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+
+    def test_default_jobs_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_custom_registry_runs_sequentially(self, simple_taskset):
+        from repro.engine import OptionSpec, TestDefinition, TestKind, TestRegistry
+        from repro.result import FeasibilityResult, Verdict
+
+        registry = TestRegistry()
+        registry.register(
+            TestDefinition(
+                name="constant",
+                kind=TestKind.SUFFICIENT,
+                runner=lambda source: FeasibilityResult(
+                    verdict=Verdict.FEASIBLE, test_name="constant"
+                ),
+            )
+        )
+        runner = BatchRunner(jobs=4, registry=registry)
+        results = runner.map([simple_taskset] * 3, test="constant")
+        assert [r.test_name for r in results] == ["constant"] * 3
+
+
+class TestHarnessIntegration:
+    def test_run_battery_parallel_matches_sequential(self, rng):
+        from repro.experiments import paper_test_battery, run_battery
+
+        sets = _population(rng, count=8)
+        sequential = run_battery(sets, paper_test_battery(),
+                                 runner=BatchRunner(jobs=1))
+        parallel = run_battery(sets, paper_test_battery(),
+                               runner=BatchRunner(jobs=2, chunk_size=3))
+        assert sequential == parallel
+
+    def test_callable_specs_still_run(self, simple_taskset):
+        from repro.experiments import TestSpec, run_battery
+
+        specs = [
+            TestSpec("custom", run=all_approx_test),
+            TestSpec("all-approx", test="all-approx"),
+        ]
+        records = run_battery([simple_taskset], specs)
+        assert {r.test for r in records} == {"custom", "all-approx"}
+        by_name = {r.test: r for r in records}
+        assert by_name["custom"].iterations == by_name["all-approx"].iterations
+
+    def test_spec_requires_exactly_one_execution_mode(self):
+        from repro.experiments import TestSpec
+
+        with pytest.raises(ValueError, match="exactly one"):
+            TestSpec("bad")
+        with pytest.raises(ValueError, match="exactly one"):
+            TestSpec("bad", run=all_approx_test, test="all-approx")

@@ -1,0 +1,118 @@
+"""Unit tests for the shared preflight pipeline (AnalysisContext)."""
+
+import pytest
+
+from repro.analysis import dbf, feasibility_bound
+from repro.analysis.bounds import BoundMethod
+from repro.analysis.busy_period import busy_period_of_components
+from repro.engine import (
+    AnalysisContext,
+    clear_context_cache,
+    context_cache_info,
+    preflight,
+)
+from repro.model import TaskSet, as_components
+from repro.result import Verdict
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+class TestContextCache:
+    def test_same_system_reuses_context(self, simple_taskset):
+        first = AnalysisContext.of(simple_taskset)
+        second = AnalysisContext.of(simple_taskset)
+        assert first is second
+        info = context_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_equal_parameters_share_context(self):
+        a = TaskSet.of((2, 6, 10), (3, 11, 16))
+        b = TaskSet.of((2, 6, 10), (3, 11, 16))
+        assert AnalysisContext.of(a) is AnalysisContext.of(b)
+
+    def test_different_systems_do_not_collide(self, simple_taskset):
+        other = TaskSet.of((1, 1, 2), (1, 1, 2))
+        assert AnalysisContext.of(simple_taskset) is not AnalysisContext.of(other)
+
+    def test_context_passthrough(self, simple_taskset):
+        ctx = AnalysisContext.of(simple_taskset)
+        assert AnalysisContext.of(ctx) is ctx
+
+    def test_eviction_keeps_cache_bounded(self):
+        from repro.engine import context as context_module
+
+        for i in range(context_module._CACHE_MAX + 10):
+            AnalysisContext.of(TaskSet.of((1, i + 5, i + 10)))
+        assert context_cache_info()["size"] <= context_cache_info()["max_size"]
+
+
+class TestMemoizedQuantities:
+    def test_bounds_match_feasibility_bound(self, simple_taskset):
+        ctx = AnalysisContext.of(simple_taskset)
+        components = as_components(simple_taskset)
+        for method in BoundMethod:
+            assert ctx.bound(method) == feasibility_bound(components, method)
+
+    def test_default_bound_is_best(self, simple_taskset):
+        ctx = AnalysisContext.of(simple_taskset)
+        assert ctx.bound() == ctx.bound(BoundMethod.BEST)
+
+    def test_dbf_matches_exact(self, simple_taskset):
+        ctx = AnalysisContext.of(simple_taskset)
+        components = as_components(simple_taskset)
+        for interval in (1, 6, 10, 11, 16, 25, 100, 1000):
+            assert ctx.dbf(interval) == dbf(components, interval)
+
+    def test_busy_period_matches(self, simple_taskset):
+        ctx = AnalysisContext.of(simple_taskset)
+        assert ctx.busy_period() == busy_period_of_components(
+            as_components(simple_taskset)
+        )
+
+    def test_max_test_interval_matches_definition(self, simple_taskset):
+        from repro.core import max_test_interval
+
+        ctx = AnalysisContext.of(simple_taskset)
+        for idx, comp in enumerate(ctx.components):
+            for level in (1, 2, 5):
+                assert ctx.max_test_interval(idx, level) == max_test_interval(
+                    comp, level
+                )
+
+    def test_utilization_is_exact_total(self, simple_taskset):
+        ctx = AnalysisContext.of(simple_taskset)
+        assert ctx.utilization == simple_taskset.utilization
+
+
+class TestPreflight:
+    def test_accepts_feasible_candidate(self, simple_taskset):
+        ctx, early = preflight(simple_taskset, "any")
+        assert early is None
+        assert not ctx.is_overloaded
+
+    def test_overload_short_circuits(self):
+        overloaded = TaskSet.of((3, 2, 2), (3, 2, 2))
+        ctx, early = preflight(overloaded, "mytest")
+        assert ctx.is_overloaded
+        assert early is not None
+        assert early.verdict is Verdict.INFEASIBLE
+        assert early.test_name == "mytest"
+        assert early.details["reason"] == "U > 1"
+
+    def test_overload_report_knobs(self):
+        overloaded = TaskSet.of((3, 2, 2), (3, 2, 2))
+        _, early = preflight(
+            overloaded,
+            "devi-like",
+            overload_iterations=1,
+            overload_reason=None,
+            overload_max_level=4,
+        )
+        assert early.iterations == 1
+        assert early.max_level == 4
+        assert "reason" not in early.details

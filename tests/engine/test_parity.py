@@ -1,0 +1,106 @@
+"""Golden parity: engine dispatch ≡ the pre-refactor entry points.
+
+Every registered test must return *identical* results (verdict,
+iteration counts, bounds, witnesses — full :class:`FeasibilityResult`
+equality, which is stronger than the verdict identity the acceptance
+criterion asks for) whether invoked through ``analyze(name)``, through a
+``BatchRunner``, or through the direct function call that predates the
+engine.  The population is the paper's five literature systems plus
+seeded random task sets, including infeasible and ``U > 1`` ones.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import devi_test, liu_layland_test, processor_demand_test, qpa_test
+from repro.analysis.bounds import BoundMethod
+from repro.core import all_approx_test, dynamic_test, superposition_test
+from repro.engine import AnalysisRequest, BatchRunner, analyze
+from repro.generation import example_systems
+from repro.model import as_components
+from repro.rtc import rtc_feasibility_test
+
+from ..conftest import random_taskset
+
+#: (registry name, options, pre-refactor callable) — one row per
+#: registered test, plus option variants that exercise the schemas.
+PARITY_CASES = [
+    ("devi", {}, devi_test),
+    ("liu-layland", {}, liu_layland_test),
+    ("processor-demand", {}, processor_demand_test),
+    (
+        "processor-demand",
+        {"bound_method": BoundMethod.BEST},
+        lambda s: processor_demand_test(s, bound_method=BoundMethod.BEST),
+    ),
+    ("qpa", {}, qpa_test),
+    ("superpos", {"level": 1}, lambda s: superposition_test(s, 1)),
+    ("superpos", {"level": 3}, lambda s: superposition_test(s, 3)),
+    ("dynamic", {}, dynamic_test),
+    (
+        "dynamic",
+        {"level_schedule": "increment"},
+        lambda s: dynamic_test(s, level_schedule="increment"),
+    ),
+    (
+        "dynamic",
+        {"max_level": 2},
+        lambda s: dynamic_test(s, max_level=2),
+    ),
+    ("all-approx", {}, all_approx_test),
+    (
+        "all-approx",
+        {"revision_policy": "fifo"},
+        lambda s: all_approx_test(s, revision_policy="fifo"),
+    ),
+    ("rtc", {}, rtc_feasibility_test),
+    ("rtc", {"segments": 5}, lambda s: rtc_feasibility_test(s, segments=5)),
+]
+
+CASE_IDS = [
+    f"{name}-{'-'.join(f'{k}={v}' for k, v in opts.items()) or 'default'}"
+    for name, opts, _ in PARITY_CASES
+]
+
+
+def _random_population(seed=0xA15E, count=25):
+    """Seeded sets spanning feasible, infeasible and overloaded systems."""
+    rng = random.Random(seed)
+    return [random_taskset(rng) for _ in range(count)]
+
+
+def _literature_population():
+    return [as_components(system) for system in example_systems().values()]
+
+
+@pytest.mark.parametrize(("name", "options", "reference"), PARITY_CASES, ids=CASE_IDS)
+class TestEngineParity:
+    def test_literature_systems(self, name, options, reference):
+        for system in _literature_population():
+            assert analyze(system, name, **options) == reference(system)
+
+    def test_seeded_random_sets(self, name, options, reference):
+        for ts in _random_population():
+            assert analyze(ts, name, **options) == reference(ts)
+
+    def test_batch_runner_parity(self, name, options, reference):
+        population = _literature_population() + _random_population(count=10)
+        results = BatchRunner(jobs=1).run(
+            AnalysisRequest(source=s, test=name, options=options)
+            for s in population
+        )
+        expected = [reference(s) for s in population]
+        assert results == expected
+
+
+def test_population_exercises_all_verdict_classes():
+    """The random population must cover accept/reject/overload paths."""
+    from repro.model import total_utilization
+
+    population = _random_population()
+    utilizations = [total_utilization(as_components(ts)) for ts in population]
+    assert any(u > 1 for u in utilizations), "no overloaded set in population"
+    assert any(u <= 1 for u in utilizations), "no schedulable-range set"
+    verdicts = {analyze(ts, "processor-demand").verdict for ts in population}
+    assert len(verdicts) >= 2
