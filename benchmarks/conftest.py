@@ -8,13 +8,44 @@ micro-benchmarks let pytest-benchmark calibrate rounds normally.
 
 ``REPRO_SCALE`` enlarges the experiment populations toward the paper's
 published sizes (see EXPERIMENTS.md).
+
+Benchmarks that track the performance trajectory across PRs write a
+machine-readable ``BENCH_<name>.json`` via the ``bench_record`` fixture
+(into this directory, or ``REPRO_BENCH_DIR``); CI uploads those files
+as artifacts so regressions show up as diffs between runs, not as
+anecdotes in logs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+from pathlib import Path
+
 import pytest
 
 from repro.generation import GeneratorConfig, TaskSetGenerator
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Writer for machine-readable benchmark results.
+
+    ``bench_record("BENCH_engine.json", {...})`` writes the payload —
+    wall-times, throughput, speedup ratios — plus the interpreter
+    version, and returns the path.
+    """
+
+    def write(filename: str, payload: dict) -> Path:
+        out_dir = Path(os.environ.get("REPRO_BENCH_DIR", Path(__file__).parent))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        document = {"python": platform.python_version(), **payload}
+        path = out_dir / filename
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    return write
 
 
 @pytest.fixture(scope="session")

@@ -75,7 +75,7 @@ def _timed(fn, *args):
     return time.perf_counter() - start, out
 
 
-def test_batch_not_slower_than_sequential(benchmark):
+def test_batch_not_slower_than_sequential(benchmark, bench_record):
     sets = _population()
     assert len(sets) >= 100
 
@@ -101,6 +101,19 @@ def test_batch_not_slower_than_sequential(benchmark):
             ],
             title=f"Batch analysis of {len(sets)} task sets × {len(_BATTERY)} tests",
         )
+    )
+
+    bench_record(
+        "BENCH_engine.json",
+        {
+            "benchmark": "engine_batch",
+            "sets": len(sets),
+            "tests_per_set": len(_BATTERY),
+            "sequential_seconds": round(seq_time, 6),
+            "batch_seconds": round(batch_time, 6),
+            "speedup_batch_over_sequential": round(seq_time / batch_time, 4),
+            "sets_per_second_batch": round(len(sets) / batch_time, 2),
+        },
     )
 
     # Identical work, identical results.

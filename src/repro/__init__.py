@@ -92,10 +92,19 @@ from .engine import (
     default_registry,
 )
 from .engine import analyze as _engine_analyze
+from .model import dump_system, load_any, load_system
 from .model.components import DemandSource
+from .partition import (
+    PartitionedSystem,
+    Platform,
+    minimum_cores,
+    pack,
+    partitioned_edf_test,
+    verify_partition,
+)
 from .result import FailureWitness, FeasibilityResult, Verdict
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Legacy mapping of test names to their direct entry points.  New code
 #: should go through :func:`analyze` / :func:`repro.engine.analyze`,
@@ -176,6 +185,16 @@ __all__ = [
     "as_components",
     "dump_taskset",
     "load_taskset",
+    "dump_system",
+    "load_system",
+    "load_any",
+    # partitioned multiprocessor
+    "Platform",
+    "PartitionedSystem",
+    "pack",
+    "minimum_cores",
+    "verify_partition",
+    "partitioned_edf_test",
     # results
     "FeasibilityResult",
     "FailureWitness",

@@ -8,7 +8,12 @@ Subcommands:
 * ``bounds`` — print all feasibility bounds of a task set side by side;
 * ``example`` — print or export one of the literature example systems;
 * ``experiment`` — regenerate a paper figure/table (fig1, fig8, fig9,
-  table1) as a text report.
+  figm, table1) as a text report;
+* ``partition`` — pack a task set onto ``m`` identical cores (or search
+  the minimum ``m``) and verify the assignment per core.
+
+``--cache-stats`` on the analysis-heavy commands prints the engine's
+shared-preflight cache counters after the run.
 """
 
 from __future__ import annotations
@@ -16,27 +21,53 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from fractions import Fraction
 from typing import List, Optional
 
 from . import __version__
 from .analysis.bounds import BoundMethod
 from .core import compare_bounds
-from .engine import AnalysisRequest, BatchRunner, analyze, default_registry
+from .engine import (
+    AnalysisRequest,
+    BatchRunner,
+    analyze,
+    context_cache_info,
+    default_jobs,
+    default_registry,
+)
 from .experiments import (
     Fig1Config,
     Fig8Config,
     Fig9Config,
+    FigMConfig,
     render_fig1,
     render_fig8,
     render_fig9,
+    render_figm,
     render_table1,
     run_fig1,
     run_fig8,
     run_fig9,
+    run_figm,
     run_table1,
 )
 from .generation import example_systems, generate_taskset
-from .model import TaskSet, as_components, dump_taskset, load_taskset, taskset_to_dict
+from .model import (
+    TaskSet,
+    as_components,
+    dump_system,
+    dump_taskset,
+    load_any,
+    load_taskset,
+    taskset_to_dict,
+)
+from .partition import (
+    HEURISTICS,
+    PartitionedSystem,
+    minimum_cores,
+    pack,
+    verify_partition,
+)
 from .sim import simulate_feasibility
 
 __all__ = ["main", "build_parser"]
@@ -66,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--level", type=int, default=None, help="level for --test superpos"
     )
     p_analyze.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="core count for the multiprocessor tests "
+        "(partitioned-edf, global-edf-*)",
+    )
+    p_analyze.add_argument(
         "--bound-method",
         default=None,
         choices=[m.value for m in BoundMethod],
@@ -79,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for --all (default: REPRO_JOBS / CPU count)",
+    )
+    p_analyze.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the engine's context-cache counters after the run",
     )
 
     p_generate = sub.add_parser("generate", help="generate a random task set")
@@ -109,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_example.add_argument("-o", "--output", default=None, help="export as JSON")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
-    p_exp.add_argument("which", choices=["fig1", "fig8", "fig9", "table1"])
+    p_exp.add_argument("which", choices=["fig1", "fig8", "fig9", "figm", "table1"])
     p_exp.add_argument(
         "--csv",
         default=None,
@@ -122,11 +165,80 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the battery (default: REPRO_JOBS / CPU count)",
     )
+    p_exp.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the engine's context-cache counters after the run",
+    )
 
     p_load = sub.add_parser(
         "load", help="exact system load and sensitivity of a task set"
     )
     p_load.add_argument("file")
+
+    p_part = sub.add_parser(
+        "partition",
+        help="pack a task set onto m identical cores (partitioned EDF)",
+    )
+    p_part.add_argument(
+        "file", help="task-set JSON (repro/taskset-v1) or system JSON "
+        "(repro/system-v1, whose platform supplies the default core count)"
+    )
+    p_part.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="core count m (with --min-cores: the search ceiling)",
+    )
+    p_part.add_argument(
+        "--min-cores",
+        action="store_true",
+        help="search the smallest m the heuristic can pack onto",
+    )
+    p_part.add_argument(
+        "--heuristic",
+        default="ffd",
+        choices=HEURISTICS,
+        help="bin-packing heuristic (default: ffd)",
+    )
+    p_part.add_argument(
+        "--admission",
+        default="approx-dbf",
+        help="admission predicate: utilization, approx-dbf, exact-dbf, "
+        "or any registered test name (default: approx-dbf)",
+    )
+    p_part.add_argument(
+        "--epsilon",
+        default=None,
+        metavar="EPS",
+        help="error bound of the approx-dbf admission, e.g. 0.1 or 1/10",
+    )
+    p_part.add_argument(
+        "--verify",
+        default="exact",
+        choices=["exact", "simulation", "both", "none"],
+        help="per-core verification to run on the assignment (default: exact)",
+    )
+    p_part.add_argument(
+        "--search",
+        default="auto",
+        choices=["auto", "binary", "linear"],
+        help="--min-cores strategy (auto: binary for ff/nf, linear otherwise)",
+    )
+    p_part.add_argument(
+        "--repack",
+        action="store_true",
+        help="ignore the assignment stored in a repro/system-v1 input "
+        "and pack afresh (the default is to verify the stored assignment)",
+    )
+    p_part.add_argument(
+        "-o", "--output", default=None, help="write the packed system as JSON"
+    )
+    p_part.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the engine's context-cache counters after the run",
+    )
     return parser
 
 
@@ -140,8 +252,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
-    if args.command == "analyze":
-        return _cmd_analyze(args)
+    if args.command in ("analyze", "experiment", "partition"):
+        command = {
+            "analyze": _cmd_analyze,
+            "experiment": _cmd_experiment,
+            "partition": _cmd_partition,
+        }[args.command]
+        code = command(args)
+        _print_cache_stats(args)
+        return code
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "simulate":
@@ -150,26 +269,55 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_bounds(args)
     if args.command == "example":
         return _cmd_example(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
     if args.command == "load":
         return _cmd_load(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _print_cache_stats(args: argparse.Namespace) -> None:
+    """Honour ``--cache-stats`` where the flag exists."""
+    if not getattr(args, "cache_stats", False):
+        return
+    info = context_cache_info()
+    note = ""
+    # Batch fan-out (analyze --all, experiment) may have executed in
+    # worker processes, whose caches die with them — the parent-side
+    # counters below then understate the work that was actually cached.
+    fanned_out = getattr(args, "all", False) or args.command == "experiment"
+    jobs = args.jobs if getattr(args, "jobs", None) is not None else default_jobs()
+    if fanned_out and jobs > 1:
+        note = " (parallel workers kept their own caches)"
+    print(
+        f"context cache: hits={info['hits']} misses={info['misses']} "
+        f"size={info['size']}/{info['max_size']}{note}"
+    )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     tasks = load_taskset(args.file)
     registry = default_registry()
     if args.all:
-        # Every registered test that runs without required options, as
-        # one engine batch (parallel when workers are available).
-        names = [
-            d.name for d in registry.definitions() if d.runnable_without_options
-        ]
+        # Every registered test whose required options are satisfied —
+        # --cores unlocks the multiprocessor tests — as one engine
+        # batch (parallel when workers are available).
+        names = []
+        requests = []
+        for definition in registry.definitions():
+            options = {}
+            if args.cores is not None and definition.option("cores") is not None:
+                options["cores"] = args.cores
+            satisfied = all(
+                not spec.required or spec.name in options
+                for spec in definition.options
+            )
+            if not satisfied:
+                continue
+            names.append(definition.name)
+            requests.append(
+                AnalysisRequest(source=tasks, test=definition.name, options=options)
+            )
         runner = BatchRunner(jobs=args.jobs)
-        results = runner.run(
-            AnalysisRequest(source=tasks, test=name) for name in names
-        )
+        results = runner.run(requests)
         print(f"{'test':>18s}  {'verdict':>10s}  {'iterations':>10s}")
         worst = 0
         for name, result in zip(names, results):
@@ -183,6 +331,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     options = {}
     if args.level is not None:
         options["level"] = args.level
+    if args.cores is not None:
+        options["cores"] = args.cores
     if args.bound_method is not None:
         options["bound_method"] = args.bound_method
     result = analyze(tasks, args.test, **options)
@@ -294,6 +444,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "fig1": (run_fig1, render_fig1, Fig1Config(), "acceptance_rate"),
         "fig8": (run_fig8, render_fig8, Fig8Config(), "mean_iterations"),
         "fig9": (run_fig9, render_fig9, Fig9Config(), "mean_iterations"),
+        "figm": (run_figm, render_figm, FigMConfig(), "acceptance_rate"),
     }
     run, render, config, metric = runners[args.which]
     aggregated = run(config, runner=runner)
@@ -325,6 +476,109 @@ def _cmd_load(args: argparse.Namespace) -> int:
         print(f"critical scaling : {float(factor):.6f} (exact: {factor})")
     print("verdict          : " + ("feasible" if load <= 1 else "infeasible"))
     return 0 if load <= 1 else 1
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    source = load_any(args.file)
+    if isinstance(source, PartitionedSystem):
+        tasks, default_cores = source.tasks, source.cores
+    else:
+        tasks, default_cores = source, None
+    epsilon = Fraction(args.epsilon) if args.epsilon is not None else None
+    cores = args.cores if args.cores is not None else default_cores
+
+    if args.min_cores:
+        # Only an *explicit* --cores caps the search; a system file's
+        # platform size is where a previous packing landed, not a
+        # ceiling the user asked for.
+        found = minimum_cores(
+            tasks,
+            args.heuristic,
+            args.admission,
+            max_cores=args.cores,
+            strategy=args.search,
+            epsilon=epsilon,
+        )
+        trail = ", ".join(
+            f"{m}:{'ok' if success else 'no'}" for m, success in found.attempts
+        )
+        print(f"lower bound (ceil U) : {found.lower_bound}")
+        print(f"search               : {found.strategy} [{trail}]")
+        print(f"admission calls      : {found.admission_calls}")
+        if not found.found:
+            print("minimum cores        : not found (ceiling exhausted "
+                  "or a task is inadmissible alone)")
+            return 1
+        print(f"minimum cores        : {found.cores}")
+        result = found.packing
+    elif (
+        isinstance(source, PartitionedSystem)
+        and source.is_complete
+        and not args.repack
+        and (args.cores is None or args.cores == source.cores)
+    ):
+        # A finished system-v1 document: honour its assignment instead
+        # of silently re-packing, so an exported partition re-verifies
+        # as stored.
+        print("using the stored assignment (pass --repack to pack afresh)")
+        result = None
+    else:
+        if (
+            isinstance(source, PartitionedSystem)
+            and not args.repack
+            and any(a is not None for a in source.assignment)
+        ):
+            # Never discard a stored assignment without saying so.
+            why = (
+                "it is incomplete"
+                if not source.is_complete
+                else f"--cores {args.cores} differs from its "
+                f"{source.cores}-core platform"
+            )
+            print(f"stored assignment ignored ({why}); packing afresh")
+        if cores is None:
+            print(
+                "error: --cores is required (or pass a repro/system-v1 file "
+                "with a platform, or use --min-cores)",
+                file=sys.stderr,
+            )
+            return 2
+        result = pack(
+            tasks, cores, args.heuristic, args.admission, epsilon=epsilon
+        )
+
+    system = source if result is None else result.system
+    print(system.summary())
+    if result is not None:
+        print(
+            f"packing              : {result.heuristic} + {result.admission}, "
+            f"{result.admission_calls} admission calls"
+        )
+    code = 0
+    if result is not None and not result.success:
+        print(f"verdict              : {len(result.unassigned)} task(s) "
+              "did not fit")
+        code = 1
+    elif args.verify != "none":
+        verification = verify_partition(system, method=args.verify)
+        for verdict in verification.cores:
+            parts = []
+            if verdict.exact is not None:
+                parts.append(f"exact={verdict.exact.verdict}")
+            if verdict.simulation is not None:
+                parts.append(f"simulation={verdict.simulation.verdict}")
+            if parts:
+                print(f"  core {verdict.core} verification: "
+                      + ", ".join(parts))
+        print(f"verdict              : "
+              + ("schedulable" if verification.ok else "NOT schedulable"))
+        code = 0 if verification.ok else 1
+    else:
+        print("verdict              : packed (verification skipped)")
+    if args.output:
+        dump_system(system, args.output)
+        print(f"wrote {args.output}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,8 +13,9 @@ One subsystem through which every feasibility analysis flows:
   multiprocess batch execution with deterministic result ordering.
 
 The experiment harness, the sensitivity searches and the CLI are all
-thin layers over these three pieces; new backends (e.g. multiprocessor
-feasibility) plug in by registering a :class:`TestDefinition`.
+thin layers over these three pieces; new backends plug in by
+registering a :class:`TestDefinition` — the partitioned multiprocessor
+tests of :mod:`repro.partition` are the first to do so.
 
 Note: :mod:`repro.engine.context` is imported *by* the individual test
 modules, so this package keeps its own imports acyclic — context first,

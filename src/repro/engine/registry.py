@@ -11,10 +11,12 @@ is exact or sufficient, and a declarative options schema that
 multiprocess execution possible: names and option dictionaries pickle,
 closures do not.
 
-Registering a new backend — e.g. a multiprocessor feasibility test in
-the Bonifaci & Marchetti-Spaccamela line — is one
-:meth:`TestRegistry.register` call; batching, caching, the CLI and the
-harness pick it up without modification.
+Registering a new backend is one :meth:`TestRegistry.register` call;
+batching, caching, the CLI and the harness pick it up without
+modification.  The partitioned multiprocessor tests of
+:mod:`repro.partition` (``partitioned-edf`` and the global-EDF bounds,
+in the Bonifaci & Marchetti-Spaccamela line) enter the engine exactly
+this way.
 """
 
 from __future__ import annotations
@@ -229,6 +231,12 @@ def _build_default_registry() -> TestRegistry:
     from ..core.all_approx import RevisionPolicy, all_approx_test
     from ..core.dynamic import LevelSchedule, dynamic_test
     from ..core.superposition import superposition_test
+    from ..partition.feasibility import (
+        global_density_test,
+        global_gfb_test,
+        partitioned_edf_test,
+    )
+    from ..partition.packing import HEURISTICS
     from ..rtc.analysis import rtc_feasibility_test
 
     bound_option = lambda default, help_text: OptionSpec(  # noqa: E731
@@ -362,6 +370,59 @@ def _build_default_registry() -> TestRegistry:
                 ),
             ),
             summary="Segment-limited real-time-calculus test (paper Section 3.6)",
+        )
+    )
+    cores_option = OptionSpec(
+        name="cores",
+        types=(int,),
+        help="number of identical cores m >= 1",
+    )
+    registry.register(
+        TestDefinition(
+            name="partitioned-edf",
+            kind=TestKind.SUFFICIENT,
+            runner=partitioned_edf_test,
+            options=(
+                cores_option,
+                OptionSpec(
+                    name="heuristic",
+                    types=(str,),
+                    default="ffd",
+                    choices=HEURISTICS,
+                    help="bin-packing heuristic (ffd = first-fit decreasing)",
+                ),
+                OptionSpec(
+                    name="admission",
+                    types=(str,),
+                    default="approx-dbf",
+                    help="per-core admission predicate (built-in or any test name)",
+                ),
+                OptionSpec(
+                    name="epsilon",
+                    types=time_types + (type(None),),
+                    default=None,
+                    help="error bound of the approx-dbf admission (default 1/10)",
+                ),
+            ),
+            summary="Partitioned EDF via demand-based bin packing",
+        )
+    )
+    registry.register(
+        TestDefinition(
+            name="global-edf-density",
+            kind=TestKind.SUFFICIENT,
+            runner=global_density_test,
+            options=(cores_option,),
+            summary="Global EDF density bound (Bertogna et al. 2005)",
+        )
+    )
+    registry.register(
+        TestDefinition(
+            name="global-edf-gfb",
+            kind=TestKind.SUFFICIENT,
+            runner=global_gfb_test,
+            options=(cores_option,),
+            summary="Goossens-Funk-Baruah global EDF bound (implicit deadlines)",
         )
     )
     return registry

@@ -3,6 +3,7 @@
 from .fig1 import Fig1Config, render_fig1, run_fig1
 from .fig8 import Fig8Config, render_fig8, run_fig8
 from .fig9 import Fig9Config, render_fig9, run_fig9
+from .figm import FigMConfig, render_figm, run_figm
 from .harness import (
     RunRecord,
     TestSpec,
@@ -26,6 +27,9 @@ __all__ = [
     "run_fig9",
     "render_fig9",
     "Fig9Config",
+    "run_figm",
+    "render_figm",
+    "FigMConfig",
     "run_table1",
     "render_table1",
     "Table1Row",

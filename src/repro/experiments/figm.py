@@ -1,0 +1,136 @@
+"""Figure M — partitioned acceptance ratio vs. core count.
+
+The multiprocessor companion to the paper's Figure 1: for each core
+count ``m`` a population of task sets is generated at a fixed
+*per-core* normalized load (total utilization ``m * load``), and each
+packing heuristic's acceptance ratio — the fraction of sets it
+partitions completely under the ε-approximate demand admission — is
+plotted against ``m``, next to the global-EDF density bound on the
+same sets.  The figure carries the classic partitioned-EDF story:
+
+* decreasing-utilization variants dominate their plain counterparts;
+* acceptance erodes as ``m`` grows at constant per-core load (more
+  bins, same slack per bin, more fragmentation);
+* the naive global density bound collapses far earlier than any
+  packing heuristic.
+
+Like the other figures this is not in the source paper — the paper is
+uniprocessor — but it exercises its approximate demand test in the
+admission-predicate role the multiprocessor literature assigns to
+uniprocessor tests, and it runs as one flat engine batch (sets ×
+heuristics × core counts), hundreds of packing runs with hundreds of
+admission calls each.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.batch import BatchRunner
+from ..generation.taskset_gen import GeneratorConfig, TaskSetGenerator
+from .harness import RunRecord, TestSpec, aggregate, run_battery, scaled
+from .report import series_table
+
+__all__ = ["FigMConfig", "run_figm", "render_figm"]
+
+
+@dataclass(frozen=True)
+class FigMConfig:
+    """Population parameters for the acceptance-vs-cores sweep.
+
+    Defaults: core counts 2..8, per-core normalized load 0.9 with only
+    2..4 tasks per core — few heavy tasks, the regime where bin
+    fragmentation actually bites and the heuristics separate instead of
+    all saturating at 1.0.
+    """
+
+    cores: Tuple[int, ...] = (2, 3, 4, 6, 8)
+    per_core_load: float = 0.9
+    sets_per_point: int = 16
+    tasks_per_core: Tuple[int, int] = (2, 4)
+    period_range: Tuple[int, int] = (1_000, 50_000)
+    gap: Tuple[float, float] = (0.0, 0.3)
+    heuristics: Tuple[str, ...] = ("ff", "ffd", "bfd", "wfd")
+    admission: str = "approx-dbf"
+    seed: int = 20050309
+
+
+def run_figm(
+    config: FigMConfig = FigMConfig(), runner: Optional[BatchRunner] = None
+) -> Dict[object, Dict[str, Dict[str, float]]]:
+    """Run the Figure-M battery; returns ``aggregate()`` keyed by ``m``.
+
+    Sample counts honour ``REPRO_SCALE``; *runner* controls batch
+    parallelism (default: ``REPRO_JOBS`` / CPU count).
+    """
+    rng = random.Random(config.seed)
+    if runner is None:
+        runner = BatchRunner()
+    per_point = scaled(config.sets_per_point)
+    records: List[RunRecord] = []
+    for m in config.cores:
+        gen = TaskSetGenerator(
+            GeneratorConfig(
+                tasks=(
+                    config.tasks_per_core[0] * m,
+                    config.tasks_per_core[1] * m,
+                ),
+                utilization=(
+                    config.per_core_load * m * 0.98,
+                    config.per_core_load * m,
+                ),
+                period_range=config.period_range,
+                gap=config.gap,
+            ),
+            seed=rng.randrange(2**32),
+        )
+        sets = list(gen.sets(per_point))
+        specs = [
+            TestSpec(
+                heuristic,
+                test="partitioned-edf",
+                options={
+                    "cores": m,
+                    "heuristic": heuristic,
+                    "admission": config.admission,
+                },
+            )
+            for heuristic in config.heuristics
+        ]
+        specs.append(
+            TestSpec(
+                "global-density",
+                test="global-edf-density",
+                options={"cores": m},
+            )
+        )
+        # Reference = the strongest packing spec; acceptance_rate (the
+        # rendered metric) is reference-independent.
+        records.extend(
+            run_battery(
+                sets,
+                specs,
+                group_of=lambda s, i, m=m: m,
+                reference=config.heuristics[-1],
+                runner=runner,
+            )
+        )
+    return aggregate(records)
+
+
+def render_figm(aggregated: Dict[object, Dict[str, Dict[str, float]]]) -> str:
+    """Figure M as a text table: acceptance rate per core count."""
+    tests: List[str] = []
+    for stats in aggregated.values():
+        for name in stats:
+            if name not in tests:
+                tests.append(name)
+    return series_table(
+        aggregated,
+        metric="acceptance_rate",
+        tests=tests,
+        x_label="m",
+        fmt="{:.3f}",
+    )

@@ -21,10 +21,17 @@ from .event_stream import EventStream, EventStreamElement, EventStreamTask
 from .job import Job
 from .numeric import ExactTime, Time, to_exact
 from .serialization import (
+    dump_system,
     dump_taskset,
+    dumps_system,
     dumps_taskset,
+    load_any,
+    load_system,
     load_taskset,
+    loads_system,
     loads_taskset,
+    system_from_dict,
+    system_to_dict,
     taskset_from_dict,
     taskset_to_dict,
 )
@@ -57,4 +64,11 @@ __all__ = [
     "load_taskset",
     "dumps_taskset",
     "loads_taskset",
+    "system_to_dict",
+    "system_from_dict",
+    "dump_system",
+    "load_system",
+    "dumps_system",
+    "loads_system",
+    "load_any",
 ]

@@ -1,8 +1,17 @@
-"""JSON (de)serialization for task sets and event streams.
+"""JSON (de)serialization for task sets and partitioned systems.
+
+Two document formats:
+
+* ``repro/taskset-v1`` — a plain task set (name + tasks);
+* ``repro/system-v1`` — a partitioned multiprocessor system: a
+  platform (core count), the task set, and an optional task→core
+  assignment map (``null`` entries mark unassigned tasks).
 
 Time values survive a round trip exactly: integers stay integers and
 Fractions are encoded as ``"p/q"`` strings, so an analysis re-run on a
 deserialized set reproduces verdicts and iteration counts bit-for-bit.
+Assignments round-trip verbatim, so a packed system written by the CLI
+re-verifies identically when loaded back.
 """
 
 from __future__ import annotations
@@ -10,12 +19,15 @@ from __future__ import annotations
 import json
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Union
 
 from .numeric import ExactTime
 from .task import SporadicTask
 from .taskset import TaskSet
 from .validation import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..partition.platform import PartitionedSystem
 
 __all__ = [
     "taskset_to_dict",
@@ -24,9 +36,17 @@ __all__ = [
     "load_taskset",
     "dumps_taskset",
     "loads_taskset",
+    "system_to_dict",
+    "system_from_dict",
+    "dump_system",
+    "load_system",
+    "dumps_system",
+    "loads_system",
+    "load_any",
 ]
 
 _FORMAT = "repro/taskset-v1"
+_SYSTEM_FORMAT = "repro/system-v1"
 
 
 def _encode_time(value: ExactTime) -> Union[int, str]:
@@ -70,15 +90,22 @@ def taskset_to_dict(tasks: TaskSet) -> Dict[str, Any]:
     }
 
 
-def taskset_from_dict(data: Dict[str, Any]) -> TaskSet:
-    """Decode a task set produced by :func:`taskset_to_dict`."""
-    if not isinstance(data, dict) or "tasks" not in data:
-        raise ModelError("task set document must be a dict with a 'tasks' key")
-    declared = data.get("format", _FORMAT)
-    if declared != _FORMAT:
-        raise ModelError(f"unsupported task set format {declared!r}")
+def _tasks_from_entries(entries: Any) -> List[SporadicTask]:
+    if not isinstance(entries, list):
+        raise ModelError(
+            f"'tasks' must be a list of task objects, got {type(entries).__name__}"
+        )
     tasks: List[SporadicTask] = []
-    for entry in data["tasks"]:
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ModelError(
+                f"task entry {index} must be an object, got {type(entry).__name__}"
+            )
+        missing = [key for key in ("wcet", "deadline", "period") if key not in entry]
+        if missing:
+            raise ModelError(
+                f"task entry {index} is missing {', '.join(map(repr, missing))}"
+            )
         tasks.append(
             SporadicTask(
                 wcet=_decode_time(entry["wcet"]),
@@ -88,7 +115,17 @@ def taskset_from_dict(data: Dict[str, Any]) -> TaskSet:
                 name=entry.get("name", ""),
             )
         )
-    return TaskSet(tasks, name=data.get("name", ""))
+    return tasks
+
+
+def taskset_from_dict(data: Dict[str, Any]) -> TaskSet:
+    """Decode a task set produced by :func:`taskset_to_dict`."""
+    if not isinstance(data, dict) or "tasks" not in data:
+        raise ModelError("task set document must be a dict with a 'tasks' key")
+    declared = data.get("format", _FORMAT)
+    if declared != _FORMAT:
+        raise ModelError(f"unsupported task set format {declared!r}")
+    return TaskSet(_tasks_from_entries(data["tasks"]), name=data.get("name", ""))
 
 
 def dumps_taskset(tasks: TaskSet, indent: int = 2) -> str:
@@ -109,3 +146,98 @@ def dump_taskset(tasks: TaskSet, path: Union[str, Path]) -> None:
 def load_taskset(path: Union[str, Path]) -> TaskSet:
     """Read a task set from a JSON file at *path*."""
     return loads_taskset(Path(path).read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# repro/system-v1 — partitioned multiprocessor systems
+# ---------------------------------------------------------------------------
+# The partition model types live in repro.partition (which imports this
+# package), so they are resolved lazily at call time; this module stays
+# import-cycle-free while the format definition stays with the other
+# JSON formats.
+
+
+def system_to_dict(system: "PartitionedSystem") -> Dict[str, Any]:
+    """Encode a partitioned system as a plain JSON-serializable dict."""
+    platform: Dict[str, Any] = {"cores": system.platform.cores}
+    if system.platform.name:
+        platform["name"] = system.platform.name
+    return {
+        "format": _SYSTEM_FORMAT,
+        "name": system.tasks.name,
+        "platform": platform,
+        "tasks": taskset_to_dict(system.tasks)["tasks"],
+        "assignment": list(system.assignment),
+    }
+
+
+def system_from_dict(data: Dict[str, Any]) -> "PartitionedSystem":
+    """Decode a partitioned system produced by :func:`system_to_dict`.
+
+    The ``assignment`` key is optional (a system may be serialized
+    before packing); when present its entries must be core indices
+    within the platform, or ``null`` for unassigned tasks.
+    """
+    from ..partition.platform import PartitionedSystem, Platform
+
+    if not isinstance(data, dict):
+        raise ModelError(
+            f"system document must be a dict, got {type(data).__name__}"
+        )
+    declared = data.get("format")
+    if declared != _SYSTEM_FORMAT:
+        raise ModelError(
+            f"unsupported system format {declared!r}; expected "
+            f"{_SYSTEM_FORMAT!r}"
+        )
+    platform_doc = data.get("platform")
+    if not isinstance(platform_doc, dict) or "cores" not in platform_doc:
+        raise ModelError(
+            "system document needs a 'platform' object with a 'cores' key"
+        )
+    platform = Platform(
+        cores=platform_doc["cores"], name=platform_doc.get("name", "")
+    )
+    if "tasks" not in data:
+        raise ModelError("system document must carry a 'tasks' list")
+    tasks = TaskSet(_tasks_from_entries(data["tasks"]), name=data.get("name", ""))
+    assignment = data.get("assignment")
+    if assignment is not None and not isinstance(assignment, list):
+        raise ModelError(
+            f"'assignment' must be a list, got {type(assignment).__name__}"
+        )
+    return PartitionedSystem(tasks, platform, assignment)
+
+
+def dumps_system(system: "PartitionedSystem", indent: int = 2) -> str:
+    """Serialize a partitioned system to a JSON string."""
+    return json.dumps(system_to_dict(system), indent=indent)
+
+
+def loads_system(text: str) -> "PartitionedSystem":
+    """Deserialize a partitioned system from a JSON string."""
+    return system_from_dict(json.loads(text))
+
+
+def dump_system(system: "PartitionedSystem", path: Union[str, Path]) -> None:
+    """Write a partitioned system to *path* as JSON."""
+    Path(path).write_text(dumps_system(system), encoding="utf-8")
+
+
+def load_system(path: Union[str, Path]) -> "PartitionedSystem":
+    """Read a partitioned system from a JSON file at *path*."""
+    return loads_system(Path(path).read_text(encoding="utf-8"))
+
+
+def load_any(path: Union[str, Path]) -> Union[TaskSet, "PartitionedSystem"]:
+    """Read either supported JSON format, dispatching on ``format``.
+
+    Returns a :class:`TaskSet` for ``repro/taskset-v1`` and a
+    :class:`~repro.partition.platform.PartitionedSystem` for
+    ``repro/system-v1`` — what format-agnostic consumers (the CLI's
+    ``partition`` command) want.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, dict) and data.get("format") == _SYSTEM_FORMAT:
+        return system_from_dict(data)
+    return taskset_from_dict(data)

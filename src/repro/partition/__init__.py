@@ -1,0 +1,70 @@
+"""Partitioned multiprocessor EDF analysis.
+
+The subsystem that takes the library multiprocessor: a platform/system
+model (:class:`Platform`, :class:`PartitionedSystem`), bin-packing
+heuristics parameterized by pluggable admission predicates
+(:func:`pack`), a minimum-core search (:func:`minimum_cores`),
+global-EDF comparison bounds, and independent per-core verification
+(:func:`verify_partition`) through the exact processor-demand test and
+the EDF simulation oracle.
+
+The engine-facing tests — ``"partitioned-edf"``,
+``"global-edf-density"``, ``"global-edf-gfb"`` — are registered in the
+default :class:`~repro.engine.registry.TestRegistry`, so they batch,
+pickle and parallelise like every uniprocessor test::
+
+    from repro import TaskSet, analyze
+
+    result = analyze(big_set, "partitioned-edf", cores=4, heuristic="ffd")
+    result.details["assignment"]   # task index -> core
+
+    from repro.partition import minimum_cores, verify_partition
+    found = minimum_cores(big_set, heuristic="ffd", admission="approx-dbf")
+    verify_partition(found.packing.system).ok
+"""
+
+from .admission import (
+    BUILTIN_ADMISSIONS,
+    AdmissionPredicate,
+    admission_names,
+    admission_predicate,
+)
+from .feasibility import global_density_test, global_gfb_test, partitioned_edf_test
+from .packing import HEURISTICS, PackingResult, pack, packing_order
+from .platform import PartitionedSystem, Platform
+from .search import (
+    MinCoresResult,
+    min_cores_global_density,
+    minimum_cores,
+    partitioned_lower_bound,
+)
+from .verify import (
+    CoreVerdict,
+    PartitionVerification,
+    agreement,
+    verify_partition,
+)
+
+__all__ = [
+    "Platform",
+    "PartitionedSystem",
+    "AdmissionPredicate",
+    "admission_predicate",
+    "admission_names",
+    "BUILTIN_ADMISSIONS",
+    "pack",
+    "packing_order",
+    "PackingResult",
+    "HEURISTICS",
+    "minimum_cores",
+    "MinCoresResult",
+    "partitioned_lower_bound",
+    "min_cores_global_density",
+    "partitioned_edf_test",
+    "global_density_test",
+    "global_gfb_test",
+    "verify_partition",
+    "PartitionVerification",
+    "CoreVerdict",
+    "agreement",
+]

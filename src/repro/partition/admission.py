@@ -1,0 +1,205 @@
+"""Pluggable admission predicates for demand-based bin packing.
+
+A packing heuristic asks one question, thousands of times: *can task
+τ join the tasks already on this core?*  An
+:class:`AdmissionPredicate` answers it.  Three built-ins cover the
+cost/precision spectrum the paper's approximation family spans:
+
+* ``"utilization"`` — the cheap gate ``U + C/T <= 1``.  Exact for
+  implicit deadlines, optimistic for constrained ones.
+* ``"approx-dbf"`` — the paper's ε-approximate demand test:
+  ``SuperPos(ceil(1/ε))`` on the accreted core content.  Acceptance is
+  a feasibility *proof*; rejection is at most an ε speed margin
+  pessimistic (see :mod:`repro.core.epsilon`).
+* ``"exact-dbf"`` — the exact processor-demand criterion.
+
+Beyond the built-ins, **any registered engine test name** is a valid
+predicate (``"devi"``, ``"qpa"``, ...): admission then means that test
+returns FEASIBLE on the core content plus the candidate.  All
+test-backed predicates run through :func:`repro.engine.analyze`, so the
+per-core preflight (normalization, utilization, bounds) is memoized in
+the engine's :class:`~repro.engine.context.AnalysisContext` LRU as
+tasks accrete — repeated probes of the same core prefix during best-fit
+scans and minimum-core searches hit the cache instead of recomputing.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Optional, Tuple
+
+from ..core.epsilon import epsilon_to_level
+from ..engine.registry import TestRegistry, default_registry
+from ..model.numeric import Time, to_exact
+from ..model.task import SporadicTask
+
+__all__ = [
+    "AdmissionPredicate",
+    "BUILTIN_ADMISSIONS",
+    "admission_predicate",
+    "admission_names",
+]
+
+#: Core content as the packer tracks it: the assigned tasks, in
+#: assignment order, plus their exact accumulated utilization.
+CoreContent = Tuple[SporadicTask, ...]
+
+#: The built-in predicate names, cheapest first.
+BUILTIN_ADMISSIONS: Tuple[str, ...] = ("utilization", "approx-dbf", "exact-dbf")
+
+
+class AdmissionPredicate:
+    """A named, call-counted admission check.
+
+    Attributes:
+        name: identifier used in results and CLI output.
+        calls: number of :meth:`admits` invocations so far — the
+            packing-effort metric reported by
+            :class:`~repro.partition.packing.PackingResult`.
+        proves_feasibility: ``True`` when an accepted core is *proved*
+            EDF-feasible (every test-backed predicate; the utilization
+            gate only for implicit-deadline sets).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        check: Callable[[CoreContent, Fraction, SporadicTask], bool],
+        proves_feasibility: bool,
+    ) -> None:
+        self.name = name
+        self._check = check
+        self.proves_feasibility = proves_feasibility
+        self.calls = 0
+
+    def admits(
+        self,
+        tasks: CoreContent,
+        utilization: Fraction,
+        candidate: SporadicTask,
+    ) -> bool:
+        """Would *candidate* keep the core feasible under this predicate?"""
+        self.calls += 1
+        return self._check(tasks, utilization, candidate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdmissionPredicate({self.name!r}, calls={self.calls})"
+
+
+def _utilization_check(
+    tasks: CoreContent, utilization: Fraction, candidate: SporadicTask
+) -> bool:
+    return utilization + Fraction(candidate.utilization) <= 1
+
+
+def _test_check(
+    test: str, registry: TestRegistry, **options: Any
+) -> Callable[[CoreContent, Fraction, SporadicTask], bool]:
+    # Resolve the test and validate its options once, here: admission
+    # checks are the packing hot path (hundreds to thousands per run),
+    # and re-resolving the same (test, options) pair per call would be
+    # pure repeated work.  This also makes bad options fail at predicate
+    # construction with the registry's guided error.
+    definition = registry.get(test)
+    resolved = definition.resolve_options(options)
+    runner = definition.runner
+
+    def check(
+        tasks: CoreContent, utilization: Fraction, candidate: SporadicTask
+    ) -> bool:
+        # The cheap gate first: a test run cannot accept past U = 1, and
+        # skipping it avoids building contexts for hopeless candidates.
+        if utilization + Fraction(candidate.utilization) > 1:
+            return False
+        return runner(tasks + (candidate,), **resolved).is_feasible
+
+    return check
+
+
+def admission_predicate(
+    name: str,
+    *,
+    epsilon: Optional[Time] = None,
+    registry: Optional[TestRegistry] = None,
+    **options: Any,
+) -> AdmissionPredicate:
+    """Resolve *name* into a fresh :class:`AdmissionPredicate`.
+
+    Args:
+        name: a built-in (:data:`BUILTIN_ADMISSIONS`) or any registered
+            engine test name.
+        epsilon: error bound of the ``"approx-dbf"`` predicate (default
+            ``1/10`` → ``SuperPos(10)``); rejected for other names.
+        registry: registry resolving test-backed predicates; defaults to
+            the shipped :func:`~repro.engine.registry.default_registry`.
+        **options: extra options passed to a test-backed predicate's
+            underlying test (validated by the registry).
+
+    Raises:
+        ValueError: unknown *name* — the message lists the built-ins
+            and every valid registry test name — or an option invalid
+            for the resolved predicate.
+    """
+    reg = registry if registry is not None else default_registry()
+    if name != "approx-dbf" and epsilon is not None:
+        raise ValueError(
+            f"epsilon only applies to the 'approx-dbf' admission, not {name!r}"
+        )
+    if name == "utilization":
+        if options:
+            raise ValueError(
+                f"the 'utilization' admission takes no options, got "
+                f"{sorted(options)}"
+            )
+        return AdmissionPredicate(name, _utilization_check, proves_feasibility=False)
+    if name == "approx-dbf":
+        if "level" in options:
+            raise ValueError(
+                "the 'approx-dbf' admission derives its superposition level "
+                "from epsilon; pass epsilon=... instead of level=..."
+            )
+        eps = to_exact(epsilon) if epsilon is not None else Fraction(1, 10)
+        level = epsilon_to_level(eps)
+        return AdmissionPredicate(
+            f"approx-dbf(eps={eps})",
+            _test_check("superpos", reg, level=level, **options),
+            proves_feasibility=True,
+        )
+    if name == "exact-dbf":
+        return AdmissionPredicate(
+            name,
+            _test_check("processor-demand", reg, **options),
+            proves_feasibility=True,
+        )
+    if name in admission_registry_names(reg):
+        # Any registered *uniprocessor* test: admission == the test
+        # proves the core feasible.  The multiprocessor tests are
+        # excluded — a global-EDF bound run on one core's content says
+        # nothing about that core under EDF, so accepting them here
+        # would manufacture unsound feasibility proofs.
+        return AdmissionPredicate(
+            name, _test_check(name, reg, **options), proves_feasibility=True
+        )
+    raise ValueError(
+        f"unknown admission predicate {name!r}; built-in: "
+        f"{', '.join(BUILTIN_ADMISSIONS)}; registry tests: "
+        f"{', '.join(admission_registry_names(reg))}"
+    )
+
+
+def admission_registry_names(registry: Optional[TestRegistry] = None) -> Tuple[str, ...]:
+    """Registry tests usable as admission predicates (uniprocessor ones).
+
+    A test that takes a ``cores`` option reasons about a whole platform,
+    not about one core's content under EDF — running it per core would
+    answer the wrong question — so any such test is excluded.
+    """
+    reg = registry if registry is not None else default_registry()
+    return tuple(
+        d.name for d in reg.definitions() if d.option("cores") is None
+    )
+
+
+def admission_names(registry: Optional[TestRegistry] = None) -> Tuple[str, ...]:
+    """Every valid admission predicate name (built-ins first)."""
+    return BUILTIN_ADMISSIONS + admission_registry_names(registry)

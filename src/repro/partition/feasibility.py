@@ -1,0 +1,222 @@
+"""Multiprocessor feasibility tests in engine vocabulary.
+
+The runners here give the partition subsystem the same engine surface
+as every uniprocessor test: plain functions ``(source, **options) ->
+FeasibilityResult`` that the :mod:`~repro.engine.registry` registers
+under ``"partitioned-edf"``, ``"global-edf-density"`` and
+``"global-edf-gfb"``, making partitioned analysis reachable from
+:func:`repro.analyze`, the :class:`~repro.engine.batch.BatchRunner`
+(the figM experiment batches hundreds of these), and the CLI.
+
+Verdict semantics (all three are SUFFICIENT tests):
+
+* FEASIBLE — a proof: a complete packing under a proof-bearing
+  admission predicate, or a satisfied global bound.
+* INFEASIBLE — only for violated *necessary* conditions
+  (``U > m``, or a task with ``C > D`` that no platform can serve).
+* UNKNOWN — the heuristic or bound failed; a smarter partition may
+  still exist.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, Optional
+
+from ..model.components import DemandSource
+from ..model.numeric import Time
+from ..result import FeasibilityResult, Verdict
+from .packing import pack
+from .platform import _as_taskset
+from .search import density_extrema
+
+__all__ = [
+    "partitioned_edf_test",
+    "global_density_test",
+    "global_gfb_test",
+]
+
+
+def _overload_result(
+    name: str, utilization: Fraction, cores: int, **extra: Any
+) -> FeasibilityResult:
+    details: Dict[str, Any] = {
+        "utilization": utilization,
+        "cores": cores,
+        "reason": f"U > m ({float(utilization):.4f} > {cores})",
+    }
+    details.update(extra)
+    return FeasibilityResult(
+        verdict=Verdict.INFEASIBLE, test_name=name, iterations=0, details=details
+    )
+
+
+def _necessary_conditions(
+    name: str, tasks, cores: int, **extra: Any
+) -> Optional[FeasibilityResult]:
+    """The INFEASIBLE early-outs every multiprocessor test shares.
+
+    Two necessary conditions, checked in order: total utilization must
+    not exceed the core count, and no task may have ``C > D`` — a job
+    executes sequentially, so such a task misses even alone on an empty
+    core, whatever the platform size.  Returns ``None`` when neither
+    condition fires (including for the empty set).  A nonsensical core
+    count raises rather than producing a verdict about nothing.
+    """
+    if not isinstance(cores, int) or isinstance(cores, bool) or cores < 1:
+        raise ValueError(f"cores must be an int >= 1, got {cores!r}")
+    if not len(tasks):
+        return None
+    u = Fraction(tasks.utilization)
+    if u > cores:
+        return _overload_result(name, u, cores, **extra)
+    worst = next((t for t in tasks if t.wcet > t.deadline), None)
+    if worst is None:
+        return None
+    details: Dict[str, Any] = {
+        "utilization": u,
+        "cores": cores,
+        "reason": f"task {worst.name or '?'} has C > D "
+        f"({worst.wcet} > {worst.deadline})",
+    }
+    details.update(extra)
+    return FeasibilityResult(
+        verdict=Verdict.INFEASIBLE, test_name=name, iterations=1, details=details
+    )
+
+
+def partitioned_edf_test(
+    source: DemandSource,
+    cores: int,
+    heuristic: str = "ffd",
+    admission: str = "approx-dbf",
+    epsilon: Optional[Time] = None,
+) -> FeasibilityResult:
+    """Partitioned EDF schedulability on *cores* identical cores.
+
+    Packs *source* with the given heuristic/admission pair and reports:
+
+    * INFEASIBLE when total utilization exceeds the core count or some
+      task has ``C > D`` (no scheduler of any kind can help);
+    * FEASIBLE when the packing is complete and the admission predicate
+      proves per-core feasibility (``"approx-dbf"``, ``"exact-dbf"``
+      and every test-backed predicate do; the bare ``"utilization"``
+      gate only on implicit-deadline sets);
+    * UNKNOWN otherwise, with the unassigned tasks in ``details``.
+
+    ``iterations`` counts admission checks — the packing-effort
+    analogue of the paper's interval-comparison metric.
+    """
+    name = "partitioned-edf"
+    tasks = _as_taskset(source)
+    u = Fraction(tasks.utilization) if len(tasks) else Fraction(0)
+    guard = _necessary_conditions(name, tasks, cores, heuristic=heuristic)
+    if guard is not None:
+        # Validate the option combination even on the early exit so a
+        # bad heuristic/admission name never silently "succeeds".
+        pack(tasks[:0], cores, heuristic, admission, epsilon=epsilon)
+        return guard
+
+    result = pack(tasks, cores, heuristic, admission, epsilon=epsilon)
+    details: Dict[str, Any] = {
+        "utilization": u,
+        "cores": cores,
+        "heuristic": heuristic,
+        "admission": result.admission,
+        "assignment": result.system.assignment,
+        "core_utilizations": result.system.core_utilizations(),
+        "unassigned": result.unassigned,
+    }
+    if not result.success:
+        return FeasibilityResult(
+            verdict=Verdict.UNKNOWN,
+            test_name=name,
+            iterations=result.admission_calls,
+            details=details,
+        )
+    proved = result.proves_feasibility or all(
+        t.is_implicit_deadline for t in tasks
+    )
+    if not proved:
+        details["reason"] = (
+            "complete packing, but the admission predicate proves nothing "
+            "for constrained deadlines"
+        )
+    return FeasibilityResult(
+        verdict=Verdict.FEASIBLE if proved else Verdict.UNKNOWN,
+        test_name=name,
+        iterations=result.admission_calls,
+        details=details,
+    )
+
+
+def global_density_test(source: DemandSource, cores: int) -> FeasibilityResult:
+    """Global-EDF density bound: ``lambda_sum <= m - (m-1) * lambda_max``.
+
+    The density generalization of Goossens-Funk-Baruah (Bertogna,
+    Cirinei & Lipari 2005), sound for constrained- and
+    arbitrary-deadline sporadic sets.  One comparison; the partitioned
+    tests' calibration baseline.
+    """
+    name = "global-edf-density"
+    tasks = _as_taskset(source)
+    guard = _necessary_conditions(name, tasks, cores)
+    if guard is not None:
+        return guard
+    if not len(tasks):
+        return FeasibilityResult(
+            verdict=Verdict.FEASIBLE, test_name=name, iterations=1,
+            details={"utilization": 0, "cores": cores},
+        )
+    u = Fraction(tasks.utilization)
+    lam_sum, lam_max = density_extrema(tasks)
+    holds = lam_sum <= cores - (cores - 1) * lam_max
+    return FeasibilityResult(
+        verdict=Verdict.FEASIBLE if holds else Verdict.UNKNOWN,
+        test_name=name,
+        iterations=1,
+        details={
+            "utilization": u,
+            "cores": cores,
+            "density_sum": lam_sum,
+            "density_max": lam_max,
+        },
+    )
+
+
+def global_gfb_test(source: DemandSource, cores: int) -> FeasibilityResult:
+    """Goossens-Funk-Baruah bound: ``U <= m (1 - u_max) + u_max``.
+
+    Exactly the published implicit-deadline condition; sets with any
+    constrained deadline get UNKNOWN (use ``global-edf-density``).
+    """
+    name = "global-edf-gfb"
+    tasks = _as_taskset(source)
+    guard = _necessary_conditions(name, tasks, cores)
+    if guard is not None:
+        return guard
+    if not len(tasks):
+        return FeasibilityResult(
+            verdict=Verdict.FEASIBLE, test_name=name, iterations=1,
+            details={"utilization": 0, "cores": cores},
+        )
+    u = Fraction(tasks.utilization)
+    if not all(t.is_implicit_deadline for t in tasks):
+        return FeasibilityResult(
+            verdict=Verdict.UNKNOWN,
+            test_name=name,
+            iterations=0,
+            details={
+                "utilization": u,
+                "cores": cores,
+                "reason": "GFB requires implicit deadlines (D = T)",
+            },
+        )
+    u_max = max(Fraction(t.utilization) for t in tasks)
+    holds = u <= cores * (1 - u_max) + u_max
+    return FeasibilityResult(
+        verdict=Verdict.FEASIBLE if holds else Verdict.UNKNOWN,
+        test_name=name,
+        iterations=1,
+        details={"utilization": u, "cores": cores, "u_max": u_max},
+    )

@@ -1,0 +1,253 @@
+"""Multiprocessor platform and partitioned-system model.
+
+Partitioned EDF on ``m`` identical cores reduces multiprocessor
+feasibility to ``m`` independent uniprocessor problems: a task-to-core
+assignment is schedulable iff every core's task subset passes a
+uniprocessor EDF feasibility test (Bonifaci & Marchetti-Spaccamela,
+PAPERS.md).  This module carries the two data types that reduction
+needs:
+
+* :class:`Platform` — ``m`` identical unit-speed cores;
+* :class:`PartitionedSystem` — a :class:`~repro.model.taskset.TaskSet`
+  plus a task→core assignment map (entries may be ``None`` while a
+  packing is incomplete).
+
+Both are immutable; packing heuristics produce new systems via
+:meth:`PartitionedSystem.assign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..model.numeric import ExactTime
+from ..model.task import SporadicTask
+from ..model.taskset import TaskSet
+from ..model.validation import ModelError
+
+__all__ = ["Platform", "PartitionedSystem"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """``m`` identical unit-speed cores.
+
+    Attributes:
+        cores: number of processors ``m >= 1``.
+        name: optional label, carried through serialization and reports.
+    """
+
+    cores: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cores, int) or isinstance(self.cores, bool):
+            raise ModelError(f"platform cores must be an int, got {self.cores!r}")
+        if self.cores < 1:
+            raise ModelError(f"platform needs at least one core, got {self.cores}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"Platform{label}(cores={self.cores})"
+
+
+class PartitionedSystem:
+    """A task set, a platform, and a task→core assignment.
+
+    ``assignment[i]`` is the core index of task ``i``, or ``None`` while
+    the task is unassigned (packing in progress, or packing failure).
+    The system is immutable; :meth:`assign` returns updated copies.
+    """
+
+    __slots__ = ("_tasks", "_platform", "_assignment")
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        platform: Platform,
+        assignment: Optional[Sequence[Optional[int]]] = None,
+    ) -> None:
+        if not isinstance(tasks, TaskSet):
+            raise ModelError(
+                f"PartitionedSystem needs a TaskSet, got {type(tasks).__name__}"
+            )
+        if not isinstance(platform, Platform):
+            raise ModelError(
+                f"PartitionedSystem needs a Platform, got {type(platform).__name__}"
+            )
+        entries: Tuple[Optional[int], ...]
+        if assignment is None:
+            entries = (None,) * len(tasks)
+        else:
+            entries = tuple(assignment)
+        if len(entries) != len(tasks):
+            raise ModelError(
+                f"assignment covers {len(entries)} tasks but the set has "
+                f"{len(tasks)}"
+            )
+        for index, core in enumerate(entries):
+            if core is None:
+                continue
+            if not isinstance(core, int) or isinstance(core, bool):
+                raise ModelError(
+                    f"assignment entry {index} must be an int core index or "
+                    f"null, got {core!r}"
+                )
+            if not 0 <= core < platform.cores:
+                raise ModelError(
+                    f"assignment entry {index} is core {core}, outside the "
+                    f"platform's 0..{platform.cores - 1}"
+                )
+        self._tasks = tasks
+        self._platform = platform
+        self._assignment = entries
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def tasks(self) -> TaskSet:
+        return self._tasks
+
+    @property
+    def platform(self) -> Platform:
+        return self._platform
+
+    @property
+    def assignment(self) -> Tuple[Optional[int], ...]:
+        return self._assignment
+
+    @property
+    def cores(self) -> int:
+        return self._platform.cores
+
+    @property
+    def name(self) -> str:
+        return self._platform.name or self._tasks.name
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` when every task has a core."""
+        return all(core is not None for core in self._assignment)
+
+    @property
+    def unassigned(self) -> Tuple[int, ...]:
+        """Indices of tasks without a core, in task order."""
+        return tuple(
+            i for i, core in enumerate(self._assignment) if core is None
+        )
+
+    def core_indices(self, core: int) -> Tuple[int, ...]:
+        """Task indices assigned to *core*, in task order."""
+        self._check_core(core)
+        return tuple(i for i, c in enumerate(self._assignment) if c == core)
+
+    def core_tasks(self, core: int) -> TaskSet:
+        """The task subset of *core* as its own :class:`TaskSet`."""
+        base = self.name or "system"
+        return TaskSet(
+            (self._tasks[i] for i in self.core_indices(core)),
+            name=f"{base}/core{core}",
+        )
+
+    def core_utilization(self, core: int) -> ExactTime:
+        """Exact utilization of the tasks on *core*."""
+        total = Fraction(0)
+        for i in self.core_indices(core):
+            total += Fraction(self._tasks[i].utilization)
+        return total.numerator if total.denominator == 1 else total
+
+    def core_utilizations(self) -> Tuple[ExactTime, ...]:
+        """Per-core utilizations, core 0 first."""
+        return tuple(self.core_utilization(k) for k in range(self.cores))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def assign(self, task_index: int, core: int) -> "PartitionedSystem":
+        """Return a copy with task *task_index* placed on *core*."""
+        if not 0 <= task_index < len(self._tasks):
+            raise ModelError(
+                f"task index {task_index} outside 0..{len(self._tasks) - 1}"
+            )
+        self._check_core(core)
+        entries = list(self._assignment)
+        entries[task_index] = core
+        return PartitionedSystem(self._tasks, self._platform, entries)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self._platform.cores:
+            raise ModelError(
+                f"core {core} outside the platform's 0..{self._platform.cores - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder / reporting
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionedSystem):
+            return NotImplemented
+        return (
+            self._tasks == other._tasks
+            and self._platform == other._platform
+            and self._assignment == other._assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._tasks, self._platform, self._assignment))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        placed = len(self._tasks) - len(self.unassigned)
+        return (
+            f"PartitionedSystem(n={len(self._tasks)}, m={self.cores}, "
+            f"assigned={placed}/{len(self._tasks)})"
+        )
+
+    def summary(self) -> str:
+        """Multi-line per-core description (CLI output shape)."""
+        lines: List[str] = [
+            f"PartitionedSystem {self.name or '<unnamed>'}: "
+            f"{len(self._tasks)} tasks on {self.cores} cores"
+        ]
+        for core in range(self.cores):
+            subset = self.core_indices(core)
+            u = self.core_utilization(core)
+            names = ", ".join(
+                self._tasks[i].name or f"tau{i + 1}" for i in subset
+            )
+            lines.append(
+                f"  core {core}: {len(subset)} tasks, U = {float(u):.4f}"
+                + (f"  [{names}]" if names else "")
+            )
+        if self.unassigned:
+            missing = ", ".join(
+                self._tasks[i].name or f"tau{i + 1}" for i in self.unassigned
+            )
+            lines.append(f"  unassigned: {missing}")
+        return "\n".join(lines)
+
+
+def _as_taskset(source: object) -> TaskSet:
+    """Normalize partition-subsystem inputs to a :class:`TaskSet`.
+
+    Partitioning assigns whole *tasks*; raw demand components and
+    event-stream tasks carry no per-task identity to assign, so only
+    task sets (or plain task sequences) are accepted.
+    """
+    if isinstance(source, PartitionedSystem):
+        return source.tasks
+    if isinstance(source, TaskSet):
+        return source
+    if isinstance(source, Iterable):
+        items = list(source)
+        if all(isinstance(t, SporadicTask) for t in items):
+            return TaskSet(items)
+    raise ModelError(
+        "partitioned analysis needs a TaskSet (or a sequence of "
+        f"SporadicTask), got {type(source).__name__}"
+    )

@@ -1,0 +1,211 @@
+"""Minimum-core search and global-EDF comparison bounds.
+
+``minimum_cores`` answers the provisioning question — *how many cores
+does this workload need under a given heuristic and admission test?* —
+by probing core counts with :func:`~repro.partition.packing.pack`.
+First-fit and next-fit packings are monotone in the core count (extra
+cores are only touched after the existing ones reject), so a binary
+search over ``[ceil(U), n]`` is sound for them; best/worst-fit place
+tasks by *relative* load and are not provably monotone, so they default
+to a linear scan.  Both strategies are available explicitly.
+
+For calibration the module also carries the standard global-EDF
+sufficient bounds (Goossens-Funk-Baruah and its density
+generalization): partitioned minimum-core numbers are only meaningful
+next to what a global scheduler could promise on the same hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, List, Optional, Tuple, Union
+
+from ..engine.registry import TestRegistry
+from ..model.numeric import Time
+from ..model.taskset import TaskSet
+from .admission import AdmissionPredicate
+from .packing import PackingResult, _resolve_admission, pack
+from .platform import PartitionedSystem, _as_taskset
+
+__all__ = [
+    "MinCoresResult",
+    "minimum_cores",
+    "partitioned_lower_bound",
+    "density_extrema",
+    "min_cores_global_density",
+]
+
+#: Heuristics whose success is monotone in the core count.
+_MONOTONE = ("ff", "ffd", "nf", "nfd")
+
+
+@dataclass(frozen=True)
+class MinCoresResult:
+    """Outcome of a minimum-core search.
+
+    Attributes:
+        cores: the smallest core count the heuristic packed, or ``None``
+            when no count up to ``max_cores`` succeeded.
+        packing: the successful packing at :attr:`cores` (``None`` when
+            the search failed).
+        attempts: every ``(core count, packed?)`` probe, in probe order
+            — the search's audit trail.
+        lower_bound: the load-based floor ``max(1, ceil(U))`` the search
+            started from.
+        strategy: ``"binary"`` or ``"linear"`` as actually used.
+        admission_calls: total admission checks across all probes.
+    """
+
+    cores: Optional[int]
+    packing: Optional[PackingResult]
+    attempts: Tuple[Tuple[int, bool], ...]
+    lower_bound: int
+    strategy: str
+    admission_calls: int
+
+    @property
+    def found(self) -> bool:
+        return self.cores is not None
+
+
+def partitioned_lower_bound(source: Union[TaskSet, PartitionedSystem]) -> int:
+    """Load floor on any partition: ``max(1, ceil(total utilization))``."""
+    tasks = _as_taskset(source)
+    u = Fraction(tasks.utilization) if tasks else Fraction(0)
+    return max(1, math.ceil(u))
+
+
+def minimum_cores(
+    source: Union[TaskSet, PartitionedSystem],
+    heuristic: str = "ffd",
+    admission: Union[str, AdmissionPredicate] = "approx-dbf",
+    *,
+    max_cores: Optional[int] = None,
+    strategy: str = "auto",
+    epsilon: Optional[Time] = None,
+    registry: Optional[TestRegistry] = None,
+    **admission_options: Any,
+) -> MinCoresResult:
+    """Search the smallest core count *heuristic* can pack *source* onto.
+
+    Args:
+        source: the task set to provision for.
+        heuristic: packing heuristic (see
+            :data:`~repro.partition.packing.HEURISTICS`).
+        admission: admission predicate name or instance (shared across
+            probes, so its call counter spans the whole search).
+        max_cores: probe ceiling; defaults to the task count, which
+            always suffices when every task is admissible alone.
+        strategy: ``"binary"``, ``"linear"``, or ``"auto"`` (binary for
+            the monotone first/next-fit family, linear otherwise).
+        epsilon / registry / admission_options: forwarded to
+            :func:`~repro.partition.admission.admission_predicate`.
+
+    Returns:
+        A :class:`MinCoresResult`; ``cores is None`` means some task is
+        inadmissible even on an empty core (no core count can help) or
+        ``max_cores`` was exhausted.
+    """
+    tasks = _as_taskset(source)
+    if strategy not in ("auto", "binary", "linear"):
+        raise ValueError(
+            f"unknown search strategy {strategy!r}; "
+            "available: auto, binary, linear"
+        )
+    if strategy == "auto":
+        strategy = "binary" if heuristic in _MONOTONE else "linear"
+    predicate = _resolve_admission(
+        admission, epsilon=epsilon, registry=registry, **admission_options
+    )
+    start_calls = predicate.calls
+    lo = partitioned_lower_bound(tasks)
+    attempts: List[Tuple[int, bool]] = []
+
+    def finish(
+        cores: Optional[int], packing: Optional[PackingResult]
+    ) -> MinCoresResult:
+        return MinCoresResult(
+            cores=cores,
+            packing=packing,
+            attempts=tuple(attempts),
+            lower_bound=lo,
+            strategy=strategy,
+            admission_calls=predicate.calls - start_calls,
+        )
+
+    if not len(tasks):
+        # The empty workload trivially fits one (idle) core.
+        return finish(1, pack(tasks, 1, heuristic, predicate))
+
+    # A task rejected by an empty core can never be placed: no search.
+    for t in tasks:
+        if not predicate.admits((), Fraction(0), t):
+            return finish(None, None)
+
+    hi = max_cores if max_cores is not None else max(lo, len(tasks))
+    if hi < lo:
+        return finish(None, None)
+
+    def probe(m: int) -> PackingResult:
+        result = pack(tasks, m, heuristic, predicate)
+        attempts.append((m, result.success))
+        return result
+
+    if strategy == "linear":
+        for m in range(lo, hi + 1):
+            result = probe(m)
+            if result.success:
+                return finish(m, result)
+        return finish(None, None)
+
+    # Binary search: establish a successful ceiling first, then bisect.
+    best = probe(hi)
+    if not best.success:
+        return finish(None, None)
+    best_m = hi
+    low, high = lo, hi - 1
+    while low <= high:
+        mid = (low + high) // 2
+        result = probe(mid)
+        if result.success:
+            best, best_m = result, mid
+            high = mid - 1
+        else:
+            low = mid + 1
+    return finish(best_m, best)
+
+
+def density_extrema(tasks: TaskSet) -> Tuple[Fraction, Fraction]:
+    """Exact ``(lambda_sum, lambda_max)`` of a non-empty task set.
+
+    The two quantities every global-EDF density argument is built from;
+    shared by :func:`min_cores_global_density` and
+    :func:`~repro.partition.feasibility.global_density_test` so the
+    bound's arithmetic lives in one place.
+    """
+    densities = [Fraction(t.density) for t in tasks]
+    return sum(densities, Fraction(0)), max(densities)
+
+
+def min_cores_global_density(
+    source: Union[TaskSet, PartitionedSystem],
+) -> Optional[int]:
+    """Smallest ``m`` accepted by the global-EDF density bound.
+
+    The density condition ``lambda_sum <= m - (m - 1) * lambda_max``
+    solves to ``m >= (lambda_sum - lambda_max) / (1 - lambda_max)``;
+    ``None`` when some task has density > 1 (no speed-1 platform works)
+    or the bound never closes (``lambda_max = 1`` with ``lambda_sum > 1``).
+    """
+    tasks = _as_taskset(source)
+    if not len(tasks):
+        return 1
+    lam_sum, lam_max = density_extrema(tasks)
+    if lam_max > 1:
+        return None
+    if lam_max == 1:
+        return 1 if lam_sum <= 1 else None
+    needed = (lam_sum - lam_max) / (1 - lam_max)
+    return max(1, math.ceil(needed))

@@ -18,11 +18,22 @@ EXPECTED_TESTS = {
     "all-approx",
     "devi",
     "dynamic",
+    "global-edf-density",
+    "global-edf-gfb",
     "liu-layland",
+    "partitioned-edf",
     "processor-demand",
     "qpa",
     "rtc",
     "superpos",
+}
+
+#: Required options per test, for the run-everything sweep.
+REQUIRED_OPTIONS = {
+    "superpos": {"level": 2},
+    "partitioned-edf": {"cores": 2},
+    "global-edf-density": {"cores": 2},
+    "global-edf-gfb": {"cores": 2},
 }
 
 
@@ -38,7 +49,7 @@ class TestDefaultRegistry:
     def test_every_test_runs_by_name(self, simple_taskset):
         registry = default_registry()
         for definition in registry.definitions():
-            options = {"level": 2} if definition.name == "superpos" else {}
+            options = REQUIRED_OPTIONS.get(definition.name, {})
             result = analyze(simple_taskset, definition.name, **options)
             assert isinstance(result, FeasibilityResult)
             assert result.verdict in (Verdict.FEASIBLE, Verdict.UNKNOWN)
@@ -92,7 +103,7 @@ class TestOptionResolution:
         needs_options = {
             d.name for d in registry.definitions() if not d.runnable_without_options
         }
-        assert needs_options == {"superpos"}
+        assert needs_options == set(REQUIRED_OPTIONS)
 
 
 class TestCustomRegistry:

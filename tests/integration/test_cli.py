@@ -35,6 +35,16 @@ class TestAnalyze:
         out = capsys.readouterr().out
         for name in ("devi", "dynamic", "processor-demand", "qpa"):
             assert name in out
+        assert "partitioned-edf" not in out  # needs --cores
+
+    def test_all_with_cores_includes_multiprocessor_tests(
+        self, taskset_file, capsys
+    ):
+        assert main(["analyze", taskset_file, "--all", "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        for name in ("partitioned-edf", "global-edf-density", "global-edf-gfb",
+                      "devi", "processor-demand"):
+            assert name in out
 
     def test_superpos_requires_level(self, taskset_file, capsys):
         assert main(["analyze", taskset_file, "--test", "superpos"]) == 2
@@ -107,6 +117,186 @@ class TestExample:
 
     def test_unknown_example(self, capsys):
         assert main(["example", "nope"]) == 2
+
+
+class TestPartition:
+    @pytest.fixture
+    def heavy_file(self, tmp_path):
+        """A two-core workload: ma_shin doubled (U ~ 1.83)."""
+        from repro.generation import ma_shin_taskset
+        from repro.model import SporadicTask, TaskSet
+
+        base = ma_shin_taskset()
+        doubled = TaskSet(
+            list(base)
+            + [
+                SporadicTask(
+                    wcet=t.wcet, deadline=t.deadline, period=t.period,
+                    name=f"{t.name}-b",
+                )
+                for t in base
+            ],
+            name="ma_shin-x2",
+        )
+        path = tmp_path / "heavy.json"
+        dump_taskset(doubled, path)
+        return str(path)
+
+    def test_pack_verify_and_export(self, heavy_file, tmp_path, capsys):
+        out_file = tmp_path / "packed.json"
+        code = main(
+            ["partition", heavy_file, "--cores", "4", "--heuristic", "ffd",
+             "--admission", "approx-dbf", "-o", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 cores" in out
+        assert "exact=feasible" in out
+        assert "schedulable" in out
+        # The export is a valid system-v1 document with the assignment.
+        from repro.model import load_system
+
+        system = load_system(out_file)
+        assert system.cores == 4
+        assert system.is_complete
+
+    def test_deterministic_assignment(self, heavy_file, tmp_path):
+        """Acceptance criterion: the documented invocation reproduces."""
+        from repro.model import load_system
+        from repro.partition import verify_partition
+
+        paths = [str(tmp_path / f"run{i}.json") for i in (1, 2)]
+        for path in paths:
+            assert main(
+                ["partition", heavy_file, "--cores", "4",
+                 "--heuristic", "ffd", "--admission", "approx-dbf",
+                 "-o", path]
+            ) == 0
+        first, second = map(load_system, paths)
+        assert first == second
+        # Every core passes the exact processor-demand criterion.
+        verification = verify_partition(first, method="exact")
+        assert verification.ok
+
+    def test_min_cores_search(self, heavy_file, capsys):
+        assert main(["partition", heavy_file, "--min-cores"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum cores        : 2" in out
+        assert "lower bound (ceil U) : 2" in out
+
+    def test_min_cores_ignores_a_stored_platform_as_ceiling(
+        self, heavy_file, tmp_path, capsys
+    ):
+        # A failed 1-core export must not cap the subsequent search.
+        failed = tmp_path / "failed.json"
+        assert main(
+            ["partition", heavy_file, "--cores", "1", "-o", str(failed)]
+        ) == 1
+        capsys.readouterr()
+        assert main(["partition", str(failed), "--min-cores"]) == 0
+        assert "minimum cores        : 2" in capsys.readouterr().out
+
+    def test_system_file_verifies_stored_assignment(
+        self, heavy_file, tmp_path, capsys
+    ):
+        # An exported system re-verifies as stored — even when the
+        # current flags would pack differently — unless --repack asks.
+        packed = tmp_path / "packed.json"
+        main(["partition", heavy_file, "--cores", "3", "--heuristic", "bfd",
+              "-o", str(packed)])
+        capsys.readouterr()
+        assert main(
+            ["partition", str(packed), "--heuristic", "wf",
+             "--admission", "utilization"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "using the stored assignment" in out
+        assert "3 cores" in out
+        assert "packing" not in out  # nothing was re-packed
+
+    def test_repack_overrides_stored_assignment(
+        self, heavy_file, tmp_path, capsys
+    ):
+        packed = tmp_path / "packed.json"
+        main(["partition", heavy_file, "--cores", "3", "-o", str(packed)])
+        capsys.readouterr()
+        assert main(["partition", str(packed), "--repack"]) == 0
+        out = capsys.readouterr().out
+        assert "using the stored assignment" not in out
+        assert "packing" in out
+
+    def test_cores_mismatch_announces_the_discarded_assignment(
+        self, heavy_file, tmp_path, capsys
+    ):
+        packed = tmp_path / "packed.json"
+        main(["partition", heavy_file, "--cores", "3", "-o", str(packed)])
+        capsys.readouterr()
+        assert main(["partition", str(packed), "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "stored assignment ignored" in out
+        assert "4 cores" in out
+
+    def test_cores_required_without_system_platform(self, heavy_file, capsys):
+        assert main(["partition", heavy_file]) == 2
+        assert "--cores" in capsys.readouterr().err
+
+    def test_packing_failure_exit_code(self, heavy_file, capsys):
+        assert main(["partition", heavy_file, "--cores", "1"]) == 1
+        assert "did not fit" in capsys.readouterr().out
+
+    def test_unknown_admission_lists_registry_names(self, heavy_file, capsys):
+        assert main(
+            ["partition", heavy_file, "--cores", "2", "--admission", "nope"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "approx-dbf" in err and "processor-demand" in err
+
+    def test_epsilon_accepts_fraction_strings(self, heavy_file, capsys):
+        assert main(
+            ["partition", heavy_file, "--cores", "2", "--epsilon", "1/4"]
+        ) == 0
+        assert "eps=1/4" in capsys.readouterr().out
+
+    def test_verify_none_skips_verification(self, heavy_file, capsys):
+        assert main(
+            ["partition", heavy_file, "--cores", "2", "--verify", "none"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verification skipped" in out
+        assert "exact=" not in out
+
+
+class TestCacheStats:
+    def test_analyze_cache_stats(self, taskset_file, capsys):
+        assert main(["analyze", taskset_file, "--cache-stats"]) == 0
+        assert "context cache:" in capsys.readouterr().out
+
+    def test_partition_cache_stats(self, taskset_file, capsys):
+        assert main(
+            ["partition", taskset_file, "--cores", "2", "--cache-stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "context cache:" in out and "hits=" in out
+
+    def test_no_stats_without_flag(self, taskset_file, capsys):
+        assert main(["analyze", taskset_file]) == 0
+        assert "context cache:" not in capsys.readouterr().out
+
+    def test_parallel_fanout_stats_carry_a_worker_note(
+        self, taskset_file, capsys
+    ):
+        assert main(
+            ["analyze", taskset_file, "--all", "--jobs", "2", "--cache-stats"]
+        ) == 0
+        assert "own caches" in capsys.readouterr().out
+
+    def test_sequential_fanout_stats_have_no_note(self, taskset_file, capsys):
+        assert main(
+            ["analyze", taskset_file, "--all", "--jobs", "1", "--cache-stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "context cache:" in out
+        assert "own caches" not in out
 
 
 class TestExperiment:

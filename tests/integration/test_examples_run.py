@@ -1,11 +1,15 @@
 """Every shipped example must run to completion.
 
 Examples are the quickstart documentation; a broken one is a
-documentation bug.  Each script is executed in-process with stdout
-captured; assertions check for the landmark lines rather than full
-golden output, so cosmetic tweaks don't break the suite.
+documentation bug.  The smoke test below discovers every ``*.py`` in
+``examples/`` by glob, so a newly added script is covered the moment it
+lands — no test edit required.  Each script is executed in-process with
+stdout captured (and memoized, examples being deterministic); the
+per-example landmark tests then check for characteristic lines rather
+than full golden output, so cosmetic tweaks don't break the suite.
 """
 
+import functools
 import io
 import runpy
 import sys
@@ -16,12 +20,29 @@ import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
+#: Every example script, discovered — not listed.
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
 
+
+@functools.lru_cache(maxsize=None)
 def run_example(name: str) -> str:
     buffer = io.StringIO()
     with redirect_stdout(buffer):
         runpy.run_path(str(EXAMPLES / name), run_name="__main__")
     return buffer.getvalue()
+
+
+class TestSmoke:
+    def test_examples_were_discovered(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 9
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_runs_and_prints(self, name):
+        # Completing without raising and producing output is the bar
+        # every example must clear, including ones added after this
+        # test was written.
+        assert run_example(name).strip()
 
 
 class TestExamplesRun:
@@ -66,3 +87,9 @@ class TestExamplesRun:
         out = run_example("capacity_planning.py")
         assert "exact system load" in out
         assert "per-task margins" in out
+
+    def test_partitioned_system(self):
+        out = run_example("partitioned_system.py")
+        assert "minimum cores by heuristic" in out
+        assert "global-EDF density bound" in out
+        assert "partition verdict: schedulable" in out

@@ -1,5 +1,6 @@
-"""Unit tests for JSON round-tripping of task sets."""
+"""Unit tests for JSON round-tripping of task sets and systems."""
 
+import json
 from fractions import Fraction
 
 import pytest
@@ -8,14 +9,22 @@ from repro.model import (
     ModelError,
     SporadicTask,
     TaskSet,
+    dump_system,
     dump_taskset,
+    dumps_system,
     dumps_taskset,
+    load_any,
+    load_system,
     load_taskset,
+    loads_system,
     loads_taskset,
+    system_from_dict,
+    system_to_dict,
     task,
     taskset_from_dict,
     taskset_to_dict,
 )
+from repro.partition import PartitionedSystem, Platform
 
 
 class TestRoundTrip:
@@ -68,3 +77,134 @@ class TestValidation:
         doc["tasks"][0]["wcet"] = 0.5
         ts = taskset_from_dict(doc)
         assert ts[0].wcet == Fraction(1, 2)
+
+    def test_missing_task_fields_named_in_error(self):
+        doc = taskset_to_dict(TaskSet.of((1, 2, 3)))
+        del doc["tasks"][0]["period"]
+        with pytest.raises(ModelError, match="entry 0 is missing 'period'"):
+            taskset_from_dict(doc)
+
+
+def demo_system(assignment=(0, 1, 0)) -> PartitionedSystem:
+    tasks = TaskSet.of((2, 6, 10), (3, 11, 16), (5, 25, 25)).renamed("demo")
+    return PartitionedSystem(tasks, Platform(2, name="ecu"), assignment)
+
+
+class TestSystemRoundTrip:
+    def test_full_system(self):
+        system = demo_system()
+        again = loads_system(dumps_system(system))
+        assert again == system
+        assert again.platform.name == "ecu"
+        assert again.tasks.name == "demo"
+
+    def test_partial_assignment_with_nulls(self):
+        system = demo_system(assignment=(0, None, 1))
+        again = loads_system(dumps_system(system))
+        assert again.assignment == (0, None, 1)
+        assert again.unassigned == (1,)
+
+    def test_assignment_key_is_optional(self):
+        doc = system_to_dict(demo_system())
+        del doc["assignment"]
+        again = system_from_dict(doc)
+        assert again.assignment == (None, None, None)
+
+    def test_fraction_times_survive_exactly(self):
+        tasks = TaskSet([task(Fraction(1, 3), Fraction(5, 7), 2, name="f")])
+        system = PartitionedSystem(tasks, Platform(3), [2])
+        again = loads_system(dumps_system(system))
+        assert again.tasks[0].wcet == Fraction(1, 3)
+        assert again.tasks[0].deadline == Fraction(5, 7)
+        assert again.assignment == (2,)
+
+    def test_file_round_trip_and_load_any(self, tmp_path):
+        system = demo_system()
+        path = tmp_path / "system.json"
+        dump_system(system, path)
+        assert load_system(path) == system
+        assert load_any(path) == system
+
+    def test_load_any_dispatches_tasksets_too(self, tmp_path):
+        ts = TaskSet.of((1, 2, 3))
+        path = tmp_path / "set.json"
+        dump_taskset(ts, path)
+        loaded = load_any(path)
+        assert isinstance(loaded, TaskSet)
+        assert loaded == ts
+
+    def test_verdicts_reproduce_after_round_trip(self):
+        from repro.partition import verify_partition
+
+        system = demo_system(assignment=(0, 0, 1))
+        again = loads_system(dumps_system(system))
+        before = verify_partition(system, method="exact")
+        after = verify_partition(again, method="exact")
+        assert before.ok == after.ok
+        assert [v.exact.iterations for v in before.cores if v.exact] == [
+            v.exact.iterations for v in after.cores if v.exact
+        ]
+
+
+class TestSystemValidation:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ModelError, match="must be a dict"):
+            system_from_dict([1, 2, 3])
+
+    def test_rejects_missing_or_wrong_format(self):
+        doc = system_to_dict(demo_system())
+        del doc["format"]
+        with pytest.raises(ModelError, match="unsupported system format"):
+            system_from_dict(doc)
+        doc["format"] = "repro/taskset-v1"
+        with pytest.raises(ModelError, match="repro/system-v1"):
+            system_from_dict(doc)
+
+    def test_requires_platform_with_cores(self):
+        doc = system_to_dict(demo_system())
+        del doc["platform"]
+        with pytest.raises(ModelError, match="'platform' object"):
+            system_from_dict(doc)
+        doc["platform"] = {"name": "no-cores"}
+        with pytest.raises(ModelError, match="'cores'"):
+            system_from_dict(doc)
+
+    def test_platform_cores_validated(self):
+        doc = system_to_dict(demo_system())
+        doc["platform"]["cores"] = 0
+        with pytest.raises(ModelError, match="at least one core"):
+            system_from_dict(doc)
+        doc["platform"]["cores"] = "2"
+        with pytest.raises(ModelError, match="must be an int"):
+            system_from_dict(doc)
+
+    def test_requires_tasks(self):
+        doc = system_to_dict(demo_system())
+        del doc["tasks"]
+        with pytest.raises(ModelError, match="'tasks' list"):
+            system_from_dict(doc)
+        doc["tasks"] = {"not": "a list"}
+        with pytest.raises(ModelError, match="must be a list"):
+            system_from_dict(doc)
+
+    def test_assignment_shape_validated(self):
+        doc = system_to_dict(demo_system())
+        doc["assignment"] = "0,1,0"
+        with pytest.raises(ModelError, match="'assignment' must be a list"):
+            system_from_dict(doc)
+        doc["assignment"] = [0, 1]
+        with pytest.raises(ModelError, match="covers 2 tasks"):
+            system_from_dict(doc)
+        doc["assignment"] = [0, 1, 7]
+        with pytest.raises(ModelError, match="outside the platform"):
+            system_from_dict(doc)
+
+    def test_bad_time_value_inside_system(self):
+        doc = system_to_dict(demo_system())
+        doc["tasks"][1]["wcet"] = "three-ish"
+        with pytest.raises(ModelError, match="invalid time value"):
+            system_from_dict(doc)
+
+    def test_loads_system_surfaces_json_errors_as_json_errors(self):
+        with pytest.raises(json.JSONDecodeError):
+            loads_system("{not json")

@@ -1,0 +1,121 @@
+"""Unit tests for the admission predicates."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import clear_context_cache, context_cache_info
+from repro.model import TaskSet, task
+from repro.partition import admission_names, admission_predicate
+
+
+@pytest.fixture
+def heavy():
+    return task(5, 10, 10, name="heavy")  # u = 1/2, tight deadline
+
+
+class TestFactory:
+    def test_unknown_name_lists_builtins_and_registry(self):
+        with pytest.raises(ValueError) as err:
+            admission_predicate("frobnicate")
+        message = str(err.value)
+        assert "utilization" in message and "approx-dbf" in message
+        assert "processor-demand" in message and "qpa" in message
+
+    def test_admission_names_cover_builtins_and_registry(self):
+        names = admission_names()
+        assert names[:3] == ("utilization", "approx-dbf", "exact-dbf")
+        assert "devi" in names and "all-approx" in names
+        # The multiprocessor tests are not usable as per-core admission.
+        assert "partitioned-edf" not in names
+        assert "global-edf-density" not in names
+
+    def test_epsilon_only_for_approx(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            admission_predicate("exact-dbf", epsilon=Fraction(1, 5))
+
+    def test_utilization_takes_no_options(self):
+        with pytest.raises(ValueError, match="no options"):
+            admission_predicate("utilization", bound_method="best")
+
+    def test_registry_test_options_validated_eagerly(self):
+        with pytest.raises(ValueError, match="requires option 'level'"):
+            admission_predicate("superpos")
+        predicate = admission_predicate("superpos", level=3)
+        assert predicate.admits((), Fraction(0), task(1, 4, 4))
+
+    @pytest.mark.parametrize(
+        "name", ["partitioned-edf", "global-edf-density", "global-edf-gfb"]
+    )
+    def test_multiprocessor_tests_rejected_as_admission(self, name):
+        # A platform-level test run on one core's content would
+        # manufacture unsound per-core feasibility proofs.
+        with pytest.raises(ValueError, match="unknown admission predicate"):
+            admission_predicate(name, cores=2)
+
+    def test_epsilon_encoded_in_name(self):
+        predicate = admission_predicate("approx-dbf", epsilon=Fraction(1, 4))
+        assert predicate.name == "approx-dbf(eps=1/4)"
+
+    def test_approx_options_validated_at_construction(self):
+        # level is derived from epsilon, and bad options fail eagerly
+        # with a guided error, not on the first admits() call.
+        with pytest.raises(ValueError, match="pass epsilon"):
+            admission_predicate("approx-dbf", level=5)
+        with pytest.raises(ValueError, match="unknown option.*bogus"):
+            admission_predicate("approx-dbf", bogus=1)
+        with pytest.raises(ValueError, match="unknown option.*bogus"):
+            admission_predicate("exact-dbf", bogus=1)
+
+
+class TestSemantics:
+    def test_utilization_gate(self, heavy):
+        predicate = admission_predicate("utilization")
+        assert predicate.admits((), Fraction(0), heavy)
+        assert predicate.admits((heavy,), Fraction(1, 2), heavy)
+        assert not predicate.admits((heavy,), Fraction(3, 4), heavy)
+        assert predicate.calls == 3
+        assert not predicate.proves_feasibility
+
+    def test_demand_admissions_reject_what_utilization_accepts(self):
+        # Two tasks, each u = 1/2 but with deadlines at half the
+        # period: dbf(5) = 10 > 5.  The utilization gate waves the pair
+        # through; both demand-based predicates refuse.
+        a = task(5, 5, 10, name="a")
+        b = task(5, 5, 10, name="b")
+        gate = admission_predicate("utilization")
+        approx = admission_predicate("approx-dbf")
+        exact = admission_predicate("exact-dbf")
+        assert gate.admits((a,), Fraction(1, 2), b)
+        assert not approx.admits((a,), Fraction(1, 2), b)
+        assert not exact.admits((a,), Fraction(1, 2), b)
+        assert approx.proves_feasibility and exact.proves_feasibility
+
+    def test_overload_short_circuits_before_any_test(self, heavy):
+        predicate = admission_predicate("exact-dbf")
+        clear_context_cache()
+        assert not predicate.admits(
+            (heavy, heavy), Fraction(9, 8), heavy
+        )
+        # The gate rejected before normalizing: no context was built.
+        assert context_cache_info()["misses"] == 0
+
+    def test_accretion_reuses_the_context_cache(self):
+        # Probing the same (core content, candidate) pair twice — as
+        # min-core searches do across probes — must hit the LRU.
+        predicate = admission_predicate("approx-dbf")
+        core = (task(2, 6, 10), task(3, 11, 16))
+        candidate = task(5, 25, 25)
+        clear_context_cache()
+        predicate.admits(core, Fraction(1, 2), candidate)
+        misses_first = context_cache_info()["misses"]
+        predicate.admits(core, Fraction(1, 2), candidate)
+        info = context_cache_info()
+        assert info["misses"] == misses_first
+        assert info["hits"] >= 1
+
+    def test_devi_as_admission_is_a_registry_predicate(self):
+        predicate = admission_predicate("devi")
+        ts = TaskSet.of((2, 6, 10), (3, 11, 16))
+        assert predicate.admits(tuple(ts), Fraction(0), task(1, 50, 50))
+        assert predicate.proves_feasibility

@@ -1,0 +1,192 @@
+"""Engine-facing partitioned/global tests, batching, and figM plumbing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import analyze
+from repro.engine import AnalysisRequest, BatchRunner
+from repro.experiments import FigMConfig, render_figm, run_figm
+from repro.generation import ma_shin_taskset
+from repro.model import TaskSet, task
+from repro.partition import (
+    global_density_test,
+    global_gfb_test,
+    partitioned_edf_test,
+)
+from repro.result import Verdict
+
+
+def implicit(*utils, period=100):
+    return TaskSet(
+        [task(round(u * period), period, period, name=f"t{i}")
+         for i, u in enumerate(utils)]
+    )
+
+
+class TestPartitionedEdf:
+    def test_feasible_with_proof_bearing_admission(self):
+        result = partitioned_edf_test(ma_shin_taskset(), cores=2)
+        assert result.verdict is Verdict.FEASIBLE
+        assert result.test_name == "partitioned-edf"
+        assert result.details["cores"] == 2
+        assert None not in result.details["assignment"]
+        assert result.iterations > 0
+
+    def test_overload_is_infeasible(self):
+        ts = implicit(0.9, 0.9, 0.9)  # U = 2.7 > 2
+        result = partitioned_edf_test(ts, cores=2)
+        assert result.is_infeasible
+        assert "U > m" in result.details["reason"]
+
+    def test_sequential_overrun_is_infeasible_on_any_core_count(self):
+        # C > D: the job cannot finish even alone; every multiprocessor
+        # test must return INFEASIBLE, not UNKNOWN.
+        ts = TaskSet.of((5, 3, 10), (1, 50, 100))
+        for test in (partitioned_edf_test, global_density_test):
+            result = test(ts, cores=8)
+            assert result.is_infeasible, test.__name__
+            assert "C > D" in result.details["reason"]
+        implicit_overrun = TaskSet.of((15, 10, 10))  # C > D = T
+        assert global_gfb_test(implicit_overrun, cores=8).is_infeasible
+
+    def test_overload_still_validates_options(self):
+        ts = implicit(0.9, 0.9, 0.9)
+        with pytest.raises(ValueError, match="unknown admission"):
+            partitioned_edf_test(ts, cores=2, admission="bogus")
+
+    def test_packing_failure_is_unknown_not_infeasible(self):
+        ts = implicit(0.6, 0.6, 0.6)  # U = 1.8 <= 2 but unsplittable ff
+        result = partitioned_edf_test(ts, cores=2, heuristic="ff",
+                                      admission="utilization")
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.details["unassigned"] == (2,)
+
+    def test_utilization_admission_proves_only_implicit_deadlines(self):
+        implicit_set = implicit(0.5, 0.5, 0.5)
+        constrained = TaskSet.of((5, 50, 100), (5, 50, 100), (5, 50, 100))
+        ok = partitioned_edf_test(implicit_set, cores=2,
+                                  admission="utilization")
+        assert ok.verdict is Verdict.FEASIBLE
+        hedged = partitioned_edf_test(constrained, cores=2,
+                                      admission="utilization")
+        assert hedged.verdict is Verdict.UNKNOWN
+        assert "constrained deadlines" in hedged.details["reason"]
+
+    def test_epsilon_tightens_admission(self):
+        result = partitioned_edf_test(
+            ma_shin_taskset(), cores=2, epsilon=Fraction(1, 3)
+        )
+        assert result.verdict is Verdict.FEASIBLE
+        assert "eps=1/3" in result.details["admission"]
+
+
+class TestGlobalBounds:
+    def test_density_bound_accepts_light_sets(self):
+        ts = TaskSet.of((1, 10, 10), (1, 10, 10))
+        assert global_density_test(ts, cores=2).is_feasible
+
+    def test_density_bound_unknown_when_violated(self):
+        ts = TaskSet.of((5, 10, 20), (5, 10, 20), (5, 10, 20), (5, 10, 20))
+        result = global_density_test(ts, cores=2)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.details["density_sum"] == Fraction(2)
+
+    def test_density_bound_infeasible_cases(self):
+        overload = implicit(0.9, 0.9, 0.9)
+        assert global_density_test(overload, cores=2).is_infeasible
+        sequential = TaskSet.of((5, 3, 100), (1, 50, 100))
+        result = global_density_test(sequential, cores=4)
+        assert result.is_infeasible
+        assert "C > D" in result.details["reason"]
+
+    def test_gfb_requires_implicit_deadlines(self):
+        constrained = TaskSet.of((2, 5, 10))
+        result = global_gfb_test(constrained, cores=2)
+        assert result.verdict is Verdict.UNKNOWN
+        assert "implicit" in result.details["reason"]
+
+    def test_gfb_formula(self):
+        # U = 1.2, u_max = 0.6: bound m(1 - 0.6) + 0.6 -> m=2 gives 1.4.
+        ts = implicit(0.6, 0.6)
+        assert global_gfb_test(ts, cores=2).is_feasible
+        heavier = implicit(0.6, 0.6, 0.6)  # U = 1.8 > 1.4
+        assert global_gfb_test(heavier, cores=2).verdict is Verdict.UNKNOWN
+
+    def test_empty_set_is_feasible_everywhere(self):
+        empty = TaskSet(())
+        assert global_density_test(empty, cores=1).is_feasible
+        assert global_gfb_test(empty, cores=1).is_feasible
+
+    @pytest.mark.parametrize("cores", [0, -3, True])
+    def test_nonsensical_core_counts_raise_everywhere(self, cores):
+        ts = TaskSet.of((1, 4, 4))
+        for test in (partitioned_edf_test, global_density_test,
+                     global_gfb_test):
+            with pytest.raises(ValueError, match="cores must be"):
+                test(ts, cores=cores)
+            with pytest.raises(ValueError, match="cores must be"):
+                test(TaskSet(()), cores=cores)
+
+
+class TestEngineIntegration:
+    def test_analyze_by_name(self):
+        result = analyze(ma_shin_taskset(), "partitioned-edf", cores=2,
+                         heuristic="wfd", admission="exact-dbf")
+        assert result.is_feasible
+        assert result.details["heuristic"] == "wfd"
+
+    def test_cores_option_is_required_and_typed(self):
+        with pytest.raises(ValueError, match="requires option 'cores'"):
+            analyze(ma_shin_taskset(), "partitioned-edf")
+        with pytest.raises(ValueError, match="expects int"):
+            analyze(ma_shin_taskset(), "partitioned-edf", cores="four")
+
+    def test_parallel_batch_matches_sequential(self):
+        ts = ma_shin_taskset()
+        requests = [
+            AnalysisRequest(
+                source=ts,
+                test="partitioned-edf",
+                options={"cores": m, "heuristic": h},
+            )
+            for m in (1, 2, 3)
+            for h in ("ff", "ffd", "wfd")
+        ]
+        sequential = BatchRunner(jobs=1).run(requests)
+        parallel = BatchRunner(jobs=2).run(requests)
+        assert parallel == sequential
+        assert all(r.is_feasible for r in sequential)
+
+
+class TestFigM:
+    def test_small_run_structure(self):
+        config = FigMConfig(
+            cores=(2, 3),
+            sets_per_point=3,
+            tasks_per_core=(2, 3),
+            period_range=(100, 2_000),
+            heuristics=("ff", "ffd"),
+        )
+        agg = run_figm(config)
+        assert set(agg) == {2, 3}
+        for stats in agg.values():
+            assert set(stats) == {"ff", "ffd", "global-density"}
+            for test_stats in stats.values():
+                assert 0.0 <= test_stats["acceptance_rate"] <= 1.0
+        text = render_figm(agg)
+        assert "m" in text and "global-density" in text
+
+    def test_decreasing_dominates_plain_first_fit(self):
+        config = FigMConfig(
+            cores=(2, 4),
+            sets_per_point=8,
+            period_range=(100, 2_000),
+            heuristics=("ff", "ffd"),
+        )
+        agg = run_figm(config)
+        for stats in agg.values():
+            assert (
+                stats["ffd"]["acceptance_rate"]
+                >= stats["ff"]["acceptance_rate"]
+            )

@@ -1,0 +1,139 @@
+"""Unit tests for the bin-packing heuristics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import ModelError, TaskSet, task
+from repro.partition import (
+    HEURISTICS,
+    Platform,
+    admission_predicate,
+    pack,
+    packing_order,
+)
+
+
+def uniform(*utils, period=100):
+    """Implicit-deadline tasks with the given utilizations (of period 100)."""
+    return TaskSet(
+        [task(round(u * period), period, period, name=f"t{i}")
+         for i, u in enumerate(utils)]
+    )
+
+
+class TestOrder:
+    def test_plain_heuristics_keep_input_order(self):
+        ts = uniform(0.2, 0.8, 0.5)
+        for heuristic in ("ff", "bf", "wf", "nf"):
+            assert packing_order(ts, heuristic) == (0, 1, 2)
+
+    def test_decreasing_sorts_by_utilization_then_deadline(self):
+        ts = TaskSet.of((20, 100, 100), (80, 100, 100), (50, 90, 100))
+        assert packing_order(ts, "ffd") == (1, 2, 0)
+
+    def test_ties_break_by_input_index(self):
+        ts = uniform(0.5, 0.5, 0.5)
+        assert packing_order(ts, "ffd") == (0, 1, 2)
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError, match="unknown packing heuristic"):
+            packing_order(uniform(0.5), "decreasing")
+
+
+class TestHeuristicBehaviour:
+    def test_first_fit_fills_low_cores_first(self):
+        result = pack(uniform(0.4, 0.4, 0.4), 3, "ff", "utilization")
+        assert result.system.assignment == (0, 0, 1)
+
+    def test_best_fit_prefers_the_fullest_admitting_core(self):
+        # 0.6 -> core0, 0.3 -> best fit is core0 (fullest), 0.5 -> core1.
+        result = pack(uniform(0.6, 0.3, 0.5), 2, "bf", "utilization")
+        assert result.system.assignment == (0, 0, 1)
+
+    def test_worst_fit_prefers_the_emptiest_core(self):
+        result = pack(uniform(0.6, 0.3, 0.5), 2, "wf", "utilization")
+        assert result.system.assignment == (0, 1, 1)
+
+    def test_next_fit_never_revisits(self):
+        # 0.7 on core0; 0.6 forces the cursor to core1; 0.3 would fit
+        # core0 but next-fit only sees core1.
+        result = pack(uniform(0.7, 0.6, 0.3), 2, "nf", "utilization")
+        assert result.system.assignment == (0, 1, 1)
+
+    def test_ffd_beats_ff_on_an_adversarial_instance(self):
+        # Input order lets first-fit pair 0.4 with 0.5 on core 0, which
+        # strands the final 0.5; decreasing order packs (0.6, 0.4) and
+        # (0.5, 0.5) perfectly.
+        ts = uniform(0.4, 0.5, 0.6, 0.5)
+        plain = pack(ts, 2, "ff", "utilization")
+        decreasing = pack(ts, 2, "ffd", "utilization")
+        assert not plain.success
+        assert decreasing.success
+        assert decreasing.system.core_utilizations() == (Fraction(1), Fraction(1))
+
+    def test_unassigned_reported_in_task_order(self):
+        result = pack(uniform(0.9, 0.9, 0.9), 2, "ff", "utilization")
+        assert result.unassigned == (2,)
+        assert result.system.assignment == (0, 1, None)
+
+
+class TestContract:
+    @pytest.mark.parametrize("heuristic", HEURISTICS)
+    def test_deterministic_across_runs(self, heuristic):
+        ts = uniform(0.55, 0.25, 0.45, 0.35, 0.6, 0.3)
+        first = pack(ts, 3, heuristic, "approx-dbf")
+        second = pack(ts, 3, heuristic, "approx-dbf")
+        assert first.system == second.system
+        assert first.admission_calls == second.admission_calls
+
+    @pytest.mark.parametrize("heuristic", HEURISTICS)
+    def test_every_heuristic_packs_an_easy_instance(self, heuristic):
+        ts = uniform(0.3, 0.3, 0.3, 0.3)
+        result = pack(ts, 4, heuristic, "exact-dbf")
+        assert result.success
+        assert result.heuristic == heuristic
+
+    def test_unknown_heuristic_lists_choices(self):
+        with pytest.raises(ValueError, match="ffd"):
+            pack(uniform(0.5), 2, "zfd", "utilization")
+
+    def test_platform_accepted_in_place_of_core_count(self):
+        result = pack(uniform(0.5, 0.5), Platform(2, name="ecu"), "ff",
+                      "utilization")
+        assert result.system.platform.name == "ecu"
+
+    def test_predicate_instance_rejects_extra_admission_options(self):
+        # A ready-made predicate is fully configured; silently dropping
+        # a requested epsilon would deliver looser packings than asked.
+        predicate = admission_predicate("approx-dbf")
+        ts = uniform(0.4, 0.4)
+        with pytest.raises(ValueError, match="ready-made"):
+            pack(ts, 2, "ffd", predicate, epsilon=Fraction(1, 100))
+        from repro.partition import minimum_cores
+
+        with pytest.raises(ValueError, match="ready-made"):
+            minimum_cores(ts, "ffd", predicate, epsilon=Fraction(1, 100))
+
+    def test_shared_predicate_accumulates_calls(self):
+        predicate = admission_predicate("utilization")
+        ts = uniform(0.4, 0.4)
+        first = pack(ts, 2, "ff", predicate)
+        second = pack(ts, 2, "ff", predicate)
+        assert predicate.calls == first.admission_calls + second.admission_calls
+
+    def test_rejects_event_stream_sources(self):
+        from repro.model import EventStream, EventStreamTask
+
+        stream = EventStreamTask(
+            stream=EventStream.burst(count=2, spacing=3, period=50),
+            wcet=2,
+            deadline=10,
+        )
+        with pytest.raises(ModelError, match="TaskSet"):
+            pack([stream], 2)
+
+    def test_admission_calls_bounded_by_tasks_times_cores(self):
+        ts = uniform(0.5, 0.5, 0.5, 0.5, 0.5)
+        result = pack(ts, 3, "ff", "utilization")
+        assert result.admission_calls <= len(ts) * 3

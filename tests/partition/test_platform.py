@@ -1,0 +1,85 @@
+"""Unit tests for Platform and PartitionedSystem."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import ModelError, TaskSet, task
+from repro.partition import PartitionedSystem, Platform
+
+
+@pytest.fixture
+def tasks() -> TaskSet:
+    return TaskSet.of((2, 6, 10), (3, 11, 16), (5, 25, 25)).renamed("trio")
+
+
+class TestPlatform:
+    def test_valid(self):
+        assert Platform(cores=4).cores == 4
+        assert Platform(cores=1, name="ecu").name == "ecu"
+
+    @pytest.mark.parametrize("cores", [0, -1, 1.5, "4", True])
+    def test_invalid_cores(self, cores):
+        with pytest.raises(ModelError):
+            Platform(cores=cores)
+
+
+class TestPartitionedSystem:
+    def test_default_assignment_is_all_unassigned(self, tasks):
+        system = PartitionedSystem(tasks, Platform(2))
+        assert system.assignment == (None, None, None)
+        assert not system.is_complete
+        assert system.unassigned == (0, 1, 2)
+
+    def test_assignment_validation(self, tasks):
+        with pytest.raises(ModelError, match="covers 2 tasks"):
+            PartitionedSystem(tasks, Platform(2), [0, 1])
+        with pytest.raises(ModelError, match="outside the platform"):
+            PartitionedSystem(tasks, Platform(2), [0, 1, 2])
+        with pytest.raises(ModelError, match="int core index"):
+            PartitionedSystem(tasks, Platform(2), [0, "1", None])
+        with pytest.raises(ModelError, match="int core index"):
+            PartitionedSystem(tasks, Platform(2), [0, True, None])
+
+    def test_requires_model_types(self, tasks):
+        with pytest.raises(ModelError, match="TaskSet"):
+            PartitionedSystem([task(1, 2, 3)], Platform(2))
+        with pytest.raises(ModelError, match="Platform"):
+            PartitionedSystem(tasks, 2)
+
+    def test_core_views(self, tasks):
+        system = PartitionedSystem(tasks, Platform(2), [0, 1, 0])
+        assert system.core_indices(0) == (0, 2)
+        assert system.core_indices(1) == (1,)
+        subset = system.core_tasks(0)
+        assert [t.wcet for t in subset] == [2, 5]
+        assert subset.name == "trio/core0"
+        assert system.core_utilization(0) == Fraction(2, 10) + Fraction(5, 25)
+        assert system.core_utilizations() == (
+            system.core_utilization(0),
+            system.core_utilization(1),
+        )
+
+    def test_assign_returns_updated_copy(self, tasks):
+        base = PartitionedSystem(tasks, Platform(2))
+        step = base.assign(1, 1).assign(0, 0)
+        assert base.assignment == (None, None, None)  # unchanged
+        assert step.assignment == (0, 1, None)
+        assert step.unassigned == (2,)
+        with pytest.raises(ModelError):
+            base.assign(5, 0)
+        with pytest.raises(ModelError):
+            base.assign(0, 2)
+
+    def test_equality_and_hash(self, tasks):
+        a = PartitionedSystem(tasks, Platform(2), [0, 1, 0])
+        b = PartitionedSystem(tasks, Platform(2), [0, 1, 0])
+        c = PartitionedSystem(tasks, Platform(2), [0, 1, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_summary_mentions_every_core_and_unassigned(self, tasks):
+        system = PartitionedSystem(tasks, Platform(3), [0, None, 2])
+        text = system.summary()
+        assert "core 0" in text and "core 1" in text and "core 2" in text
+        assert "unassigned" in text

@@ -1,0 +1,153 @@
+"""Minimum-core search and global-bound tests.
+
+The acceptance bar of the subsystem lives here: minimum-core results
+for the literature task sets are validated against the per-core EDF
+simulation oracle, and binary and linear search agree wherever both are
+sound.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.generation import burns_taskset, gap_taskset, ma_shin_taskset
+from repro.model import TaskSet, task
+from repro.partition import (
+    min_cores_global_density,
+    minimum_cores,
+    pack,
+    partitioned_lower_bound,
+    verify_partition,
+)
+
+
+def doubled(ts: TaskSet, copies: int = 2) -> TaskSet:
+    """The workload replicated *copies* times (distinct task names)."""
+    tasks = []
+    for copy in range(copies):
+        for t in ts:
+            tasks.append(task(t.wcet, t.deadline, t.period,
+                              name=f"{t.name}-x{copy}"))
+    return TaskSet(tasks, name=f"{ts.name}x{copies}")
+
+
+class TestLowerBound:
+    def test_ceiling_of_utilization(self):
+        assert partitioned_lower_bound(TaskSet.of((1, 2, 2))) == 1
+        assert partitioned_lower_bound(TaskSet.of((3, 2, 2), (1, 2, 2))) == 2
+        assert partitioned_lower_bound(TaskSet(())) == 1
+
+    def test_exact_integer_utilization_is_not_rounded_up(self):
+        ts = TaskSet.of((1, 1, 1), (1, 1, 1))  # U = 2 exactly
+        assert partitioned_lower_bound(ts) == 2
+
+
+class TestMinimumCores:
+    def test_single_core_workload(self):
+        found = minimum_cores(ma_shin_taskset())
+        assert found.cores == 1
+        assert found.packing.success
+        assert found.attempts[-1] == (1, True)
+
+    def test_search_respects_the_lower_bound(self):
+        ts = doubled(ma_shin_taskset(), copies=3)  # U ~ 2.7
+        found = minimum_cores(ts, "ffd", "approx-dbf")
+        assert found.lower_bound == 3
+        assert found.cores >= found.lower_bound
+        assert all(m >= found.lower_bound for m, _ in found.attempts)
+
+    def test_inadmissible_singleton_aborts_immediately(self):
+        # deadline < wcet: infeasible alone on any core.
+        ts = TaskSet.of((5, 3, 10), (1, 4, 8))
+        found = minimum_cores(ts)
+        assert found.cores is None
+        assert found.attempts == ()
+
+    def test_max_cores_ceiling(self):
+        ts = doubled(ma_shin_taskset(), copies=3)
+        found = minimum_cores(ts, max_cores=2)
+        assert found.cores is None
+        assert not found.found
+
+    def test_empty_set_needs_one_idle_core(self):
+        found = minimum_cores(TaskSet(()))
+        assert found.cores == 1
+        assert found.packing.success
+
+    def test_binary_and_linear_agree_for_first_fit(self):
+        ts = doubled(gap_taskset(), copies=2)
+        binary = minimum_cores(ts, "ffd", strategy="binary")
+        linear = minimum_cores(ts, "ffd", strategy="linear")
+        assert binary.cores == linear.cores
+        assert binary.strategy == "binary" and linear.strategy == "linear"
+        # Same final packing either way: both end at the same m with a
+        # deterministic heuristic.
+        assert binary.packing.system == linear.packing.system
+
+    def test_auto_strategy_selection(self):
+        ts = ma_shin_taskset()
+        assert minimum_cores(ts, "ffd").strategy == "binary"
+        assert minimum_cores(ts, "bfd").strategy == "linear"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="auto, binary, linear"):
+            minimum_cores(ma_shin_taskset(), strategy="quantum")
+
+
+class TestLiteratureValidation:
+    """Acceptance criterion: minimum-core results hold up against the
+    per-core EDF simulation oracle on the literature examples."""
+
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            burns_taskset(),
+            gap_taskset(),
+            ma_shin_taskset(),
+            doubled(burns_taskset()),
+            doubled(ma_shin_taskset(), copies=3),
+        ],
+        ids=["burns", "gap", "ma_shin", "burns-x2", "ma_shin-x3"],
+    )
+    @pytest.mark.parametrize("heuristic", ["ffd", "bfd"])
+    def test_minimum_is_simulation_schedulable_and_tight(
+        self, workload, heuristic
+    ):
+        found = minimum_cores(workload, heuristic, "approx-dbf")
+        assert found.found
+        # Every core of the minimal packing passes the independent
+        # oracle (and the exact processor-demand criterion).
+        verification = verify_partition(found.packing.system, method="both")
+        assert verification.ok, verification.failing_cores
+        # Tightness under the same heuristic: one core fewer fails
+        # (unless the floor was already U-driven).
+        if found.cores > found.lower_bound:
+            below = pack(workload, found.cores - 1, heuristic, "approx-dbf")
+            assert not below.success
+
+
+class TestGlobalDensityMinimum:
+    def test_single_light_task(self):
+        assert min_cores_global_density(TaskSet.of((1, 10, 10))) == 1
+
+    def test_matches_the_density_formula(self):
+        # lambda = 1/2 each, three tasks: lam_sum=3/2, lam_max=1/2,
+        # m >= (3/2 - 1/2) / (1/2) = 2.
+        ts = TaskSet.of((5, 10, 20), (5, 10, 20), (5, 10, 20))
+        assert min_cores_global_density(ts) == 2
+
+    def test_density_above_one_unservable(self):
+        assert min_cores_global_density(TaskSet.of((5, 3, 10))) is None
+
+    def test_density_exactly_one(self):
+        assert min_cores_global_density(TaskSet.of((3, 3, 10))) == 1
+        two = TaskSet.of((3, 3, 10), (5, 10, 10))
+        assert min_cores_global_density(two) is None
+
+    def test_demands_more_cores_than_partitioning(self):
+        # Constrained deadlines inflate density: the global bound is
+        # far more pessimistic than an actual packing.
+        ts = doubled(ma_shin_taskset())
+        packed = minimum_cores(ts, "ffd", "approx-dbf")
+        bound = min_cores_global_density(ts)
+        assert bound is None or bound >= packed.cores

@@ -1,0 +1,91 @@
+"""Tests for the partition verification layer."""
+
+import pytest
+
+from repro.model import TaskSet
+from repro.partition import (
+    PartitionedSystem,
+    Platform,
+    agreement,
+    pack,
+    verify_partition,
+)
+
+
+@pytest.fixture
+def feasible_two_core():
+    ts = TaskSet.of((2, 6, 10), (3, 11, 16), (5, 25, 25), (4, 8, 8))
+    return PartitionedSystem(ts, Platform(2), [0, 0, 0, 1])
+
+
+@pytest.fixture
+def broken_assignment():
+    # Both tasks on core 0: dbf(1) = 2 > 1 there; core 1 idles.
+    ts = TaskSet.of((1, 1, 2), (1, 1, 2))
+    return PartitionedSystem(ts, Platform(2), [0, 0])
+
+
+class TestVerify:
+    def test_both_methods_pass_a_good_assignment(self, feasible_two_core):
+        verification = verify_partition(feasible_two_core, method="both")
+        assert verification.ok
+        assert verification.method == "both"
+        assert verification.failing_cores == ()
+        for verdict in verification.cores:
+            assert verdict.exact is not None
+            assert verdict.simulation is not None
+        assert all(agreement(verification).values())
+
+    def test_methods_run_selectively(self, feasible_two_core):
+        exact_only = verify_partition(feasible_two_core, method="exact")
+        assert all(v.simulation is None for v in exact_only.cores)
+        sim_only = verify_partition(feasible_two_core, method="simulation")
+        assert all(v.exact is None for v in sim_only.cores)
+        assert exact_only.ok and sim_only.ok
+
+    def test_bad_core_is_pinpointed(self, broken_assignment):
+        verification = verify_partition(broken_assignment, method="both")
+        assert not verification.ok
+        assert verification.failing_cores == (0,)
+        core0 = verification.cores[0]
+        assert core0.exact.is_infeasible
+        assert core0.simulation.is_infeasible
+        assert all(agreement(verification).values())  # methods agree
+
+    def test_incomplete_assignment_never_verifies(self):
+        ts = TaskSet.of((1, 4, 4), (1, 4, 4))
+        partial = PartitionedSystem(ts, Platform(2), [0, None])
+        verification = verify_partition(partial)
+        assert not verification.complete
+        assert not verification.ok
+        # The assigned cores themselves were still checked.
+        assert verification.cores[0].exact.is_feasible
+
+    def test_empty_cores_are_vacuously_fine(self, feasible_two_core):
+        wide = PartitionedSystem(
+            feasible_two_core.tasks, Platform(4),
+            list(feasible_two_core.assignment),
+        )
+        verification = verify_partition(wide)
+        assert verification.ok
+        assert verification.cores[3].exact is None
+        assert verification.cores[3].tasks == 0
+
+    def test_unknown_method_rejected(self, feasible_two_core):
+        with pytest.raises(ValueError, match="exact, simulation, both"):
+            verify_partition(feasible_two_core, method="psychic")
+
+
+class TestOracleAgreementOnPackings:
+    def test_exact_and_simulation_agree_on_every_heuristic(self):
+        ts = TaskSet.of(
+            (2, 6, 10), (3, 11, 16), (5, 25, 25), (4, 8, 8),
+            (3, 30, 40), (6, 50, 60),
+        )
+        for heuristic in ("ff", "ffd", "bf", "wf", "nf"):
+            result = pack(ts, 3, heuristic, "approx-dbf")
+            if not result.success:
+                continue
+            verification = verify_partition(result.system, method="both")
+            assert verification.ok
+            assert all(agreement(verification).values())
