@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Compare BENCH_*.json records against a committed baseline.
+
+The benchmarks write machine-readable ``BENCH_<name>.json`` documents
+(see ``benchmarks/conftest.py``); the copies committed in this
+directory are the performance baseline of record.  CI reruns the
+benchmarks into scratch directories and calls::
+
+    python benchmarks/bench_diff.py --current <run1-dir> --current <run2-dir>
+
+which fails (exit 1) when any wall-time metric (``*_seconds``) regressed
+by more than ``--threshold`` (default 25%) relative to the baseline.
+Two noise guards keep the gate honest on shared runners:
+
+* passing ``--current`` several times compares the *minimum* per metric
+  across runs — min-of-N is the standard way to strip scheduler noise
+  from one-shot wall times (the fastest run is the least-disturbed one);
+* sub-floor timings (``--floor``, default 0.05 s) are ignored: at that
+  scale the comparison measures the OS, not the code;
+* records carry a machine-speed calibration (``calibration_seconds``,
+  stamped by the benchmark conftest), and current timings are rescaled
+  by the calibration ratio before comparing — so a baseline recorded on
+  one machine gates runs on a slower or faster one fairly.
+
+Only files present on *both* sides are compared, so adding a new
+benchmark never breaks the diff; it starts gating once its baseline is
+committed.  Non-timing metrics (throughputs, speedups, counters) are
+reported for context but never gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+
+def _load_records(directory: Path) -> Dict[str, Dict]:
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as err:
+            print(f"warning: skipping unreadable {path}: {err}", file=sys.stderr)
+            continue
+        if isinstance(document, dict):
+            records[path.name] = document
+    return records
+
+
+def _timing_keys(record: Dict) -> Iterator[str]:
+    for key, value in record.items():
+        if (
+            key.endswith("_seconds")
+            and key != "calibration_seconds"
+            and isinstance(value, (int, float))
+        ):
+            yield key
+
+
+def _speed_scale(base: Dict, curr: Dict) -> float:
+    """Machine-speed normalization factor for *curr*'s wall times.
+
+    Records carry ``calibration_seconds`` — the wall time of a fixed
+    pure-Python workload on the recording machine (see
+    ``conftest._calibration_seconds``).  Scaling current timings by
+    ``base_cal / curr_cal`` compares seconds-per-calibration-unit, so a
+    baseline recorded on a fast laptop gates a slow CI runner fairly.
+    Records without calibration compare raw.
+    """
+    base_cal = base.get("calibration_seconds")
+    curr_cal = curr.get("calibration_seconds")
+    if (
+        isinstance(base_cal, (int, float))
+        and isinstance(curr_cal, (int, float))
+        and base_cal > 0
+        and curr_cal > 0
+    ):
+        return float(base_cal) / float(curr_cal)
+    return 1.0
+
+
+def _merge_min(runs: List[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Merge several runs, keeping the minimum of every timing metric."""
+    merged: Dict[str, Dict] = {}
+    for run in runs:
+        for name, record in run.items():
+            if name not in merged:
+                merged[name] = dict(record)
+                continue
+            target = merged[name]
+            for key in list(_timing_keys(record)) + ["calibration_seconds"]:
+                if not isinstance(record.get(key), (int, float)):
+                    continue
+                if isinstance(target.get(key), (int, float)):
+                    target[key] = min(target[key], record[key])
+                else:
+                    target[key] = record[key]
+    return merged
+
+
+def compare(
+    baseline: Dict[str, Dict],
+    current: Dict[str, Dict],
+    threshold: float,
+    floor: float,
+) -> Tuple[List[str], List[str]]:
+    """Returns (report lines, regression descriptions)."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    shared = sorted(set(baseline) & set(current))
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"{name}: no current record (benchmark not rerun) — skipped")
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"{name}: no committed baseline yet — skipped")
+    for name in shared:
+        base, curr = baseline[name], current[name]
+        scale = _speed_scale(base, curr)
+        if scale != 1.0:
+            lines.append(
+                f"{name}: machine-speed scale {scale:.3f} "
+                "(current timings normalized by calibration)"
+            )
+        for key in _timing_keys(base):
+            if not isinstance(curr.get(key), (int, float)):
+                lines.append(f"{name}:{key}: missing from current record")
+                continue
+            b, c = float(base[key]), float(curr[key]) * scale
+            if b <= 0:
+                continue
+            ratio = c / b
+            verdict = "ok"
+            if max(b, c) < floor:
+                verdict = "noise (below floor)"
+            elif ratio > 1 + threshold:
+                verdict = "REGRESSION"
+                regressions.append(
+                    f"{name}:{key} {b:.4f}s -> {c:.4f}s "
+                    f"(+{(ratio - 1) * 100:.0f}% > {threshold * 100:.0f}%)"
+                )
+            lines.append(
+                f"{name}: {key:<28s} {b:>9.4f}s -> {c:>9.4f}s "
+                f"({ratio:>6.2f}x)  {verdict}"
+            )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent),
+        help="directory holding the committed BENCH_*.json baseline",
+    )
+    parser.add_argument(
+        "--current",
+        action="append",
+        required=True,
+        help="directory of freshly produced BENCH_*.json records; repeat "
+        "the flag to gate on the per-metric minimum across runs",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated relative wall-time growth (0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.05,
+        help="ignore timings where both sides are below this many seconds",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load_records(Path(args.baseline))
+    current = _merge_min(
+        [_load_records(Path(directory)) for directory in args.current]
+    )
+    if not baseline:
+        print(f"error: no BENCH_*.json baseline in {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(
+            f"error: no BENCH_*.json records in {', '.join(args.current)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    lines, regressions = compare(baseline, current, args.threshold, args.floor)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} wall-time regression(s):", file=sys.stderr)
+        for item in regressions:
+            print(f"  {item}", file=sys.stderr)
+        return 1
+    print("\nno wall-time regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,11 +21,30 @@ from __future__ import annotations
 import json
 import os
 import platform
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.generation import GeneratorConfig, TaskSetGenerator
+
+
+def _calibration_seconds() -> float:
+    """Wall time of a fixed pure-Python workload (best of three).
+
+    Stamped into every benchmark record so ``bench_diff.py`` can
+    normalize wall times recorded on machines of different speed: the
+    committed baseline and a CI runner disagree on absolute seconds but
+    agree on seconds *per calibration unit*.
+    """
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 @pytest.fixture(scope="session")
@@ -34,13 +53,18 @@ def bench_record():
 
     ``bench_record("BENCH_engine.json", {...})`` writes the payload —
     wall-times, throughput, speedup ratios — plus the interpreter
-    version, and returns the path.
+    version and a machine-speed calibration, and returns the path.
     """
+    calibration = _calibration_seconds()
 
     def write(filename: str, payload: dict) -> Path:
         out_dir = Path(os.environ.get("REPRO_BENCH_DIR", Path(__file__).parent))
         out_dir.mkdir(parents=True, exist_ok=True)
-        document = {"python": platform.python_version(), **payload}
+        document = {
+            "python": platform.python_version(),
+            "calibration_seconds": round(calibration, 6),
+            **payload,
+        }
         path = out_dir / filename
         path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
         return path

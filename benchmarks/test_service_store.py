@@ -1,0 +1,114 @@
+"""Service benchmark: persistent-store hits vs. recomputation.
+
+The store's reason to exist is that a warm verdict lookup beats
+re-running the test.  This benchmark runs a campaign cold (everything
+computed, store written through), then replays it against the same
+store across a simulated restart (context LRU cleared) and records both
+wall times plus the hit-serving throughput in ``BENCH_service.json``.
+
+The replay must (a) be answered entirely from the store and (b) not be
+slower than computing — on top of correctness, the acceptance bar for
+the O(1)-lookup claim.
+"""
+
+import time
+
+from repro.engine import AnalysisRequest, clear_context_cache
+from repro.experiments import ascii_table
+from repro.generation import GeneratorConfig, TaskSetGenerator
+from repro.service import JobQueue, ResultStore
+
+SET_COUNT = 80
+
+
+def _population(count=SET_COUNT, seed=20050731):
+    gen = TaskSetGenerator(
+        GeneratorConfig(
+            tasks=(5, 25),
+            utilization=(0.85, 0.97),
+            period_range=(1_000, 100_000),
+            gap=(0.1, 0.4),
+        ),
+        seed=seed,
+    )
+    return list(gen.sets(count))
+
+
+def _campaign(store, sets, test="qpa"):
+    queue = JobQueue(store=store, shard_size=25)
+    try:
+        job_id = queue.submit(
+            [AnalysisRequest(source=ts, test=test) for ts in sets]
+        )
+        snapshot = queue.wait(job_id, timeout=300)
+        assert snapshot["state"] == "done", snapshot
+        return snapshot, queue.results(job_id)
+    finally:
+        queue.shutdown()
+
+
+def test_store_replay_not_slower_than_computing(
+    benchmark, bench_record, tmp_path
+):
+    sets = _population()
+    store_path = tmp_path / "bench-store.sqlite"
+
+    clear_context_cache()
+    with ResultStore(store_path) as store:
+        start = time.perf_counter()
+        cold_snapshot, cold_results = _campaign(store, sets)
+        cold_time = time.perf_counter() - start
+        assert cold_snapshot["computed"] == len(sets)
+
+    clear_context_cache()  # simulated restart: only the SQLite file survives
+
+    with ResultStore(store_path) as store:
+
+        def replay():
+            return _campaign(store, sets)
+
+        start = time.perf_counter()
+        warm_snapshot, warm_results = benchmark.pedantic(
+            replay, rounds=1, iterations=1
+        )
+        warm_time = time.perf_counter() - start
+
+    assert warm_snapshot["from_store"] == len(sets)
+    assert warm_snapshot["computed"] == 0
+    assert [r.verdict for r in warm_results] == [
+        r.verdict for r in cold_results
+    ]
+
+    print(
+        "\n"
+        + ascii_table(
+            headers=["path", "seconds", "sets/s"],
+            rows=[
+                ["cold (computed + stored)", f"{cold_time:.3f}",
+                 f"{len(sets) / cold_time:.1f}"],
+                ["warm (store replay)", f"{warm_time:.3f}",
+                 f"{len(sets) / warm_time:.1f}"],
+            ],
+            title=f"Persistent-store replay of {len(sets)} qpa analyses",
+        )
+    )
+
+    bench_record(
+        "BENCH_service.json",
+        {
+            "benchmark": "service_store",
+            "sets": len(sets),
+            "test": "qpa",
+            "cold_seconds": round(cold_time, 6),
+            "warm_seconds": round(warm_time, 6),
+            "speedup_warm_over_cold": round(cold_time / warm_time, 4),
+            "sets_per_second_warm": round(len(sets) / warm_time, 2),
+        },
+    )
+
+    # Serving a stored verdict involves a SQLite lookup and a JSON
+    # decode; computing involves the whole test.  Replay must not lose,
+    # modulo scheduling noise on very fast campaigns.
+    assert warm_time <= cold_time * 1.25 + 0.05, (
+        f"store replay slower than computing: {warm_time:.3f}s vs {cold_time:.3f}s"
+    )

@@ -92,9 +92,14 @@ def _largest_feasible(
     while lo < hi:
         span = hi - lo
         count = min(probes_per_round, span)
-        # Evenly spaced probes strictly inside (lo, hi], highest last.
-        points = sorted({lo + (span * (i + 1)) // (count + 1) for i in range(count)} | {hi})
-        points = [p for p in points if lo < p <= hi]
+        # Evenly spaced probes in (lo, hi] — ceiling placement keeps
+        # every point strictly above lo, so one probe per round is plain
+        # binary search (the earlier floor placement padded the set with
+        # {hi} every round, doubling the oracle calls of a sequential
+        # runner).  All probes of a round go out as one batch.
+        points = sorted(
+            {lo - (-(span * (i + 1)) // (count + 1)) for i in range(count)}
+        )
         verdicts = _probe_batch(runner, [candidate_of(p) for p in points])
         new_lo, new_hi = lo, hi
         for p, ok in zip(points, verdicts):

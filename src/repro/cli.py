@@ -10,7 +10,11 @@ Subcommands:
 * ``experiment`` — regenerate a paper figure/table (fig1, fig8, fig9,
   figm, table1) as a text report;
 * ``partition`` — pack a task set onto ``m`` identical cores (or search
-  the minimum ``m``) and verify the assignment per core.
+  the minimum ``m``) and verify the assignment per core;
+* ``serve`` — run the long-lived analysis service (persistent result
+  store + async job queue + HTTP JSON API);
+* ``submit`` / ``status`` / ``fetch`` — talk to a running service:
+  submit task-set files as a job, poll it, print its results.
 
 ``--cache-stats`` on the analysis-heavy commands prints the engine's
 shared-preflight cache counters after the run.
@@ -68,6 +72,7 @@ from .partition import (
     pack,
     verify_partition,
 )
+from .service import ServiceClient, ServiceError
 from .sim import simulate_feasibility
 
 __all__ = ["main", "build_parser"]
@@ -239,6 +244,104 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's context-cache counters after the run",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the analysis service (persistent store + job queue + HTTP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 picks an ephemeral port; the chosen one is printed)",
+    )
+    p_serve.add_argument(
+        "--store",
+        default="repro-results.sqlite",
+        help="SQLite result-store path ('none' serves without persistence)",
+    )
+    p_serve.add_argument(
+        "--max-rows",
+        type=int,
+        default=100_000,
+        help="result-store LRU eviction threshold",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent jobs (queue worker threads)",
+    )
+    p_serve.add_argument(
+        "--shard-size",
+        type=int,
+        default=32,
+        help="requests per execution shard (progress/cancel granularity)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker *processes* per shard (default 1: in-process, "
+        "which keeps the context cache warm)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    url_help = "service base URL (default: http://127.0.0.1:8787)"
+    p_submit = sub.add_parser(
+        "submit", help="submit task-set file(s) to a running service"
+    )
+    p_submit.add_argument("files", nargs="+", help="task-set/system JSON file(s)")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8787", help=url_help)
+    p_submit.add_argument(
+        "--test",
+        default="all-approx",
+        choices=registry.names(),
+        help="feasibility test to run (default: all-approx)",
+    )
+    p_submit.add_argument(
+        "--level", type=int, default=None, help="level for --test superpos"
+    )
+    p_submit.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="core count for the multiprocessor tests",
+    )
+    p_submit.add_argument(
+        "--bound-method",
+        default=None,
+        choices=[m.value for m in BoundMethod],
+        help="feasibility bound for tests that take one",
+    )
+    p_submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return instead of waiting for results",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait for completion (with the default waiting mode)",
+    )
+
+    p_status = sub.add_parser("status", help="show a submitted job's status")
+    p_status.add_argument("job", nargs="?", default=None,
+                          help="job id (omit to list all jobs)")
+    p_status.add_argument("--url", default="http://127.0.0.1:8787", help=url_help)
+
+    p_fetch = sub.add_parser("fetch", help="fetch a finished job's results")
+    p_fetch.add_argument("job", help="job id")
+    p_fetch.add_argument("--url", default="http://127.0.0.1:8787", help=url_help)
+    p_fetch.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw repro/result-v1 documents instead of a table",
+    )
     return parser
 
 
@@ -246,7 +349,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
-    except (ValueError, OSError) as err:
+    except (ValueError, OSError, ServiceError, TimeoutError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
@@ -271,6 +374,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_example(args)
     if args.command == "load":
         return _cmd_load(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "fetch":
+        return _cmd_fetch(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 
@@ -579,6 +690,138 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         dump_system(system, args.output)
         print(f"wrote {args.output}")
     return code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import AnalysisServer
+
+    store = None if args.store == "none" else args.store
+    runner = BatchRunner(jobs=args.jobs) if args.jobs is not None else None
+    server = AnalysisServer(
+        host=args.host,
+        port=args.port,
+        store=store,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        runner=runner,
+        max_rows=args.max_rows,
+        quiet=not args.verbose,
+    )
+    # Machine-readable first line: scripts (and the e2e test) parse the
+    # URL, which matters when --port 0 picked an ephemeral port.
+    print(f"serving on {server.url}", flush=True)
+    print(
+        "result store: " + (str(store) if store else "disabled"),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _job_options(args: argparse.Namespace) -> dict:
+    options: dict = {}
+    if args.level is not None:
+        options["level"] = args.level
+    if args.cores is not None:
+        options["cores"] = args.cores
+    if args.bound_method is not None:
+        options["bound_method"] = args.bound_method
+    return options
+
+
+def _print_job_results(client: ServiceClient, job_id: str) -> int:
+    raw = client.raw_results(job_id)
+    print(f"{'tag':>6}  {'test':>18s}  {'verdict':>10s}  {'iterations':>10s}")
+    worst = 0
+    for entry in raw["results"]:
+        if entry["verdict"] == "infeasible":
+            worst = 1
+        print(
+            f"{str(entry['tag']):>6}  {entry['test']:>18s}  "
+            f"{entry['verdict']:>10s}  {entry['iterations']:>10d}"
+        )
+    print(
+        f"answered from store: {raw['from_store']}, "
+        f"computed: {raw['computed']}"
+    )
+    return worst
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    client = ServiceClient(args.url)
+    options = _job_options(args)
+    if args.test == "superpos" and args.level is None:
+        print("error: --test superpos requires --level", file=sys.stderr)
+        return 2
+    requests = []
+    for path in args.files:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        key = (
+            "system"
+            if isinstance(document, dict)
+            and document.get("format") == "repro/system-v1"
+            else "taskset"
+        )
+        requests.append({key: document, "test": args.test, "options": options})
+    snapshot = client.submit_document({"requests": requests})
+    job_id = snapshot["job"]
+    print(f"job {job_id} submitted ({snapshot['total']} analyses)")
+    if args.no_wait:
+        return 0
+    snapshot = client.wait(job_id, timeout=args.timeout)
+    if snapshot["state"] != "done":
+        print(
+            f"error: job {job_id} ended {snapshot['state']}"
+            + (f": {snapshot['error']}" if snapshot.get("error") else ""),
+            file=sys.stderr,
+        )
+        return 2
+    return _print_job_results(client, job_id)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.job is None:
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        print(f"{'job':>14s}  {'state':>10s}  {'progress':>10s}  {'kind':>7s}")
+        for snapshot in jobs:
+            progress = f"{snapshot['done']}/{snapshot['total']}"
+            print(
+                f"{snapshot['job']:>14s}  {snapshot['state']:>10s}  "
+                f"{progress:>10s}  {snapshot['kind']:>7s}"
+            )
+        return 0
+    snapshot = client.status(args.job)
+    for field in (
+        "job",
+        "kind",
+        "state",
+        "total",
+        "done",
+        "from_store",
+        "computed",
+        "error",
+    ):
+        print(f"{field:>12s}: {snapshot[field]}")
+    return 0 if snapshot["state"] != "failed" else 1
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.json:
+        print(json.dumps(client.raw_results(args.job), indent=2))
+        return 0
+    return _print_job_results(client, args.job)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,7 +27,11 @@ from .context import (
     AnalysisContext,
     clear_context_cache,
     context_cache_info,
+    fingerprint_of,
+    get_context_backend,
+    persist_context,
     preflight,
+    set_context_backend,
 )
 from .registry import (
     OptionSpec,
@@ -41,8 +45,12 @@ from .registry import (
 __all__ = [
     "AnalysisContext",
     "preflight",
+    "fingerprint_of",
     "context_cache_info",
     "clear_context_cache",
+    "set_context_backend",
+    "get_context_backend",
+    "persist_context",
     "TestKind",
     "OptionSpec",
     "TestDefinition",

@@ -67,10 +67,15 @@ def default_jobs() -> int:
 def _execute_chunk(
     payload: Sequence[Tuple[int, DemandSource, str, Mapping[str, Any]]],
 ) -> List[Tuple[int, FeasibilityResult]]:
-    """Worker entry point: run one chunk, return indexed results."""
+    """Worker entry point: run one chunk, return indexed results.
+
+    Options arrive already resolved (validated, defaults applied) by the
+    parent process, so the worker dispatches straight to the runner
+    without re-validating per request.
+    """
     registry = default_registry()
     return [
-        (index, registry.run(source, test, **options))
+        (index, registry.get(test).runner(source, **options))
         for index, source, test, options in payload
     ]
 
@@ -141,15 +146,20 @@ class BatchRunner:
 
     # ------------------------------------------------------------------
 
-    def _run_sequential(
+    def _resolve_batch(
         self, batch: Sequence[AnalysisRequest]
-    ) -> List[FeasibilityResult]:
+    ) -> List[Tuple[Any, Dict[str, Any]]]:
+        """Per-request ``(runner, resolved options)``, validated once.
+
+        A battery repeats few unique (test, options) signatures over
+        many sets: resolve and validate each signature once so the per-
+        request cost is one dict lookup plus the test itself.  Shared by
+        both execution paths — the parallel path ships the *resolved*
+        options to its workers, which dispatch without re-validating.
+        """
         registry = self.registry
-        # A battery repeats few unique (test, options) signatures over
-        # many sets: resolve and validate each signature once so the per
-        # -request cost is one dict lookup plus the test itself.
         resolved: Dict[Any, Tuple[Any, Dict[str, Any]]] = {}
-        results: List[FeasibilityResult] = []
+        entries: List[Tuple[Any, Dict[str, Any]]] = []
         for request in batch:
             try:
                 key: Any = (request.test, tuple(sorted(request.options.items())))
@@ -161,23 +171,28 @@ class BatchRunner:
                 entry = (definition.runner, definition.resolve_options(request.options))
                 if key is not None:
                     resolved[key] = entry
-            runner, options = entry
-            results.append(runner(request.source, **options))
-        return results
+            entries.append(entry)
+        return entries
+
+    def _run_sequential(
+        self, batch: Sequence[AnalysisRequest]
+    ) -> List[FeasibilityResult]:
+        return [
+            runner(request.source, **options)
+            for request, (runner, options) in zip(batch, self._resolve_batch(batch))
+        ]
 
     def _run_parallel(
         self, batch: Sequence[AnalysisRequest]
     ) -> List[FeasibilityResult]:
         import multiprocessing
 
-        # Validate up front so option errors raise in the caller with a
-        # clean traceback instead of surfacing from a worker.
-        registry = self.registry
-        for request in batch:
-            registry.get(request.test).resolve_options(request.options)
-
+        # Resolving here also validates up front, so option errors raise
+        # in the caller with a clean traceback instead of surfacing from
+        # a worker.
+        entries = self._resolve_batch(batch)
         payload = [
-            (index, r.source, r.test, dict(r.options))
+            (index, r.source, r.test, entries[index][1])
             for index, r in enumerate(batch)
         ]
         size = self.chunk_size

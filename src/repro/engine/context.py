@@ -16,10 +16,19 @@ canonical fingerprint of the task set, so that
 
 The cache is a small LRU — analysis sweeps over millions of *distinct*
 sets stay O(cache size) in memory.
+
+A *persistent* backend (duck-typed: ``load_context(fingerprint)`` /
+``store_context(fingerprint, state)``) can be plugged in with
+:func:`set_context_backend`; the in-memory LRU then layers over it — an
+LRU miss consults the backend and rehydrates the memoized quantities
+(bounds, busy period, exact ``dbf`` evaluations) computed by an earlier
+process.  The analysis service's SQLite result store is the shipped
+backend; anything honouring the two-method contract works.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -41,15 +50,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 # imports the test modules, which import this module: resolve the
 # analysis symbols lazily at call time to keep the import graph acyclic.
 
-__all__ = ["AnalysisContext", "preflight", "context_cache_info", "clear_context_cache"]
+__all__ = [
+    "AnalysisContext",
+    "preflight",
+    "fingerprint_of",
+    "context_cache_info",
+    "clear_context_cache",
+    "set_context_backend",
+    "get_context_backend",
+    "persist_context",
+]
 
 #: Canonical per-component key: everything a feasibility test can observe.
 Fingerprint = Tuple[Tuple[ExactTime, ExactTime, Optional[ExactTime], str], ...]
 
 _CACHE_MAX = 256
 _CONTEXTS: "OrderedDict[Fingerprint, AnalysisContext]" = OrderedDict()
+#: Guards the compound LRU operations (get+move_to_end, insert+evict):
+#: the service layer calls :meth:`AnalysisContext.of` from HTTP handler
+#: and job worker threads concurrently.
+_CACHE_LOCK = threading.Lock()
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
+_PERSISTENT_HITS = 0
+
+#: Optional persistent second-level cache behind the in-memory LRU.
+#: Anything with ``load_context(fingerprint) -> Optional[Mapping]`` and
+#: ``store_context(fingerprint, state) -> None`` qualifies.
+_BACKEND: Optional[Any] = None
 
 
 class AnalysisContext:
@@ -70,10 +98,20 @@ class AnalysisContext:
         "_max_test_intervals",
     )
 
-    def __init__(self, components: Tuple[DemandComponent, ...]) -> None:
+    def __init__(
+        self,
+        components: Tuple[DemandComponent, ...],
+        fingerprint: Optional[Fingerprint] = None,
+    ) -> None:
         self.components = components
-        self.fingerprint: Fingerprint = tuple(
-            (c.wcet, c.first_deadline, c.period, c.source) for c in components
+        # The cache lookup in :meth:`of` already derived the key; reuse
+        # it instead of walking the components a second time per miss.
+        self.fingerprint: Fingerprint = (
+            fingerprint
+            if fingerprint is not None
+            else tuple(
+                (c.wcet, c.first_deadline, c.period, c.source) for c in components
+            )
         )
         self.utilization = total_utilization(components)
         self._bounds: Dict["BoundMethod", Optional[ExactTime]] = {}
@@ -88,23 +126,46 @@ class AnalysisContext:
     @classmethod
     def of(cls, source: DemandSource) -> "AnalysisContext":
         """Normalize *source* into a context, reusing the LRU cache."""
-        global _CACHE_HITS, _CACHE_MISSES
+        global _CACHE_HITS, _CACHE_MISSES, _PERSISTENT_HITS
         if isinstance(source, AnalysisContext):
             return source
         components = tuple(as_components(source))
         key: Fingerprint = tuple(
             (c.wcet, c.first_deadline, c.period, c.source) for c in components
         )
-        cached = _CONTEXTS.get(key)
-        if cached is not None:
-            _CONTEXTS.move_to_end(key)
-            _CACHE_HITS += 1
-            return cached
-        _CACHE_MISSES += 1
-        ctx = cls(components)
-        _CONTEXTS[key] = ctx
-        while len(_CONTEXTS) > _CACHE_MAX:
-            _CONTEXTS.popitem(last=False)
+        with _CACHE_LOCK:
+            cached = _CONTEXTS.get(key)
+            if cached is not None:
+                _CONTEXTS.move_to_end(key)
+                _CACHE_HITS += 1
+                return cached
+            _CACHE_MISSES += 1
+        # Backend I/O happens outside the lock; a concurrent miss on the
+        # same key at worst loads the state twice, which is idempotent.
+        ctx = cls(components, fingerprint=key)
+        rehydrated = False
+        if _BACKEND is not None:
+            # A stale or malformed persistent entry must never break an
+            # analysis: rehydration is strictly best-effort.
+            try:
+                state = _BACKEND.load_context(key)
+                if state:
+                    ctx.apply_state(state)
+                    rehydrated = True
+            except Exception:
+                pass
+        with _CACHE_LOCK:
+            if rehydrated:
+                _PERSISTENT_HITS += 1
+            existing = _CONTEXTS.get(key)
+            if existing is not None:
+                # Another thread populated the key meanwhile; keep its
+                # instance so concurrent callers share one context.
+                _CONTEXTS.move_to_end(key)
+                return existing
+            _CONTEXTS[key] = ctx
+            while len(_CONTEXTS) > _CACHE_MAX:
+                _CONTEXTS.popitem(last=False)
         return ctx
 
     # ------------------------------------------------------------------
@@ -229,6 +290,64 @@ class AnalysisContext:
             self._max_test_intervals[key] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    # Persistent backend interchange
+    # ------------------------------------------------------------------
+
+    #: Exact ``dbf`` evaluations exported per context — bounds the row
+    #: size of a persistent backend while keeping the hot intervals.
+    STATE_DBF_CAP = 512
+
+    def export_state(self) -> Dict[str, Any]:
+        """Memoized quantities as a JSON-serializable dict.
+
+        The inverse of :meth:`apply_state`; an empty dict means nothing
+        worth persisting has been computed yet.  Values use the tagged
+        exact-time encoding of :mod:`repro.model.serialization`, so a
+        round trip through a persistent backend is bit-exact.
+        """
+        from ..model.serialization import encode_value
+
+        state: Dict[str, Any] = {}
+        if self._bounds:
+            state["bounds"] = {
+                method.value: encode_value(value)
+                for method, value in self._bounds.items()
+            }
+        if self._busy_period is not None:
+            state["busy_period"] = encode_value(self._busy_period)
+        if self._dbf_cache:
+            # Dicts preserve insertion order, so the tail holds the
+            # intervals probed most recently — the ones a re-run of the
+            # same test walks again — which is what the cap keeps.
+            items = list(self._dbf_cache.items())[-self.STATE_DBF_CAP :]
+            state["dbf"] = [
+                [encode_value(t), encode_value(v)] for t, v in items
+            ]
+        return state
+
+    def apply_state(self, state: Dict[str, Any]) -> None:
+        """Rehydrate memoized quantities exported by :meth:`export_state`.
+
+        Already-computed entries win over persisted ones; unknown bound
+        methods (a newer writer) are skipped rather than rejected.
+        """
+        from ..analysis.bounds import BoundMethod
+        from ..model.serialization import decode_value
+
+        for name, encoded in (state.get("bounds") or {}).items():
+            try:
+                method = BoundMethod(name)
+            except ValueError:
+                continue
+            self._bounds.setdefault(method, decode_value(encoded))
+        busy = state.get("busy_period")
+        if busy is not None and self._busy_period is None:
+            self._busy_period = decode_value(busy)
+        for pair in state.get("dbf") or []:
+            interval, demand = pair
+            self._dbf_cache.setdefault(decode_value(interval), decode_value(demand))
+
     @property
     def min_first_deadline(self) -> Optional[ExactTime]:
         """Smallest first deadline, or ``None`` for an empty system."""
@@ -241,6 +360,22 @@ class AnalysisContext:
             f"AnalysisContext(n={len(self.components)}, "
             f"U={float(self.utilization):.4f})"
         )
+
+
+def fingerprint_of(source: DemandSource) -> Fingerprint:
+    """Canonical fingerprint of *source* without touching any cache.
+
+    One normalization pass — no LRU churn, no persistent-backend I/O.
+    The service layer keys store lookups with this for requests it has
+    not decided to execute yet; a context built later for the same
+    system reports an identical :attr:`AnalysisContext.fingerprint`.
+    """
+    if isinstance(source, AnalysisContext):
+        return source.fingerprint
+    return tuple(
+        (c.wcet, c.first_deadline, c.period, c.source)
+        for c in as_components(source)
+    )
 
 
 def preflight(
@@ -272,17 +407,62 @@ def preflight(
 
 def context_cache_info() -> Dict[str, int]:
     """Diagnostics for the module-level context cache."""
-    return {
-        "size": len(_CONTEXTS),
-        "max_size": _CACHE_MAX,
-        "hits": _CACHE_HITS,
-        "misses": _CACHE_MISSES,
-    }
+    with _CACHE_LOCK:
+        return {
+            "size": len(_CONTEXTS),
+            "max_size": _CACHE_MAX,
+            "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES,
+            "persistent_hits": _PERSISTENT_HITS,
+        }
 
 
 def clear_context_cache() -> None:
     """Drop all cached contexts (tests and long-lived processes)."""
-    global _CACHE_HITS, _CACHE_MISSES
-    _CONTEXTS.clear()
-    _CACHE_HITS = 0
-    _CACHE_MISSES = 0
+    global _CACHE_HITS, _CACHE_MISSES, _PERSISTENT_HITS
+    with _CACHE_LOCK:
+        _CONTEXTS.clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0
+        _PERSISTENT_HITS = 0
+
+
+def set_context_backend(backend: Optional[Any]) -> Optional[Any]:
+    """Install (or with ``None`` remove) the persistent context backend.
+
+    Returns the previously installed backend so callers can restore it.
+    The backend is consulted on LRU misses in :meth:`AnalysisContext.of`
+    and written through :func:`persist_context`; it must expose
+    ``load_context(fingerprint)`` and ``store_context(fingerprint,
+    state)``.
+    """
+    global _BACKEND
+    previous = _BACKEND
+    _BACKEND = backend
+    return previous
+
+
+def get_context_backend() -> Optional[Any]:
+    """The installed persistent context backend, if any."""
+    return _BACKEND
+
+
+def persist_context(source: DemandSource) -> bool:
+    """Write *source*'s memoized context state to the backend.
+
+    Returns ``True`` when a non-empty state was handed to the backend.
+    No-op (``False``) without a backend, for contexts with nothing
+    memoized yet, and on backend write errors — persistence failures
+    must never fail an analysis.
+    """
+    if _BACKEND is None:
+        return False
+    ctx = AnalysisContext.of(source)
+    state = ctx.export_state()
+    if not state:
+        return False
+    try:
+        _BACKEND.store_context(ctx.fingerprint, state)
+    except Exception:
+        return False
+    return True

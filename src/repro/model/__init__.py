@@ -21,15 +21,19 @@ from .event_stream import EventStream, EventStreamElement, EventStreamTask
 from .job import Job
 from .numeric import ExactTime, Time, to_exact
 from .serialization import (
+    decode_value,
     dump_system,
     dump_taskset,
     dumps_system,
     dumps_taskset,
+    encode_value,
     load_any,
     load_system,
     load_taskset,
     loads_system,
     loads_taskset,
+    result_from_dict,
+    result_to_dict,
     system_from_dict,
     system_to_dict,
     taskset_from_dict,
@@ -71,4 +75,8 @@ __all__ = [
     "dumps_system",
     "loads_system",
     "load_any",
+    "encode_value",
+    "decode_value",
+    "result_to_dict",
+    "result_from_dict",
 ]

@@ -1,11 +1,14 @@
-"""JSON (de)serialization for task sets and partitioned systems.
+"""JSON (de)serialization for task sets, systems, and analysis results.
 
-Two document formats:
+Three document formats:
 
 * ``repro/taskset-v1`` — a plain task set (name + tasks);
 * ``repro/system-v1`` — a partitioned multiprocessor system: a
   platform (core count), the task set, and an optional task→core
-  assignment map (``null`` entries mark unassigned tasks).
+  assignment map (``null`` entries mark unassigned tasks);
+* ``repro/result-v1`` — a :class:`~repro.result.FeasibilityResult`
+  (verdict, effort counters, bound, witness, details), the wire format
+  of the analysis service's result store and HTTP API.
 
 Time values survive a round trip exactly: integers stay integers and
 Fractions are encoded as ``"p/q"`` strings, so an analysis re-run on a
@@ -16,6 +19,7 @@ re-verifies identically when loaded back.
 
 from __future__ import annotations
 
+import enum
 import json
 from fractions import Fraction
 from pathlib import Path
@@ -28,6 +32,7 @@ from .validation import ModelError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..partition.platform import PartitionedSystem
+    from ..result import FeasibilityResult
 
 __all__ = [
     "taskset_to_dict",
@@ -43,10 +48,15 @@ __all__ = [
     "dumps_system",
     "loads_system",
     "load_any",
+    "encode_value",
+    "decode_value",
+    "result_to_dict",
+    "result_from_dict",
 ]
 
 _FORMAT = "repro/taskset-v1"
 _SYSTEM_FORMAT = "repro/system-v1"
+_RESULT_FORMAT = "repro/result-v1"
 
 
 def _encode_time(value: ExactTime) -> Union[int, str]:
@@ -241,3 +251,116 @@ def load_any(path: Union[str, Path]) -> Union[TaskSet, "PartitionedSystem"]:
     if isinstance(data, dict) and data.get("format") == _SYSTEM_FORMAT:
         return system_from_dict(data)
     return taskset_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# repro/result-v1 — feasibility results
+# ---------------------------------------------------------------------------
+# Results carry free-form diagnostic payloads (``details``) holding
+# exact rationals, nested sequences and the occasional enum, so the
+# encoding is a small tagged scheme rather than per-field: Fractions
+# become ``{"$frac": "p/q"}`` (a bare ``"p/q"`` string must stay a
+# string — "U > 1" is a reason, not a rational), tuples become lists,
+# and anything unrepresentable degrades to a ``{"$str": ...}`` marker.
+# Everything a test actually emits round-trips exactly.
+
+
+def encode_value(value: Any) -> Any:
+    """Encode an arbitrary diagnostic value as JSON-serializable data."""
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, Fraction):
+        return {"$frac": f"{value.numerator}/{value.denominator}"}
+    if isinstance(value, enum.Enum):
+        return encode_value(value.value)
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): encode_value(v) for k, v in value.items()}
+    return {"$str": str(value)}
+
+
+def decode_value(value: Any) -> Any:
+    """Decode data produced by :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if set(value) == {"$frac"}:
+            exact = Fraction(value["$frac"])
+            return exact.numerator if exact.denominator == 1 else exact
+        if set(value) == {"$str"}:
+            return value["$str"]
+        return {k: decode_value(v) for k, v in value.items()}
+    return value
+
+
+def result_to_dict(result: "FeasibilityResult") -> Dict[str, Any]:
+    """Encode a feasibility result as a plain JSON-serializable dict."""
+    witness: Any = None
+    if result.witness is not None:
+        witness = {
+            "interval": encode_value(result.witness.interval),
+            "demand": encode_value(result.witness.demand),
+            "exact": result.witness.exact,
+        }
+    return {
+        "format": _RESULT_FORMAT,
+        "verdict": result.verdict.value,
+        "test_name": result.test_name,
+        "iterations": result.iterations,
+        "intervals_checked": result.intervals_checked,
+        "revisions": result.revisions,
+        "max_level": result.max_level,
+        "bound": encode_value(result.bound),
+        "witness": witness,
+        "details": {str(k): encode_value(v) for k, v in result.details.items()},
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> "FeasibilityResult":
+    """Decode a feasibility result produced by :func:`result_to_dict`."""
+    from ..result import FailureWitness, FeasibilityResult, Verdict
+
+    if not isinstance(data, dict):
+        raise ModelError(
+            f"result document must be a dict, got {type(data).__name__}"
+        )
+    declared = data.get("format")
+    if declared != _RESULT_FORMAT:
+        raise ModelError(
+            f"unsupported result format {declared!r}; expected {_RESULT_FORMAT!r}"
+        )
+    try:
+        verdict = Verdict(data["verdict"])
+    except (KeyError, ValueError) as err:
+        raise ModelError(f"invalid result verdict: {err}") from None
+    witness = None
+    witness_doc = data.get("witness")
+    if witness_doc is not None:
+        if not isinstance(witness_doc, dict):
+            raise ModelError("result 'witness' must be an object or null")
+        try:
+            witness = FailureWitness(
+                interval=decode_value(witness_doc["interval"]),
+                demand=decode_value(witness_doc["demand"]),
+                exact=bool(witness_doc["exact"]),
+            )
+        except KeyError as err:
+            raise ModelError(f"result witness is missing {err}") from None
+    details_doc = data.get("details", {})
+    if not isinstance(details_doc, dict):
+        raise ModelError("result 'details' must be an object")
+    try:
+        return FeasibilityResult(
+            verdict=verdict,
+            test_name=data.get("test_name", ""),
+            iterations=int(data.get("iterations", 0)),
+            intervals_checked=int(data.get("intervals_checked", 0)),
+            revisions=int(data.get("revisions", 0)),
+            max_level=data.get("max_level"),
+            bound=decode_value(data.get("bound")),
+            witness=witness,
+            details={k: decode_value(v) for k, v in details_doc.items()},
+        )
+    except (TypeError, ValueError) as err:
+        raise ModelError(f"invalid result document: {err}") from None

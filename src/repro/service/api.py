@@ -1,0 +1,442 @@
+"""HTTP JSON API over the analysis engine (stdlib only).
+
+A thin, threaded front door: ``ThreadingHTTPServer`` handles transport,
+the :class:`~repro.service.jobs.JobQueue` owns execution, the
+:class:`~repro.service.store.ResultStore` owns persistence.  Documents
+on the wire are the repository's existing formats — ``repro/taskset-v1``
+and ``repro/system-v1`` in requests, ``repro/result-v1`` in responses —
+so a file written by ``repro-edf generate`` is a valid request body
+as-is.
+
+Endpoints (all JSON):
+
+========  ==========================  =======================================
+Method    Path                        Meaning
+========  ==========================  =======================================
+GET       /v1/health                  liveness + version
+GET       /v1/tests                   registry dump: names, kinds, options
+GET       /v1/cache-stats             context LRU + store + queue counters
+POST      /v1/jobs                    submit a single or batch job (202)
+GET       /v1/jobs                    list job snapshots
+GET       /v1/jobs/{id}               one job's status/progress
+GET       /v1/jobs/{id}/result        results of a finished job
+DELETE    /v1/jobs/{id}               cancel (immediate if queued)
+========  ==========================  =======================================
+
+A submission body carries the test selection and one source of task
+sets::
+
+    {"test": "qpa", "options": {"bound_method": "best"},
+     "taskset": {...repro/taskset-v1...}}          # single analysis
+    {"test": "all-approx", "tasksets": [{...}, ...]}   # batch campaign
+    {"system": {...repro/system-v1...}}            # platform supplies cores
+    {"requests": [{"test": ..., "options": {...}, "taskset": {...}}, ...]}
+
+Validation failures (unknown test, bad options, malformed documents)
+are 400s with an ``error`` string; unknown jobs and paths are 404s.
+The server never runs analyses on the request thread — POST returns a
+``202 Accepted`` snapshot and clients poll or use the CLI's ``--wait``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..engine.batch import AnalysisRequest, BatchRunner
+from ..engine.context import context_cache_info, set_context_backend
+from ..engine.registry import TestRegistry, default_registry
+from ..model.serialization import (
+    encode_value,
+    result_to_dict,
+    system_from_dict,
+    taskset_from_dict,
+)
+from ..model.validation import ModelError
+from .jobs import JobQueue
+from .store import ResultStore
+
+__all__ = ["AnalysisServer", "ApiError", "requests_from_document"]
+
+_MAX_BODY = 64 * 1024 * 1024  # a 64 MiB body is an attack, not a campaign
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, raised by request handling."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _source_from_entry(
+    entry: Dict[str, Any], test: str, options: Dict[str, Any], registry: TestRegistry
+) -> Tuple[Any, Dict[str, Any]]:
+    """Extract (source, effective options) from a taskset/system entry."""
+    if "taskset" in entry:
+        return taskset_from_dict(entry["taskset"]), options
+    if "system" in entry:
+        system = system_from_dict(entry["system"])
+        effective = dict(options)
+        definition = registry.get(test)
+        if definition.option("cores") is not None and "cores" not in effective:
+            # The platform already says how many cores there are.
+            effective["cores"] = system.platform.cores
+        return system.tasks, effective
+    raise ApiError(400, "each request needs a 'taskset' or 'system' document")
+
+
+def requests_from_document(
+    document: Any, registry: Optional[TestRegistry] = None
+) -> List[AnalysisRequest]:
+    """Turn a POST /v1/jobs body into engine requests (see module docs).
+
+    Raises :class:`ApiError` (400) on malformed documents; test-name and
+    option validation happens later, at submit time.
+    """
+    registry = registry if registry is not None else default_registry()
+    if not isinstance(document, dict):
+        raise ApiError(400, "the request body must be a JSON object")
+    test = document.get("test", "all-approx")
+    if not isinstance(test, str):
+        raise ApiError(400, "'test' must be a string")
+    options = document.get("options", {})
+    if not isinstance(options, dict):
+        raise ApiError(400, "'options' must be an object")
+
+    entries: List[Dict[str, Any]] = []
+    exclusive = [
+        key
+        for key in ("taskset", "tasksets", "system", "systems", "requests")
+        if key in document
+    ]
+    if len(exclusive) != 1:
+        raise ApiError(
+            400,
+            "the body must carry exactly one of 'taskset', 'tasksets', "
+            "'system', 'systems' or 'requests'",
+        )
+    key = exclusive[0]
+    if key == "taskset":
+        entries = [{"taskset": document["taskset"], "test": test, "options": options}]
+    elif key == "system":
+        entries = [{"system": document["system"], "test": test, "options": options}]
+    elif key in ("tasksets", "systems"):
+        docs = document[key]
+        if not isinstance(docs, list) or not docs:
+            raise ApiError(400, f"'{key}' must be a non-empty list")
+        singular = key[:-1]
+        entries = [{singular: d, "test": test, "options": options} for d in docs]
+    else:  # requests
+        raw = document["requests"]
+        if not isinstance(raw, list) or not raw:
+            raise ApiError(400, "'requests' must be a non-empty list")
+        for item in raw:
+            if not isinstance(item, dict):
+                raise ApiError(400, "each request must be an object")
+            entries.append(
+                {
+                    **{k: item[k] for k in ("taskset", "system") if k in item},
+                    "test": item.get("test", test),
+                    "options": item.get("options", options),
+                }
+            )
+
+    requests: List[AnalysisRequest] = []
+    for index, entry in enumerate(entries):
+        entry_test = entry["test"]
+        entry_options = entry["options"]
+        if not isinstance(entry_test, str):
+            raise ApiError(400, "'test' must be a string")
+        if not isinstance(entry_options, dict):
+            raise ApiError(400, "'options' must be an object")
+        try:
+            source, effective = _source_from_entry(
+                entry, entry_test, entry_options, registry
+            )
+        except ModelError as err:
+            raise ApiError(400, f"request {index}: {err}") from None
+        except ValueError as err:
+            raise ApiError(400, f"request {index}: {err}") from None
+        requests.append(
+            AnalysisRequest(
+                source=source, test=entry_test, options=effective, tag=index
+            )
+        )
+    return requests
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`AnalysisServer`."""
+
+    server_version = f"repro-edf/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not getattr(self.server, "quiet", True):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ApiError(400, "a JSON request body is required")
+        if length > _MAX_BODY:
+            raise ApiError(413, "request body too large")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as err:
+            raise ApiError(400, f"invalid JSON body: {err}") from None
+
+    def _route(self, method: str) -> None:
+        service: "AnalysisServer" = self.server.service  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            handled = service.handle(self, method, path)
+        except ApiError as err:
+            self._send_json(err.status, {"error": str(err)})
+            return
+        except BrokenPipeError:  # pragma: no cover - client went away
+            return
+        except Exception as err:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(err).__name__}: {err}"})
+            return
+        if not handled:
+            self._send_json(404, {"error": f"no such endpoint: {method} {path}"})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._route("DELETE")
+
+
+class AnalysisServer:
+    """The composed analysis service: store + queue + HTTP front end.
+
+    Args:
+        host/port: bind address; port ``0`` picks an ephemeral port
+            (read it back from :attr:`port` / :attr:`url`).
+        store: a :class:`ResultStore`, a path to create one at, or
+            ``None`` to run without persistence.
+        workers: concurrent jobs (queue worker threads).
+        shard_size: per-shard request count (progress/cancel granularity).
+        runner: optional :class:`BatchRunner` override for shard
+            execution (e.g. multi-process fan-out).
+        quiet: suppress per-request access logging (default).
+
+    The server installs its store as the engine's persistent context
+    backend for its lifetime (restored on :meth:`close`), so even
+    analyses running outside the queue in this process benefit from
+    rehydrated preflight state.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: Union[ResultStore, str, Path, None] = None,
+        workers: int = 1,
+        shard_size: int = 32,
+        runner: Optional[BatchRunner] = None,
+        registry: Optional[TestRegistry] = None,
+        max_rows: Optional[int] = 100_000,
+        quiet: bool = True,
+    ) -> None:
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store, max_rows=max_rows)
+            self._owns_store = True
+        else:
+            self._owns_store = False
+        self.store = store
+        self.registry = registry if registry is not None else default_registry()
+        self.queue = JobQueue(
+            store=store,
+            workers=workers,
+            shard_size=shard_size,
+            runner=runner,
+            registry=self.registry,
+        )
+        self._previous_backend = (
+            set_context_backend(store) if store is not None else None
+        )
+        self._backend_installed = store is not None
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = self  # type: ignore[attr-defined]
+        self.httpd.quiet = quiet  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (or Ctrl-C)."""
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "AnalysisServer":
+        """Serve on a background thread (tests, examples, embedding)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving, stop the workers, release the store."""
+        if self._closed:
+            return
+        self._closed = True
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.queue.shutdown()
+        if self._backend_installed:
+            set_context_backend(self._previous_backend)
+            self._backend_installed = False
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Routing (returns False for 404)
+    # ------------------------------------------------------------------
+
+    def handle(self, handler: _Handler, method: str, path: str) -> bool:
+        if method == "GET" and path == "/v1/health":
+            handler._send_json(
+                200,
+                {
+                    "ok": True,
+                    "version": __version__,
+                    "store": self.store is not None,
+                },
+            )
+            return True
+        if method == "GET" and path == "/v1/tests":
+            handler._send_json(200, {"tests": self._describe_tests()})
+            return True
+        if method == "GET" and path == "/v1/cache-stats":
+            handler._send_json(200, self.cache_stats())
+            return True
+        if path == "/v1/jobs" and method == "POST":
+            document = handler._read_json()
+            requests = requests_from_document(document, self.registry)
+            try:
+                job_id = self.queue.submit(requests)
+            except ValueError as err:
+                raise ApiError(400, str(err)) from None
+            handler._send_json(202, self.queue.status(job_id))
+            return True
+        if path == "/v1/jobs" and method == "GET":
+            handler._send_json(200, {"jobs": self.queue.list_jobs()})
+            return True
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/") :]
+            parts = rest.split("/")
+            job_id = parts[0]
+            try:
+                if len(parts) == 1 and method == "GET":
+                    handler._send_json(200, self.queue.status(job_id))
+                    return True
+                if len(parts) == 1 and method == "DELETE":
+                    handler._send_json(200, self.queue.cancel(job_id))
+                    return True
+                if len(parts) == 2 and parts[1] == "result" and method == "GET":
+                    handler._send_json(200, self._job_results(job_id))
+                    return True
+            except KeyError:
+                raise ApiError(404, f"unknown job {job_id!r}") from None
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _describe_tests(self) -> List[Dict[str, Any]]:
+        described = []
+        for definition in self.registry.definitions():
+            options = []
+            for spec in definition.options:
+                options.append(
+                    {
+                        "name": spec.name,
+                        "required": spec.required,
+                        "default": None if spec.required else encode_value(spec.default),
+                        "choices": list(spec.choices) if spec.choices else None,
+                        "help": spec.help,
+                    }
+                )
+            described.append(
+                {
+                    "name": definition.name,
+                    "kind": definition.kind.value,
+                    "summary": definition.summary,
+                    "options": options,
+                }
+            )
+        return described
+
+    def _job_results(self, job_id: str) -> Dict[str, Any]:
+        job = self.queue.get(job_id)
+        snapshot = self.queue.status(job_id)
+        if job.state != "done":
+            raise ApiError(
+                409, f"job {job_id!r} has no results yet (state: {job.state})"
+            )
+        snapshot["results"] = [
+            {
+                "tag": request.tag,
+                "test": request.test,
+                **result_to_dict(result),
+            }
+            for request, result in zip(job.requests, job.results)
+            if result is not None
+        ]
+        return snapshot
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Context LRU, store, and queue counters in one document."""
+        return {
+            "context": context_cache_info(),
+            "store": self.store.stats() if self.store is not None else None,
+            "queue": self.queue.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AnalysisServer(url={self.url!r}, store={self.store!r})"

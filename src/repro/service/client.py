@@ -1,0 +1,179 @@
+"""HTTP client for the analysis service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` wraps the JSON API in typed helpers so callers
+never hand-build request documents: submit a :class:`~repro.model.
+taskset.TaskSet` (or many), poll status, fetch decoded
+:class:`~repro.result.FeasibilityResult` objects back.  Errors come
+back as :class:`ServiceError` carrying the HTTP status and the server's
+``error`` string.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..model.serialization import result_from_dict, taskset_to_dict
+from ..model.taskset import TaskSet
+from ..result import FeasibilityResult
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """An HTTP-level or API-level failure talking to the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.api.AnalysisServer`.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8787`` (trailing slash ok).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read().decode("utf-8")
+        except urllib.error.HTTPError as err:
+            detail = err.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(detail).get("error", detail)
+            except ValueError:
+                message = detail or err.reason
+            raise ServiceError(err.code, message) from None
+        except urllib.error.URLError as err:
+            raise ServiceError(0, f"cannot reach {url}: {err.reason}") from None
+        try:
+            return json.loads(body)
+        except ValueError as err:
+            raise ServiceError(0, f"non-JSON response from {url}: {err}") from None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def tests(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/tests")["tests"]
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/cache-stats")
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit_document(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a raw POST /v1/jobs body; returns the job snapshot."""
+        return self._request("POST", "/v1/jobs", document)
+
+    def submit(
+        self,
+        tasksets: Sequence[TaskSet],
+        test: str = "all-approx",
+        **options: Any,
+    ) -> str:
+        """Submit one job over *tasksets*; returns the job id."""
+        sets = list(tasksets)
+        if not sets:
+            raise ValueError("submit needs at least one task set")
+        document: Dict[str, Any] = {"test": test, "options": options}
+        if len(sets) == 1:
+            document["taskset"] = taskset_to_dict(sets[0])
+        else:
+            document["tasksets"] = [taskset_to_dict(ts) for ts in sets]
+        return self.submit_document(document)["job"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def raw_results(self, job_id: str) -> Dict[str, Any]:
+        """The full result document (snapshot + per-request results)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def results(self, job_id: str) -> List[FeasibilityResult]:
+        """Decoded results of a finished job, in request order."""
+        return [
+            result_from_dict(entry)
+            for entry in self.raw_results(job_id)["results"]
+        ]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final snapshot; raises :class:`TimeoutError` if the
+        job is still queued/running after *timeout* seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def run(
+        self,
+        tasksets: Sequence[TaskSet],
+        test: str = "all-approx",
+        timeout: float = 60.0,
+        **options: Any,
+    ) -> List[FeasibilityResult]:
+        """Submit, wait, fetch — the synchronous convenience path."""
+        job_id = self.submit(tasksets, test, **options)
+        snapshot = self.wait(job_id, timeout=timeout)
+        if snapshot["state"] != "done":
+            raise ServiceError(
+                0,
+                f"job {job_id} ended {snapshot['state']}: "
+                f"{snapshot.get('error') or 'no detail'}",
+            )
+        return self.results(job_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceClient(base_url={self.base_url!r})"

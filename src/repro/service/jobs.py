@@ -1,0 +1,371 @@
+"""Asynchronous analysis jobs: queue, workers, progress, cancellation.
+
+A job is an ordered list of engine requests — one for a single
+analysis, hundreds for a batch campaign — executed shard by shard on a
+pool of worker threads.  Sharding serves three purposes: progress is
+observable between shards, cancellation takes effect between shards,
+and each shard goes through :class:`~repro.engine.batch.BatchRunner`
+(so a multi-worker runner fans a shard out over processes while the
+queue stays responsive).
+
+The queue is store-aware.  Before running a shard it consults the
+:class:`~repro.service.store.ResultStore` under the request's
+``(fingerprint, test, resolved options)`` key; hits are answered
+without execution, misses run and are written back, along with the
+memoized context state for in-process runs.  Tests are deterministic,
+so served and computed results are indistinguishable — the job records
+``from_store`` / ``computed`` counts to make the split auditable.
+
+Option validation happens at :meth:`JobQueue.submit` time against the
+registry schema: a bad request fails fast in the caller (the HTTP layer
+turns it into a 400) instead of surfacing later inside a worker.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..engine.batch import AnalysisRequest, BatchRunner
+from ..engine.context import AnalysisContext, fingerprint_of
+from ..engine.registry import TestRegistry, default_registry
+from ..result import FeasibilityResult
+from .store import ResultStore
+
+__all__ = ["JobState", "Job", "JobQueue"]
+
+
+class JobState:
+    """Lifecycle states of a job (plain strings — they go on the wire)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States from which a job can no longer change.
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class _JobRequest:
+    """One resolved unit of work inside a job."""
+
+    source: Any
+    test: str
+    options: Dict[str, Any]
+    fingerprint: Any
+    tag: Any = None
+
+
+@dataclass
+class Job:
+    """Mutable job record; read through :meth:`snapshot` for a stable view."""
+
+    id: str
+    kind: str
+    requests: List[_JobRequest]
+    state: str = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done: int = 0
+    from_store: int = 0
+    computed: int = 0
+    error: Optional[str] = None
+    results: List[Optional[FeasibilityResult]] = field(default_factory=list)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    completion: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def total(self) -> int:
+        return len(self.requests)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready status view (no results payload)."""
+        return {
+            "job": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "total": self.total,
+            "done": self.done,
+            "from_store": self.from_store,
+            "computed": self.computed,
+            "tests": sorted({r.test for r in self.requests}),
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """FIFO job execution on daemon worker threads.
+
+    Args:
+        store: optional persistent result store consulted before and
+            written after every execution.
+        workers: concurrent jobs (threads pulling from the queue).
+        shard_size: requests per execution shard — the granularity of
+            progress updates and cancellation.
+        runner: batch runner executing the shards; defaults to an
+            in-process runner (``jobs=1``), which keeps every analysis
+            inside this process where the context LRU and the store's
+            write-back see it.  Pass a multi-worker runner to fan each
+            shard out over processes instead.
+        registry: test registry for validation; defaults to the shipped
+            one.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        shard_size: int = 32,
+        runner: Optional[BatchRunner] = None,
+        registry: Optional[TestRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.store = store
+        self.shard_size = shard_size
+        self.runner = runner if runner is not None else BatchRunner(jobs=1)
+        self._registry = registry if registry is not None else default_registry()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission / inspection
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        requests: Sequence[AnalysisRequest],
+        kind: Optional[str] = None,
+    ) -> str:
+        """Validate and enqueue *requests* as one job; returns the job id.
+
+        Raises ``ValueError`` on an empty submission, an unknown test
+        name, or options failing the test's schema — nothing is queued
+        in that case.
+        """
+        batch = list(requests)
+        if not batch:
+            raise ValueError("a job needs at least one analysis request")
+        if self._closed:
+            raise RuntimeError("the job queue is shut down")
+        resolved: List[_JobRequest] = []
+        for request in batch:
+            definition = self._registry.get(request.test)
+            options = definition.resolve_options(request.options)
+            # fingerprint_of, not AnalysisContext.of: submission must not
+            # churn the context LRU or do backend I/O for work that may
+            # be answered straight from the result store.
+            fingerprint = fingerprint_of(request.source)
+            resolved.append(
+                _JobRequest(
+                    source=request.source,
+                    test=request.test,
+                    options=options,
+                    fingerprint=fingerprint,
+                    tag=request.tag,
+                )
+            )
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            kind=kind or ("single" if len(resolved) == 1 else "batch"),
+            requests=resolved,
+        )
+        job.results = [None] * job.total
+        with self._lock:
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        self._queue.put(job.id)
+        return job.id
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Status snapshot of one job (raises ``KeyError`` if unknown)."""
+        with self._lock:
+            try:
+                job = self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+            return job.snapshot()
+
+    def results(self, job_id: str) -> List[FeasibilityResult]:
+        """Results of a DONE job, in request order."""
+        job = self.get(job_id)
+        if job.state != JobState.DONE:
+            raise ValueError(
+                f"job {job_id!r} has no results (state: {job.state})"
+            )
+        return [r for r in job.results if r is not None]
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """Snapshots of every known job, oldest first."""
+        with self._lock:
+            return [self._jobs[i].snapshot() for i in self._order]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; queued jobs cancel immediately, running
+        jobs stop at the next shard boundary."""
+        with self._lock:
+            try:
+                job = self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+            job.cancel_event.set()
+            if job.state == JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                job.completion.set()
+            return job.snapshot()
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state (or *timeout*)."""
+        job = self.get(job_id)
+        job.completion.wait(timeout)
+        return self.status(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate queue counters for the cache-stats endpoint."""
+        with self._lock:
+            states = [self._jobs[i].state for i in self._order]
+        counts = {
+            state: sum(1 for s in states if s == state)
+            for state in (
+                JobState.QUEUED,
+                JobState.RUNNING,
+                JobState.DONE,
+                JobState.FAILED,
+                JobState.CANCELLED,
+            )
+        }
+        counts["total"] = len(states)
+        counts["workers"] = len(self._workers)
+        counts["shard_size"] = self.shard_size
+        return counts
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the workers (running shards finish; queued jobs stay queued)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != JobState.QUEUED:
+                    continue  # cancelled while queued
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+            try:
+                self._execute(job)
+            except Exception as err:  # pragma: no cover - defensive
+                with self._lock:
+                    job.state = JobState.FAILED
+                    job.error = f"{type(err).__name__}: {err}"
+                    job.finished_at = time.time()
+                job.completion.set()
+
+    def _execute(self, job: Job) -> None:
+        for start in range(0, job.total, self.shard_size):
+            if job.cancel_event.is_set():
+                with self._lock:
+                    job.state = JobState.CANCELLED
+                    job.finished_at = time.time()
+                job.completion.set()
+                return
+            shard = list(
+                enumerate(
+                    job.requests[start : start + self.shard_size], start=start
+                )
+            )
+            self._run_shard(job, shard)
+            with self._lock:
+                job.done = min(start + self.shard_size, job.total)
+        with self._lock:
+            job.state = JobState.DONE
+            job.finished_at = time.time()
+        job.completion.set()
+
+    def _run_shard(
+        self, job: Job, shard: Sequence[Tuple[int, _JobRequest]]
+    ) -> None:
+        pending: List[Tuple[int, _JobRequest]] = []
+        for index, request in shard:
+            cached = None
+            if self.store is not None:
+                cached = self.store.get(
+                    request.fingerprint, request.test, request.options
+                )
+            if cached is not None:
+                job.results[index] = cached
+                with self._lock:
+                    job.from_store += 1
+            else:
+                pending.append((index, request))
+        if not pending:
+            return
+        outcomes = self.runner.run(
+            AnalysisRequest(
+                source=request.source,
+                test=request.test,
+                options=request.options,
+                tag=request.tag,
+            )
+            for _, request in pending
+        )
+        for (index, request), outcome in zip(pending, outcomes):
+            job.results[index] = outcome
+            if self.store is not None:
+                self.store.put(
+                    request.fingerprint, request.test, request.options, outcome
+                )
+                # In-process execution leaves the memoized preflight in
+                # this process's LRU — flush it to the store so the next
+                # process starts warm.  (A multi-process runner kept
+                # those memos in its workers; nothing to flush then.)
+                if self.runner.jobs <= 1:
+                    state = AnalysisContext.of(request.source).export_state()
+                    if state:
+                        self.store.store_context(request.fingerprint, state)
+        with self._lock:
+            job.computed += len(pending)

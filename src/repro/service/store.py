@@ -1,0 +1,408 @@
+"""Persistent analysis result store backed by SQLite.
+
+The engine's :class:`~repro.engine.context.AnalysisContext` LRU makes
+repeated analyses cheap *within* one process; this store makes them
+cheap *across* processes.  Two tables:
+
+* ``results`` — one row per ``(task-set fingerprint, test name,
+  canonical resolved options)`` holding a ``repro/result-v1`` document.
+  Feasibility tests are deterministic, so a stored verdict is the
+  verdict — a hit answers an analysis without running it.
+* ``contexts`` — the exported memoized state of an
+  :class:`AnalysisContext` (bounds, busy period, hot ``dbf`` points)
+  per fingerprint.  The store satisfies the engine's pluggable context
+  backend contract (``load_context`` / ``store_context``), so the
+  in-memory LRU layers over it: a fresh process rehydrates the
+  expensive preflight quantities instead of recomputing them.
+
+Keys are content hashes of the *fingerprint* (component parameters in
+source order — exactly what a test can observe), never of file names or
+object identities, so equal systems share rows however they arrive.
+Options are canonicalized post-resolution: submitting a default
+explicitly and omitting it hit the same row.
+
+The store is a cache, not a ledger: every read path degrades to a miss
+on trouble.  *Corruption* (``sqlite3.DatabaseError`` other than
+``OperationalError``) moves the database file aside and recreates it; a
+corrupted row is deleted.  *Transient* trouble
+(``sqlite3.OperationalError`` — locked by another process, disk busy,
+read-only filesystem) merely degrades the one operation to a miss or a
+skipped write: a healthy database shared with another process must
+never be quarantined for being busy.  Eviction keeps the row count under
+``max_rows``, dropping least-recently-used entries first (``last_used``
+is a monotonic sequence number, not wall time, so rapid-fire entries
+stay strictly ordered).
+
+Writes use one connection guarded by a lock (``check_same_thread=False``
+— the HTTP handler pool and the job workers share the instance).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..model.serialization import encode_value, result_from_dict, result_to_dict
+from ..result import FeasibilityResult
+
+__all__ = ["ResultStore", "fingerprint_key", "canonical_options"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT NOT NULL,
+    test        TEXT NOT NULL,
+    options     TEXT NOT NULL,
+    result      TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    last_used   INTEGER NOT NULL,
+    hits        INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (fingerprint, test, options)
+);
+CREATE INDEX IF NOT EXISTS idx_results_lru ON results (last_used);
+CREATE TABLE IF NOT EXISTS contexts (
+    fingerprint TEXT PRIMARY KEY,
+    state       TEXT NOT NULL,
+    last_used   INTEGER NOT NULL
+);
+"""
+
+
+def fingerprint_key(fingerprint: Any) -> str:
+    """Stable content hash of an ``AnalysisContext`` fingerprint.
+
+    The fingerprint is a tuple of ``(wcet, first_deadline, period,
+    source)`` per component; encoding through the tagged JSON scheme
+    keeps exact rationals exact, so two systems collide iff a
+    feasibility test cannot tell them apart.
+    """
+    canonical = json.dumps(encode_value(fingerprint), separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def canonical_options(options: Mapping[str, Any]) -> str:
+    """Canonical text of *resolved* test options (sorted, tagged JSON).
+
+    Callers must resolve options through the registry first so defaults
+    and explicitly passed default values serialize identically.
+    """
+    encoded = {str(k): encode_value(v) for k, v in options.items()}
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """SQLite-backed verdict and context cache (see module docstring).
+
+    Args:
+        path: database file; parent directories are created.
+        max_rows: LRU eviction threshold for the ``results`` table
+            (``None`` disables eviction).
+    """
+
+    def __init__(
+        self, path: Union[str, Path], max_rows: Optional[int] = 100_000
+    ) -> None:
+        if max_rows is not None and max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        self.path = Path(path)
+        self.max_rows = max_rows
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._conn: Optional[sqlite3.Connection] = None
+        self._tick = 0
+        with self._lock:
+            self._open()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle / corruption recovery
+    # ------------------------------------------------------------------
+
+    def _open(self) -> None:
+        """Open (or recover and reopen) the database.  Caller holds the lock."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = self._connect()
+        except sqlite3.OperationalError:
+            # Locked / unwritable is not corruption: surface it instead
+            # of destroying a database another process is using.
+            raise
+        except sqlite3.DatabaseError:
+            self._quarantine()
+            self._conn = self._connect()
+        self._tick = self._max_tick()
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        try:
+            conn.executescript(_SCHEMA)
+            conn.commit()
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def _quarantine(self) -> None:
+        """Move a corrupted database aside so a fresh one can be created."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        if self.path.exists():
+            backup = self.path.with_name(self.path.name + ".corrupt")
+            try:
+                os.replace(self.path, backup)
+            except OSError:
+                try:
+                    self.path.unlink()
+                except OSError:
+                    pass
+
+    def _recover(self) -> None:
+        """Replace a database that failed mid-operation.  Caller holds the lock."""
+        self._quarantine()
+        self._conn = self._connect()
+        self._tick = 0
+
+    def _max_tick(self) -> int:
+        assert self._conn is not None
+        row = self._conn.execute(
+            "SELECT MAX(last_used) FROM results"
+        ).fetchone()
+        ctx_row = self._conn.execute(
+            "SELECT MAX(last_used) FROM contexts"
+        ).fetchone()
+        return max(row[0] or 0, ctx_row[0] or 0)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Result rows
+    # ------------------------------------------------------------------
+
+    def get(
+        self,
+        fingerprint: Any,
+        test: str,
+        options: Mapping[str, Any],
+    ) -> Optional[FeasibilityResult]:
+        """Stored result for the triple, or ``None`` (counted as a miss).
+
+        *options* must be registry-resolved; a hit bumps the row's LRU
+        position and per-row hit counter.
+        """
+        key = fingerprint_key(fingerprint)
+        opts = canonical_options(options)
+        with self._lock:
+            if self._conn is None:
+                raise RuntimeError("store is closed")
+            try:
+                row = self._conn.execute(
+                    "SELECT result FROM results WHERE fingerprint=? AND "
+                    "test=? AND options=?",
+                    (key, test, opts),
+                ).fetchone()
+            except sqlite3.OperationalError:
+                row = None  # transient (locked/busy): just a miss
+            except sqlite3.DatabaseError:
+                self._recover()
+                row = None
+            if row is None:
+                self._misses += 1
+                return None
+            try:
+                result = result_from_dict(json.loads(row[0]))
+            except Exception:
+                # A corrupted row is worthless: drop it, report a miss.
+                self._misses += 1
+                try:
+                    self._conn.execute(
+                        "DELETE FROM results WHERE fingerprint=? AND "
+                        "test=? AND options=?",
+                        (key, test, opts),
+                    )
+                    self._conn.commit()
+                except sqlite3.OperationalError:
+                    pass
+                except sqlite3.DatabaseError:
+                    self._recover()
+                return None
+            self._hits += 1
+            self._tick += 1
+            try:
+                self._conn.execute(
+                    "UPDATE results SET last_used=?, hits=hits+1 WHERE "
+                    "fingerprint=? AND test=? AND options=?",
+                    (self._tick, key, test, opts),
+                )
+                self._conn.commit()
+            except sqlite3.OperationalError:
+                pass  # the LRU bump is best-effort
+            except sqlite3.DatabaseError:
+                self._recover()
+            return result
+
+    def put(
+        self,
+        fingerprint: Any,
+        test: str,
+        options: Mapping[str, Any],
+        result: FeasibilityResult,
+    ) -> None:
+        """Insert or refresh the stored result for the triple."""
+        key = fingerprint_key(fingerprint)
+        opts = canonical_options(options)
+        document = json.dumps(result_to_dict(result), separators=(",", ":"))
+        with self._lock:
+            if self._conn is None:
+                raise RuntimeError("store is closed")
+            self._tick += 1
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results "
+                    "(fingerprint, test, options, result, created_at, "
+                    "last_used, hits) VALUES (?,?,?,?,?,?,"
+                    "COALESCE((SELECT hits FROM results WHERE fingerprint=? "
+                    "AND test=? AND options=?), 0))",
+                    (key, test, opts, document, time.time(), self._tick,
+                     key, test, opts),
+                )
+                self._evict_locked()
+                self._conn.commit()
+            except sqlite3.OperationalError:
+                pass  # transient (locked/read-only): drop this write
+            except sqlite3.DatabaseError:
+                self._recover()
+
+    def _evict_locked(self) -> None:
+        if self.max_rows is None:
+            return
+        assert self._conn is not None
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        excess = count - self.max_rows
+        if excess > 0:
+            self._conn.execute(
+                "DELETE FROM results WHERE rowid IN ("
+                "SELECT rowid FROM results ORDER BY last_used ASC LIMIT ?)",
+                (excess,),
+            )
+
+    # ------------------------------------------------------------------
+    # Context backend contract (repro.engine.context)
+    # ------------------------------------------------------------------
+
+    def load_context(self, fingerprint: Any) -> Optional[Dict[str, Any]]:
+        """Stored :meth:`AnalysisContext.export_state` payload, if any."""
+        key = fingerprint_key(fingerprint)
+        with self._lock:
+            if self._conn is None:
+                return None
+            try:
+                row = self._conn.execute(
+                    "SELECT state FROM contexts WHERE fingerprint=?", (key,)
+                ).fetchone()
+            except sqlite3.OperationalError:
+                return None
+            except sqlite3.DatabaseError:
+                self._recover()
+                return None
+            if row is None:
+                return None
+            try:
+                state = json.loads(row[0])
+            except ValueError:
+                try:
+                    self._conn.execute(
+                        "DELETE FROM contexts WHERE fingerprint=?", (key,)
+                    )
+                    self._conn.commit()
+                except sqlite3.OperationalError:
+                    pass
+                except sqlite3.DatabaseError:
+                    self._recover()
+                return None
+            return state if isinstance(state, dict) else None
+
+    def store_context(self, fingerprint: Any, state: Mapping[str, Any]) -> None:
+        """Persist an exported context state (last writer wins)."""
+        key = fingerprint_key(fingerprint)
+        document = json.dumps(dict(state), separators=(",", ":"))
+        with self._lock:
+            if self._conn is None:
+                return
+            self._tick += 1
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO contexts "
+                    "(fingerprint, state, last_used) VALUES (?,?,?)",
+                    (key, document, self._tick),
+                )
+                self._conn.commit()
+            except sqlite3.OperationalError:
+                pass  # transient: drop this write
+            except sqlite3.DatabaseError:
+                self._recover()
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Session hit/miss counters plus persistent row counts."""
+        with self._lock:
+            rows = contexts = 0
+            if self._conn is not None:
+                try:
+                    (rows,) = self._conn.execute(
+                        "SELECT COUNT(*) FROM results"
+                    ).fetchone()
+                    (contexts,) = self._conn.execute(
+                        "SELECT COUNT(*) FROM contexts"
+                    ).fetchone()
+                except sqlite3.OperationalError:
+                    pass
+                except sqlite3.DatabaseError:
+                    self._recover()
+            return {
+                "path": str(self.path),
+                "rows": rows,
+                "contexts": contexts,
+                "max_rows": self.max_rows,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+    def clear(self) -> None:
+        """Drop every stored result and context."""
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                self._conn.execute("DELETE FROM results")
+                self._conn.execute("DELETE FROM contexts")
+                self._conn.commit()
+            except sqlite3.OperationalError:
+                pass
+            except sqlite3.DatabaseError:
+                self._recover()
+            self._tick = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore(path={str(self.path)!r}, max_rows={self.max_rows})"

@@ -50,6 +50,47 @@ class TestContextCache:
             AnalysisContext.of(TaskSet.of((1, i + 5, i + 10)))
         assert context_cache_info()["size"] <= context_cache_info()["max_size"]
 
+    def test_concurrent_access_is_safe(self, monkeypatch):
+        """The service layer hits the LRU from many threads; with a tiny
+        cache forcing constant eviction, hits racing evictions must not
+        raise (the historical failure was KeyError from move_to_end)."""
+        import threading
+
+        from repro.engine import context as context_module
+
+        monkeypatch.setattr(context_module, "_CACHE_MAX", 4)
+        errors = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(300):
+                    value = (seed * 7 + i) % 12
+                    AnalysisContext.of(TaskSet.of((1, value + 5, value + 10)))
+            except Exception as err:  # pragma: no cover - the regression
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=hammer, args=(s,)) for s in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert context_cache_info()["size"] <= 4
+
+    def test_fingerprint_of_matches_context_without_caching(
+        self, simple_taskset
+    ):
+        from repro.engine import fingerprint_of
+
+        before = context_cache_info()["misses"]
+        fingerprint = fingerprint_of(simple_taskset)
+        assert context_cache_info()["misses"] == before  # no cache traffic
+        ctx = AnalysisContext.of(simple_taskset)
+        assert fingerprint == ctx.fingerprint
+        assert fingerprint_of(ctx) == ctx.fingerprint
+
 
 class TestMemoizedQuantities:
     def test_bounds_match_feasibility_bound(self, simple_taskset):

@@ -1,0 +1,167 @@
+"""Unit tests for the benchmark trajectory gate (benchmarks/bench_diff.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_diff.py"
+
+
+@pytest.fixture(scope="module")
+def bench_diff():
+    spec = importlib.util.spec_from_file_location("bench_diff", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def test_identical_records_pass(bench_diff, tmp_path, capsys):
+    _write(tmp_path / "base", "BENCH_x.json", {"run_seconds": 1.0, "sets": 5})
+    _write(tmp_path / "curr", "BENCH_x.json", {"run_seconds": 1.0, "sets": 5})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+    assert "no wall-time regressions" in capsys.readouterr().out
+
+
+def test_regression_beyond_threshold_fails(bench_diff, tmp_path, capsys):
+    _write(tmp_path / "base", "BENCH_x.json", {"run_seconds": 1.0})
+    _write(tmp_path / "curr", "BENCH_x.json", {"run_seconds": 1.3})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_regression_within_threshold_passes(bench_diff, tmp_path):
+    _write(tmp_path / "base", "BENCH_x.json", {"run_seconds": 1.0})
+    _write(tmp_path / "curr", "BENCH_x.json", {"run_seconds": 1.2})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+
+
+def test_min_of_n_strips_noise(bench_diff, tmp_path):
+    """One noisy run does not fail the gate when a clean run exists."""
+    _write(tmp_path / "base", "BENCH_x.json", {"run_seconds": 1.0})
+    _write(tmp_path / "noisy", "BENCH_x.json", {"run_seconds": 2.0})
+    _write(tmp_path / "clean", "BENCH_x.json", {"run_seconds": 1.05})
+    code = bench_diff.main(
+        [
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "noisy"),
+            "--current", str(tmp_path / "clean"),
+        ]
+    )
+    assert code == 0
+
+
+def test_sub_floor_timings_never_gate(bench_diff, tmp_path, capsys):
+    _write(tmp_path / "base", "BENCH_x.json", {"tiny_seconds": 0.001})
+    _write(tmp_path / "curr", "BENCH_x.json", {"tiny_seconds": 0.004})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+    assert "noise (below floor)" in capsys.readouterr().out
+
+
+def test_disjoint_files_are_skipped_not_failed(bench_diff, tmp_path, capsys):
+    _write(tmp_path / "base", "BENCH_old.json", {"run_seconds": 1.0})
+    _write(tmp_path / "curr", "BENCH_new.json", {"run_seconds": 9.9})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "no committed baseline yet" in out
+    assert "benchmark not rerun" in out
+
+
+def test_missing_directories_error(bench_diff, tmp_path):
+    _write(tmp_path / "curr", "BENCH_x.json", {"run_seconds": 1.0})
+    assert (
+        bench_diff.main(
+            ["--baseline", str(tmp_path / "empty"),
+             "--current", str(tmp_path / "curr")]
+        )
+        == 2
+    )
+    _write(tmp_path / "base", "BENCH_x.json", {"run_seconds": 1.0})
+    assert (
+        bench_diff.main(
+            ["--baseline", str(tmp_path / "base"),
+             "--current", str(tmp_path / "nothing")]
+        )
+        == 2
+    )
+
+
+def test_calibration_normalizes_machine_speed(bench_diff, tmp_path, capsys):
+    """A 2x-slower machine with 2x-slower timings is not a regression."""
+    _write(
+        tmp_path / "base",
+        "BENCH_x.json",
+        {"run_seconds": 1.0, "calibration_seconds": 0.1},
+    )
+    _write(
+        tmp_path / "curr",
+        "BENCH_x.json",
+        {"run_seconds": 2.0, "calibration_seconds": 0.2},
+    )
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+    assert "machine-speed scale" in capsys.readouterr().out
+
+
+def test_calibration_does_not_mask_real_regressions(bench_diff, tmp_path):
+    """Same machine speed, slower code: still a regression."""
+    _write(
+        tmp_path / "base",
+        "BENCH_x.json",
+        {"run_seconds": 1.0, "calibration_seconds": 0.1},
+    )
+    _write(
+        tmp_path / "curr",
+        "BENCH_x.json",
+        {"run_seconds": 1.5, "calibration_seconds": 0.1},
+    )
+    assert (
+        bench_diff.main(
+            ["--baseline", str(tmp_path / "base"),
+             "--current", str(tmp_path / "curr")]
+        )
+        == 1
+    )
+
+
+def test_non_timing_keys_never_gate(bench_diff, tmp_path):
+    _write(
+        tmp_path / "base",
+        "BENCH_x.json",
+        {"run_seconds": 1.0, "sets_per_second": 100.0},
+    )
+    _write(
+        tmp_path / "curr",
+        "BENCH_x.json",
+        {"run_seconds": 1.0, "sets_per_second": 1.0},  # 100x "worse", not gated
+    )
+    assert (
+        bench_diff.main(
+            ["--baseline", str(tmp_path / "base"),
+             "--current", str(tmp_path / "curr")]
+        )
+        == 0
+    )

@@ -1,0 +1,218 @@
+"""Unit tests for the persistent result store (SQLite)."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.engine import AnalysisContext, analyze, clear_context_cache
+from repro.model import TaskSet
+from repro.service import ResultStore, canonical_options, fingerprint_key
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "store.sqlite") as s:
+        yield s
+
+
+def _fingerprint(tasks):
+    return AnalysisContext.of(tasks).fingerprint
+
+
+class TestKeying:
+    def test_equal_systems_share_a_key(self):
+        a = TaskSet.of((2, 6, 10), (3, 11, 16))
+        b = TaskSet.of((2, 6, 10), (3, 11, 16))
+        assert fingerprint_key(_fingerprint(a)) == fingerprint_key(_fingerprint(b))
+
+    def test_different_systems_differ(self):
+        a = TaskSet.of((2, 6, 10),)
+        b = TaskSet.of((2, 7, 10),)
+        assert fingerprint_key(_fingerprint(a)) != fingerprint_key(_fingerprint(b))
+
+    def test_canonical_options_order_independent(self):
+        assert canonical_options({"a": 1, "b": 2}) == canonical_options(
+            {"b": 2, "a": 1}
+        )
+
+    def test_default_vs_explicit_options_collide(self):
+        """Registry-resolved options make omitted and explicit defaults equal."""
+        from repro.engine import default_registry
+
+        definition = default_registry().get("qpa")
+        implicit = definition.resolve_options({})
+        explicit = definition.resolve_options({"bound_method": "best"})
+        assert canonical_options(implicit) == canonical_options(explicit)
+
+
+class TestRoundTrip:
+    def test_result_round_trip(self, store, simple_taskset):
+        result = analyze(simple_taskset, "qpa")
+        fp = _fingerprint(simple_taskset)
+        assert store.get(fp, "qpa", {}) is None  # miss first
+        store.put(fp, "qpa", {}, result)
+        restored = store.get(fp, "qpa", {})
+        assert restored is not None
+        assert restored.verdict == result.verdict
+        assert restored.iterations == result.iterations
+        assert restored.bound == result.bound
+        assert restored.details["utilization"] == result.details["utilization"]
+
+    def test_witness_survives(self, store, infeasible_taskset):
+        result = analyze(infeasible_taskset, "processor-demand")
+        fp = _fingerprint(infeasible_taskset)
+        store.put(fp, "processor-demand", {}, result)
+        restored = store.get(fp, "processor-demand", {})
+        assert restored.witness == result.witness
+        assert restored.witness.exact
+
+    def test_persists_across_instances(self, tmp_path, simple_taskset):
+        path = tmp_path / "store.sqlite"
+        result = analyze(simple_taskset, "devi")
+        fp = _fingerprint(simple_taskset)
+        with ResultStore(path) as first:
+            first.put(fp, "devi", {}, result)
+        with ResultStore(path) as second:
+            restored = second.get(fp, "devi", {})
+        assert restored is not None
+        assert restored.verdict == result.verdict
+
+    def test_stats_counters(self, store, simple_taskset):
+        result = analyze(simple_taskset, "devi")
+        fp = _fingerprint(simple_taskset)
+        store.get(fp, "devi", {})
+        store.put(fp, "devi", {}, result)
+        store.get(fp, "devi", {})
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["rows"] == 1
+
+    def test_options_distinguish_rows(self, store, simple_taskset):
+        fp = _fingerprint(simple_taskset)
+        r3 = analyze(simple_taskset, "superpos", level=3)
+        r5 = analyze(simple_taskset, "superpos", level=5)
+        store.put(fp, "superpos", {"level": 3}, r3)
+        store.put(fp, "superpos", {"level": 5}, r5)
+        assert store.get(fp, "superpos", {"level": 3}).max_level == r3.max_level
+        assert store.get(fp, "superpos", {"level": 5}).max_level == r5.max_level
+
+
+class TestEviction:
+    def test_lru_eviction_keeps_max_rows(self, tmp_path, simple_taskset):
+        result = analyze(simple_taskset, "devi")
+        with ResultStore(tmp_path / "s.sqlite", max_rows=5) as store:
+            for i in range(12):
+                fp = _fingerprint(TaskSet.of((1, i + 5, i + 10)))
+                store.put(fp, "devi", {}, result)
+            assert store.stats()["rows"] == 5
+
+    def test_recently_used_rows_survive(self, tmp_path, simple_taskset):
+        result = analyze(simple_taskset, "devi")
+        keep = _fingerprint(TaskSet.of((1, 100, 200)))
+        with ResultStore(tmp_path / "s.sqlite", max_rows=3) as store:
+            store.put(keep, "devi", {}, result)
+            for i in range(4):
+                store.get(keep, "devi", {})  # keep it hot
+                fp = _fingerprint(TaskSet.of((1, i + 5, i + 10)))
+                store.put(fp, "devi", {}, result)
+            assert store.get(keep, "devi", {}) is not None
+
+    def test_max_rows_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "s.sqlite", max_rows=0)
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_file_is_quarantined(self, tmp_path, simple_taskset):
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(b"this is not a sqlite database, not even close!")
+        result = analyze(simple_taskset, "devi")
+        fp = _fingerprint(simple_taskset)
+        with ResultStore(path) as store:
+            store.put(fp, "devi", {}, result)
+            assert store.get(fp, "devi", {}) is not None
+        assert (tmp_path / "store.sqlite.corrupt").exists()
+
+    def test_corrupt_row_reads_as_miss_and_is_dropped(
+        self, tmp_path, simple_taskset
+    ):
+        path = tmp_path / "store.sqlite"
+        result = analyze(simple_taskset, "devi")
+        fp = _fingerprint(simple_taskset)
+        with ResultStore(path) as store:
+            store.put(fp, "devi", {}, result)
+        key = fingerprint_key(fp)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE results SET result='{broken json' WHERE fingerprint=?",
+                (key,),
+            )
+            conn.commit()
+        with ResultStore(path) as store:
+            assert store.get(fp, "devi", {}) is None
+            assert store.stats()["rows"] == 0  # the bad row was deleted
+            # and the slot is usable again
+            store.put(fp, "devi", {}, result)
+            assert store.get(fp, "devi", {}) is not None
+
+    def test_corrupt_context_row_is_dropped(self, tmp_path, simple_taskset):
+        path = tmp_path / "store.sqlite"
+        fp = _fingerprint(simple_taskset)
+        with ResultStore(path) as store:
+            store.store_context(fp, {"busy_period": 10})
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE contexts SET state='}{'")
+            conn.commit()
+        with ResultStore(path) as store:
+            assert store.load_context(fp) is None
+            assert store.stats()["contexts"] == 0
+
+
+class TestContextBackendContract:
+    def test_context_state_round_trip(self, tmp_path, simple_taskset):
+        from repro.analysis.bounds import BoundMethod
+
+        ctx = AnalysisContext.of(simple_taskset)
+        ctx.bound(BoundMethod.BARUAH)
+        ctx.busy_period()
+        ctx.dbf(10)
+        state = ctx.export_state()
+        fp = ctx.fingerprint
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.store_context(fp, state)
+            restored = store.load_context(fp)
+        clear_context_cache()
+        fresh = AnalysisContext.of(simple_taskset)
+        fresh.apply_state(restored)
+        assert fresh.bound(BoundMethod.BARUAH) == ctx.bound(BoundMethod.BARUAH)
+        assert fresh.busy_period() == ctx.busy_period()
+        assert fresh.dbf(10) == ctx.dbf(10)
+
+    def test_lru_layers_over_backend(self, tmp_path, simple_taskset):
+        """A fresh process (cleared LRU) rehydrates contexts from the store."""
+        from repro.engine import context_cache_info, set_context_backend
+
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            previous = set_context_backend(store)
+            try:
+                ctx = AnalysisContext.of(simple_taskset)
+                ctx.busy_period()
+                assert store.load_context(ctx.fingerprint) is None
+                from repro.engine.context import persist_context
+
+                assert persist_context(simple_taskset)
+                clear_context_cache()  # "restart"
+                again = AnalysisContext.of(simple_taskset)
+                assert again._busy_period is not None  # rehydrated, not recomputed
+                assert context_cache_info()["persistent_hits"] == 1
+            finally:
+                set_context_backend(previous)
