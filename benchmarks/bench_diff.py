@@ -10,7 +10,10 @@ benchmarks into scratch directories and calls::
 
 which fails (exit 1) when any wall-time metric (``*_seconds``) regressed
 by more than ``--threshold`` (default 25%) relative to the baseline.
-Two noise guards keep the gate honest on shared runners:
+Improvements past the same threshold are reported as a speedup summary
+(they never gate, but they belong in the CI job output — a performance
+PR should show its wins next to the regression check, not only in an
+artifact).  Two noise guards keep the gate honest on shared runners:
 
 * passing ``--current`` several times compares the *minimum* per metric
   across runs — min-of-N is the standard way to strip scheduler noise
@@ -106,10 +109,11 @@ def compare(
     current: Dict[str, Dict],
     threshold: float,
     floor: float,
-) -> Tuple[List[str], List[str]]:
-    """Returns (report lines, regression descriptions)."""
+) -> Tuple[List[str], List[str], List[str]]:
+    """Returns (report lines, regression descriptions, improvements)."""
     lines: List[str] = []
     regressions: List[str] = []
+    improvements: List[str] = []
     shared = sorted(set(baseline) & set(current))
     for name in sorted(set(baseline) - set(current)):
         lines.append(f"{name}: no current record (benchmark not rerun) — skipped")
@@ -140,11 +144,24 @@ def compare(
                     f"{name}:{key} {b:.4f}s -> {c:.4f}s "
                     f"(+{(ratio - 1) * 100:.0f}% > {threshold * 100:.0f}%)"
                 )
+            elif ratio < 1 / (1 + threshold):
+                verdict = "improvement"
+                # A current timing below the noise floor proves the
+                # direction but not the magnitude — don't print a factor
+                # computed from what is mostly OS scheduling noise.
+                speed = (
+                    f"{1 / ratio:.2f}x faster"
+                    if c >= floor
+                    else "now below the noise floor"
+                )
+                improvements.append(
+                    f"{name}:{key} {b:.4f}s -> {c:.4f}s ({speed})"
+                )
             lines.append(
                 f"{name}: {key:<28s} {b:>9.4f}s -> {c:>9.4f}s "
                 f"({ratio:>6.2f}x)  {verdict}"
             )
-    return lines, regressions
+    return lines, regressions, improvements
 
 
 def main(argv=None) -> int:
@@ -189,9 +206,15 @@ def main(argv=None) -> int:
         )
         return 2
 
-    lines, regressions = compare(baseline, current, args.threshold, args.floor)
+    lines, regressions, improvements = compare(
+        baseline, current, args.threshold, args.floor
+    )
     for line in lines:
         print(line)
+    if improvements:
+        print(f"\n{len(improvements)} wall-time improvement(s):")
+        for item in improvements:
+            print(f"  {item}")
     if regressions:
         print(f"\n{len(regressions)} wall-time regression(s):", file=sys.stderr)
         for item in regressions:

@@ -12,7 +12,8 @@ peaks at ``4/13`` at its first deadline while the George bound is
 ``dbf(I) <= I*U + P`` with ``P = sum_{rec, d0<=T} (1-d0/T)C + sum_os C``,
 so any window achieving ratio ``r > U`` satisfies ``I <= P/(r - U)``.
 
-Algorithm (exact, `Fraction` arithmetic):
+Algorithm (exact; staircase scans run on the compiled demand kernel of
+:mod:`repro.kernel`, with ratio comparisons by cross-multiplication):
 
 1. Scan the demand steps up to the largest first deadline; call the best
    ratio found ``r`` (it includes every component's first step).
@@ -41,6 +42,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import List, Optional
 
+from ..kernel import DemandKernel
 from ..model.components import (
     DemandComponent,
     DemandSource,
@@ -48,7 +50,6 @@ from ..model.components import (
     total_utilization,
 )
 from ..model.numeric import ExactTime, Time, to_exact
-from .dbf import dbf_points
 
 __all__ = ["system_load", "minimum_processor_speed", "scaled_wcets"]
 
@@ -68,24 +69,28 @@ def system_load(
         return 0
     u = Fraction(total_utilization(components))
     envelope_offset = _envelope_offset(components)
+    # All staircase scans below run on one compiled kernel (flat-array
+    # walks, ratio comparisons by cross-multiplication on the grid —
+    # the grid scale cancels out of every dbf(I)/I ratio).
+    kernel = DemandKernel(components)
 
     if u == 0:
         # One-shot components only: finitely many demand steps.
         horizon = max(c.first_deadline for c in components)
-        best = _best_ratio(components, horizon, Fraction(0))
+        best = kernel.best_ratio(horizon, Fraction(0))
         return _norm(best)
 
     # Steps 1 + 2: iterative scan with the envelope horizon.  Every
     # rescan is guarded: a razor-thin margin over U can push the
     # envelope horizon to hyperperiod scale.
     scanned = max(c.first_deadline for c in components)
-    best = _best_ratio(components, scanned, u)
+    best = kernel.best_ratio(scanned, u)
     while best > u:
         horizon = envelope_offset / (best - u)
         if horizon <= scanned:
             return _norm(best)
-        _guard_scan(components, horizon, exact_decision_limit)
-        improved = _best_ratio(components, horizon, best)
+        _guard_scan(kernel, horizon, exact_decision_limit)
+        improved = kernel.best_ratio(horizon, best)
         scanned = horizon
         if improved == best:
             return _norm(best)
@@ -94,7 +99,7 @@ def system_load(
     # Step 3: nothing above U within the first deadlines — decide via
     # the busy period of the speed-U-scaled system (utilization 1).
     achiever = _ratio_above_u_exists(
-        components, u, exact_decision_limit
+        components, kernel, u, exact_decision_limit
     )
     if achiever is None:
         return _norm(u)
@@ -105,8 +110,8 @@ def system_load(
         horizon = envelope_offset / (best - u)
         if horizon <= scanned:
             return _norm(best)
-        _guard_scan(components, horizon, exact_decision_limit)
-        improved = _best_ratio(components, horizon, best)
+        _guard_scan(kernel, horizon, exact_decision_limit)
+        improved = kernel.best_ratio(horizon, best)
         scanned = horizon
         if improved == best:
             return _norm(best)
@@ -147,16 +152,9 @@ def scaled_wcets(source: DemandSource, speed: Time) -> List[DemandComponent]:
     return scaled
 
 
-def _guard_scan(components, horizon, limit: int) -> None:
+def _guard_scan(kernel: DemandKernel, horizon, limit: int) -> None:
     """Refuse scans whose demand-step count exceeds *limit*."""
-    estimate = 0
-    for c in components:
-        if c.first_deadline > horizon:
-            continue
-        if c.period is None:
-            estimate += 1
-        else:
-            estimate += int((horizon - c.first_deadline) // c.period) + 1
+    estimate = kernel.count_steps(horizon)
     if estimate > limit:
         raise ValueError(
             f"exact load scan needs ~{estimate} demand steps "
@@ -164,18 +162,8 @@ def _guard_scan(components, horizon, limit: int) -> None:
         )
 
 
-def _best_ratio(components, horizon, floor: Fraction) -> Fraction:
-    """Max of ``dbf(I)/I`` over demand steps ``I <= horizon`` and *floor*."""
-    best = floor
-    for interval, demand in dbf_points(components, horizon):
-        ratio = Fraction(demand) / Fraction(interval)
-        if ratio > best:
-            best = ratio
-    return best
-
-
 def _ratio_above_u_exists(
-    components, u: Fraction, limit: int
+    components, kernel: DemandKernel, u: Fraction, limit: int
 ) -> Optional[Fraction]:
     """Return a ratio strictly above ``u`` if any window achieves one.
 
@@ -187,19 +175,8 @@ def _ratio_above_u_exists(
     respect *limit* (measured in demand steps of the original system).
     """
 
-    def steps_within(window) -> int:
-        count = 0
-        for c in components:
-            if c.first_deadline > window:
-                continue
-            if c.period is None:
-                count += 1
-            else:
-                count += int((window - c.first_deadline) // c.period) + 1
-        return count
-
     def guard(window) -> None:
-        estimate = steps_within(window)
+        estimate = kernel.count_steps(window)
         if estimate > limit:
             raise ValueError(
                 "deciding LOAD > U needs a busy-period window of "
@@ -231,10 +208,10 @@ def _ratio_above_u_exists(
             "pass a larger exact_decision_limit to force the scan"
         )
 
-    for interval, demand in dbf_points(components, busy):
-        ratio = Fraction(demand) / Fraction(interval)
-        if ratio > u:
-            return ratio
+    u_num, u_den = u.numerator, u.denominator
+    for interval, demand in kernel.points_scaled(kernel.inclusive_scaled(busy)):
+        if demand * u_den > u_num * interval:
+            return kernel.ratio(demand, interval)
     return None
 
 

@@ -6,6 +6,12 @@ deadlines) up to a feasibility bound, and compare ``dbf(I) <= I`` at each.
 Demand is accumulated incrementally, so each checked interval costs
 ``O(log n)``.
 
+The walk itself runs on the system's compiled
+:class:`~repro.kernel.DemandKernel` — integerized flat arrays instead of
+one component method call per deadline — and reproduces the
+component-based reference (:func:`repro.analysis.dbf.first_overflow`)
+bit-exactly; see ``tests/kernel/test_parity_random.py``.
+
 Iterations are counted as *distinct intervals checked* — the metric the
 paper reports in its figures and Table 1.
 """
@@ -19,7 +25,6 @@ from ..model.components import DemandSource
 from ..model.numeric import ExactTime, Time, to_exact
 from ..result import FailureWitness, FeasibilityResult, Verdict
 from .bounds import BoundMethod
-from .intervals import IntervalQueue
 
 __all__ = ["processor_demand_test"]
 
@@ -50,7 +55,6 @@ def processor_demand_test(
     ctx, early = preflight(source, name)
     if early is not None:
         return early
-    components = ctx.components
     u = ctx.utilization
     if max_interval is not None:
         bound: Optional[ExactTime] = to_exact(max_interval)
@@ -59,35 +63,27 @@ def processor_demand_test(
     if bound is None:  # pragma: no cover - U > 1 handled above
         raise AssertionError("no finite bound despite U <= 1")
 
-    queue: IntervalQueue[int] = IntervalQueue()
-    for idx, comp in enumerate(components):
-        if comp.first_deadline <= bound:
-            queue.push(comp.first_deadline, idx)
-
-    demand: ExactTime = 0
-    iterations = 0
-    while queue:
-        interval, idx = queue.pop()
-        demand += components[idx].wcet
-        nxt = components[idx].next_deadline_after(interval)
-        if nxt is not None and nxt <= bound:
-            queue.push(nxt, idx)
-        head = queue.peek()
-        if head is not None and head[0] == interval:
-            # Coincident deadline: fold the next jump into this interval
-            # before comparing, so each distinct interval is one check.
-            continue
-        iterations += 1
-        if demand > interval:
-            return FeasibilityResult(
-                verdict=Verdict.INFEASIBLE,
-                test_name=name,
-                iterations=iterations,
-                intervals_checked=iterations,
-                bound=bound,
-                witness=FailureWitness(interval=interval, demand=demand, exact=True),
-                details={"utilization": u},
-            )
+    # The whole walk — merged ascending deadlines, incremental demand,
+    # coincident jumps folded into one check per distinct interval —
+    # happens inside the kernel's flat-array loop.
+    kernel = ctx.kernel()
+    interval, demand, iterations = kernel.first_overflow_scaled(
+        kernel.inclusive_scaled(bound)
+    )
+    if interval is not None:
+        return FeasibilityResult(
+            verdict=Verdict.INFEASIBLE,
+            test_name=name,
+            iterations=iterations,
+            intervals_checked=iterations,
+            bound=bound,
+            witness=FailureWitness(
+                interval=kernel.unscale(interval),
+                demand=kernel.unscale(demand),
+                exact=True,
+            ),
+            details={"utilization": u},
+        )
     return FeasibilityResult(
         verdict=Verdict.FEASIBLE,
         test_name=name,

@@ -14,6 +14,15 @@ Algorithm (for ``U <= 1``)::
         else:           t = max{ d : d < t }
     feasible  <=>  dbf(t) <= min_deadline or dbf(t) <= t
 
+The loop runs entirely on the system's compiled
+:class:`~repro.kernel.DemandKernel`: ``dbf`` evaluations are flat-array
+integer sweeps, and the ``max{ d : d < t }`` steps go through a
+:class:`~repro.kernel.BackwardDeadlineWalker`, which caches one stride
+candidate per component between backward steps instead of rescanning all
+components per step — on the integerized fast path and on the exact
+fallback path alike.  :func:`largest_deadline_below` below is the
+component-based reference the parity suite checks the walker against.
+
 Iterations count the ``dbf`` evaluations — the comparable unit of work to
 "test intervals checked" in the forward tests.
 """
@@ -28,11 +37,16 @@ from ..model.numeric import ExactTime
 from ..result import FailureWitness, FeasibilityResult, Verdict
 from .bounds import BoundMethod
 
-__all__ = ["qpa_test"]
+__all__ = ["qpa_test", "largest_deadline_below"]
 
 
-def _largest_deadline_below(components, limit: ExactTime) -> Optional[ExactTime]:
-    """Largest synchronous absolute deadline strictly below *limit*."""
+def largest_deadline_below(components, limit: ExactTime) -> Optional[ExactTime]:
+    """Largest synchronous absolute deadline strictly below *limit*.
+
+    Component-based reference implementation (one full scan per call),
+    kept as the oracle the kernel's backward walker is validated
+    against; the test itself no longer calls it.
+    """
     best: Optional[ExactTime] = None
     for c in components:
         if c.first_deadline >= limit:
@@ -60,20 +74,23 @@ def qpa_test(
     ctx, early = preflight(source, name)
     if early is not None:
         return early
-    components = ctx.components
     u = ctx.utilization
-    if not components:
+    if not ctx.components:
         return FeasibilityResult(
             verdict=Verdict.FEASIBLE, test_name=name, iterations=0
         )
     bound = ctx.bound(bound_method)
     if bound is None:  # pragma: no cover - U > 1 handled above
         raise AssertionError("no finite bound despite U <= 1")
-    min_deadline = ctx.min_first_deadline
+
+    kernel = ctx.kernel()
+    dbf_scaled = kernel.dbf_scaled
+    min_deadline = kernel.min_d0_scaled
+    walker = kernel.backward_walker()
 
     # The forward tests check deadlines <= bound; QPA starts just past the
     # bound so the same closed range is covered.
-    t = _largest_deadline_below(components, bound + 1)
+    t = walker.prev_scaled(kernel.exclusive_scaled(bound + 1))
     if t is None:
         return FeasibilityResult(
             verdict=Verdict.FEASIBLE,
@@ -85,7 +102,7 @@ def qpa_test(
 
     iterations = 0
     while True:
-        demand = ctx.dbf(t)
+        demand = dbf_scaled(t)
         iterations += 1
         if demand > t:
             return FeasibilityResult(
@@ -94,7 +111,11 @@ def qpa_test(
                 iterations=iterations,
                 intervals_checked=iterations,
                 bound=bound,
-                witness=FailureWitness(interval=t, demand=demand, exact=True),
+                witness=FailureWitness(
+                    interval=kernel.unscale(t),
+                    demand=kernel.unscale(demand),
+                    exact=True,
+                ),
                 details={"utilization": u},
             )
         if demand <= min_deadline:
@@ -109,7 +130,7 @@ def qpa_test(
         if demand < t:
             t = demand
         else:  # demand == t: step to the previous deadline
-            previous = _largest_deadline_below(components, t)
+            previous = walker.prev_scaled(t)
             if previous is None:
                 return FeasibilityResult(
                     verdict=Verdict.FEASIBLE,

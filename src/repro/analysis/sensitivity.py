@@ -17,6 +17,13 @@ with a configurable resolution) with an exact engine test as the oracle;
 the scaling factor is computed in closed form from the demand staircase,
 no search needed.
 
+Both paths run on the compiled demand kernel (:mod:`repro.kernel`): the
+closed-form factor via the kernel-backed staircase scans of
+:func:`~repro.analysis.load.system_load`, and every search probe via the
+kernelized oracle test — each probed candidate compiles (and the
+context LRU retains) one flat-array kernel, so re-probing a candidate
+during the k-section narrowing costs no recompilation.
+
 The searches run through the analysis engine's
 :class:`~repro.engine.batch.BatchRunner`: each round probes several
 candidates *in one batch* (a k-section of the remaining range, ``k`` =

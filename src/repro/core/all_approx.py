@@ -47,9 +47,9 @@ from __future__ import annotations
 
 from collections import deque
 from fractions import Fraction
+from heapq import heapify, heappop, heappush
 from typing import Deque, List, Optional
 
-from ..analysis.intervals import IntervalQueue
 from ..engine.context import preflight
 from ..model.components import DemandSource
 from ..model.numeric import ExactTime
@@ -83,22 +83,29 @@ def all_approx_test(
     ctx, early = preflight(source, name)
     if early is not None:
         return early
-    components = ctx.components
     u = ctx.utilization
+
+    # The walk runs on the compiled kernel's flat arrays (see
+    # repro.kernel): heap entries live on the kernel grid, the exact
+    # demand accumulates as a machine integer on the integerized path,
+    # and the push sequence numbers reproduce the FIFO tie-breaking of
+    # the component-based implementation bit-exactly.
+    kernel = ctx.kernel()
+    n = kernel.n
+    d0s, periods, wcets, rates = kernel.d0s, kernel.periods, kernel.wcets, kernel.rates
 
     # Backstop for U == 1, where the implicit superposition bound
     # diverges; within U < 1 the test list provably drains on its own.
     backstop: Optional[ExactTime] = None
     if u == 1:
-        backstop = ctx.busy_period()
+        backstop = kernel.inclusive_scaled(ctx.busy_period())
 
-    n = len(components)
-    queue: IntervalQueue[int] = IntervalQueue()
+    heap = [(d0s[idx], idx, idx) for idx in range(n)]
+    heapify(heap)
+    seq = n
     jobs_counted: List[int] = [0] * n
     approx_at: List[Optional[ExactTime]] = [None] * n
     approx_fifo: Deque[int] = deque()
-    for idx, comp in enumerate(components):
-        queue.push(comp.first_deadline, idx)
 
     exact_demand: ExactTime = 0
     u_ready = Fraction(0)
@@ -108,22 +115,21 @@ def all_approx_test(
     revisions = 0
     last_interval: Optional[ExactTime] = None
 
-    while queue:
-        interval, idx = queue.pop()
+    while heap:
+        interval, _, idx = heappop(heap)
         if backstop is not None and interval > backstop:
             break  # busy-period bound: nothing beyond can fail first
-        comp = components[idx]
-        exact_demand += comp.wcet
+        exact_demand += wcets[idx]
         jobs_counted[idx] += 1
         iterations += 1
         if last_interval != interval:
             intervals += 1
             last_interval = interval
-        value = exact_demand + u_ready * Fraction(interval) - approx_base
+        value = exact_demand + u_ready * interval - approx_base if u_ready else exact_demand
 
         while value > interval:
             if not approx_fifo:
-                true_demand = ctx.dbf(interval)
+                true_demand = kernel.dbf_scaled(interval)
                 return FeasibilityResult(
                     verdict=Verdict.INFEASIBLE,
                     test_name=name,
@@ -131,33 +137,33 @@ def all_approx_test(
                     intervals_checked=intervals,
                     revisions=revisions,
                     witness=FailureWitness(
-                        interval=interval, demand=true_demand, exact=True
+                        interval=kernel.unscale(interval),
+                        demand=kernel.unscale(true_demand),
+                        exact=True,
                     ),
                     details={"utilization": u},
                 )
-            j = _pick_revision(
-                revision_policy, approx_fifo, components, approx_at, interval
-            )
-            comp_j = components[j]
-            rate = Fraction(comp_j.utilization)
+            j = _pick_revision(revision_policy, approx_fifo, kernel, interval)
+            rate = rates[j]
             u_ready -= rate
-            approx_base -= rate * Fraction(approx_at[j])
+            approx_base -= rate * approx_at[j]
             approx_at[j] = None
-            jobs_now = comp_j.jobs_up_to(interval)
-            exact_demand += (jobs_now - jobs_counted[j]) * comp_j.wcet
+            # Only recurrent components are ever approximated, and the
+            # walk is ascending, so interval >= d0s[j] here.
+            jobs_now = (interval - d0s[j]) // periods[j] + 1
+            exact_demand += (jobs_now - jobs_counted[j]) * wcets[j]
             jobs_counted[j] = jobs_now
-            nxt = comp_j.next_deadline_after(interval)
-            if nxt is not None:
-                queue.push(nxt, j)
+            heappush(heap, (d0s[j] + jobs_now * periods[j], seq, j))
+            seq += 1
             revisions += 1
             iterations += 1
-            value = exact_demand + u_ready * Fraction(interval) - approx_base
+            value = exact_demand + u_ready * interval - approx_base if u_ready else exact_demand
 
         # Check passed: approximate the component from this interval on.
-        if comp.period is not None:
-            rate = Fraction(comp.utilization)
+        if periods[idx]:
+            rate = rates[idx]
             u_ready += rate
-            approx_base += rate * Fraction(interval)
+            approx_base += rate * interval
             approx_at[idx] = interval
             approx_fifo.append(idx)
 
@@ -174,20 +180,23 @@ def all_approx_test(
 def _pick_revision(
     policy: str,
     approx_fifo: Deque[int],
-    components,
-    approx_at,
+    kernel,
     interval: ExactTime,
 ) -> int:
     """Remove and return the next component to revise, per *policy*."""
     if policy == RevisionPolicy.FIFO:
         return approx_fifo.popleft()
     if policy == RevisionPolicy.LARGEST_ERROR:
+        # app(I, tau) = frac((I - d0)/T) * C (Lemma 6); only the ordering
+        # matters, so the grid-scaled value serves unchanged.
+        d0s, periods, wcets = kernel.d0s, kernel.periods, kernel.wcets
         best = max(
             approx_fifo,
-            key=lambda j: components[j].linear_envelope(interval)
-            - components[j].dbf(interval),
+            key=lambda j: Fraction((interval - d0s[j]) % periods[j])
+            * wcets[j]
+            / periods[j],
         )
     else:  # LARGEST_UTILIZATION
-        best = max(approx_fifo, key=lambda j: Fraction(components[j].utilization))
+        best = max(approx_fifo, key=lambda j: kernel.rates[j])
     approx_fifo.remove(best)
     return best

@@ -24,6 +24,7 @@ constrained-deadline systems (paper Lemma 2).
 from __future__ import annotations
 
 from fractions import Fraction
+from heapq import heapify, heappop, heappush
 from typing import List, Optional
 
 from ..engine.context import preflight
@@ -31,7 +32,6 @@ from ..model.components import DemandSource, as_components
 from ..model.numeric import ExactTime, Time, to_exact
 from ..result import FailureWitness, FeasibilityResult, Verdict
 from ..analysis.bounds import BoundMethod
-from ..analysis.intervals import IntervalQueue
 
 __all__ = [
     "max_test_interval",
@@ -92,6 +92,15 @@ def superposition_test(
     the approximation has slope ``U_ready <= U <= 1`` and cannot newly
     cross the capacity line (paper Lemma 3/4), so these checks suffice.
 
+    The walk runs on the compiled kernel's flat arrays (integerized when
+    the system admits a finite scale): heap entries are bare
+    ``(deadline, seq, index)`` tuples on the kernel grid, the exact
+    demand accumulates as a machine integer, and `Fraction` arithmetic
+    only enters once components switch to their linear envelopes.  The
+    push sequence numbers reproduce the FIFO tie-breaking of the
+    component-based implementation, so iteration counts and witnesses
+    are bit-exact.
+
     Verdicts: FEASIBLE on acceptance, INFEASIBLE only when ``U > 1``,
     UNKNOWN otherwise (a failed sufficient test proves nothing).
 
@@ -106,18 +115,25 @@ def superposition_test(
     ctx, early = preflight(source, name, overload_max_level=level)
     if early is not None:
         return early
-    components = ctx.components
     u = ctx.utilization
     bound = ctx.bound(bound_method)
     if bound is None:  # pragma: no cover - U > 1 handled above
         raise AssertionError("no finite bound despite U <= 1")
 
-    queue: IntervalQueue[int] = IntervalQueue()
-    jobs_queued: List[int] = [0] * len(components)
-    for idx, comp in enumerate(components):
-        if comp.first_deadline <= bound:
-            queue.push(comp.first_deadline, idx)
+    kernel = ctx.kernel()
+    d0s, periods, wcets, rates = kernel.d0s, kernel.periods, kernel.wcets, kernel.rates
+    bound_s = kernel.inclusive_scaled(bound)
+
+    heap = []
+    seq = 0
+    jobs_queued: List[int] = [0] * kernel.n
+    for idx in range(kernel.n):
+        d0 = d0s[idx]
+        if d0 <= bound_s:
+            heap.append((d0, seq, idx))
+            seq += 1
             jobs_queued[idx] = 1
+    heapify(heap)
 
     exact_demand: ExactTime = 0
     u_ready = Fraction(0)
@@ -125,26 +141,28 @@ def superposition_test(
     iterations = 0
     intervals = 0
     last_interval: Optional[ExactTime] = None
-    while queue:
-        interval, idx = queue.pop()
-        comp = components[idx]
-        exact_demand += comp.wcet
+    while heap:
+        interval, _, idx = heappop(heap)
+        exact_demand += wcets[idx]
+        period = periods[idx]
         if jobs_queued[idx] < level:
-            nxt = comp.next_deadline_after(interval)
-            if nxt is not None and nxt <= bound:
-                queue.push(nxt, idx)
-                jobs_queued[idx] += 1
+            if period:
+                nxt = interval + period
+                if nxt <= bound_s:
+                    heappush(heap, (nxt, seq, idx))
+                    seq += 1
+                    jobs_queued[idx] += 1
         else:
             # The level-th job was just consumed: approximate from here on.
-            rate = Fraction(comp.utilization)
+            rate = rates[idx]
             if rate:
                 u_ready += rate
-                approx_base += rate * Fraction(interval)
+                approx_base += rate * interval
         iterations += 1
         if last_interval != interval:
             intervals += 1
             last_interval = interval
-        value = exact_demand + u_ready * Fraction(interval) - approx_base
+        value = exact_demand + u_ready * interval - approx_base if u_ready else exact_demand
         if value > interval:
             return FeasibilityResult(
                 verdict=Verdict.UNKNOWN,
@@ -154,7 +172,9 @@ def superposition_test(
                 max_level=level,
                 bound=bound,
                 witness=FailureWitness(
-                    interval=interval, demand=_normalize(value), exact=False
+                    interval=kernel.unscale(interval),
+                    demand=_normalize(kernel.unscale(value)),
+                    exact=False,
                 ),
                 details={"utilization": u},
             )

@@ -96,6 +96,7 @@ class AnalysisContext:
         "_busy_period",
         "_dbf_cache",
         "_max_test_intervals",
+        "_kernel",
     )
 
     def __init__(
@@ -118,6 +119,7 @@ class AnalysisContext:
         self._busy_period: Optional[ExactTime] = None
         self._dbf_cache: Dict[ExactTime, ExactTime] = {}
         self._max_test_intervals: Dict[Tuple[int, int], ExactTime] = {}
+        self._kernel: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction / cache
@@ -256,17 +258,35 @@ class AnalysisContext:
             self._busy_period = busy_period_of_components(self.components)
         return self._busy_period
 
+    def kernel(self):
+        """The compiled :class:`~repro.kernel.DemandKernel` of this system.
+
+        Compiled lazily, once per context — and therefore once per
+        distinct task set per process, since contexts are cached under
+        their fingerprint (the in-memory LRU layered over the service's
+        persistent backend).  Every rewired hot loop (processor demand,
+        QPA, the superposition family, load scans) starts here.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            from ..kernel import DemandKernel
+
+            kernel = DemandKernel(self.components)
+            self._kernel = kernel
+        return kernel
+
     def dbf(self, interval: Time) -> ExactTime:
         """Exact system demand at *interval*, memoized per interval.
 
-        The staircase evaluations dominate QPA and witness construction;
-        re-checks of the same interval (across tests, or across QPA's
-        backward jumps landing on a previously probed point) are free.
+        The staircase evaluations dominate witness construction and the
+        revision loops; re-checks of the same interval (across tests, or
+        across probes landing on a previously evaluated point) are free.
+        Evaluation runs on the compiled kernel's flat arrays.
         """
         t = to_exact(interval)
         cached = self._dbf_cache.get(t)
         if cached is None:
-            cached = sum((c.dbf(t) for c in self.components), 0)
+            cached = self.kernel().dbf(t)
             self._dbf_cache[t] = cached
         return cached
 
@@ -296,6 +316,11 @@ class AnalysisContext:
 
     #: Exact ``dbf`` evaluations exported per context — bounds the row
     #: size of a persistent backend while keeping the hot intervals.
+    #: Since the kernel layer, the interval-driven tests walk compiled
+    #: flat arrays instead of probing :meth:`dbf`, so this memo mainly
+    #: holds Dynamic-test witness probes and external callers' points;
+    #: verdict-level reuse across processes lives in the service's
+    #: result store, not here.
     STATE_DBF_CAP = 512
 
     def export_state(self) -> Dict[str, Any]:

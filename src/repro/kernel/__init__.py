@@ -1,0 +1,10 @@
+"""Compiled demand kernels — the flat-array hot-loop layer.
+
+See :mod:`repro.kernel.kernel` for the design; obtain a cached instance
+for a system via :meth:`repro.engine.context.AnalysisContext.kernel`,
+or compile directly from components with ``DemandKernel(components)``.
+"""
+
+from .kernel import BackwardDeadlineWalker, DemandKernel, SCALE_CAP
+
+__all__ = ["DemandKernel", "BackwardDeadlineWalker", "SCALE_CAP"]

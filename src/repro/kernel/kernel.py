@@ -1,0 +1,455 @@
+"""Compiled demand kernels: flat-array hot loops for the exact tests.
+
+Every exact test in this library — the processor demand test (paper
+Def. 3), the superposition family, and the QPA comparator — is
+ultimately a walk over the demand staircase.  Executed over
+:class:`~repro.model.components.DemandComponent` objects that walk costs
+one attribute lookup plus one method call plus exact-`Fraction`
+arithmetic *per deadline*; at thousand-task scale the interpreter, not
+the algorithm, dominates.  A :class:`DemandKernel` removes that constant
+factor without giving up exactness:
+
+* **Integerization.**  All component parameters are rescaled by the LCM
+  of the denominators of every ``wcet`` / ``first_deadline`` /
+  ``period``.  On that grid the staircase arithmetic is pure machine
+  `int` — floor divisions, additions, comparisons — with no `Fraction`
+  objects on any verdict path.  When the LCM exceeds :data:`SCALE_CAP`
+  (pathological rationals whose common grid would need huge integers)
+  the kernel falls back to the exact mixed `int`/`Fraction` path; the
+  loops are identical, only the array element type changes, so verdicts
+  are bit-exact in both modes.
+* **Flat layout.**  Parameters live in parallel tuples ``(d0s, periods,
+  wcets)`` in source order, plus a by-first-deadline sorted view for
+  binary searches — no per-step attribute or method dispatch.
+* **Loop-free-of-lookup primitives.**  The four hot operations are
+  provided as tight loops over the flat arrays: :meth:`dbf` /
+  :meth:`dbf_batch`, :meth:`first_overflow` (the merged forward walk of
+  the processor demand test), :meth:`prev_deadline` plus the stateful
+  :class:`BackwardDeadlineWalker` (QPA's backward steps), and
+  :meth:`demand_profile` / :meth:`best_ratio` (load and plotting scans).
+
+Scaling by a positive constant preserves every comparison the tests
+make (``dbf(I) <= I`` ⇔ ``dbf_s(I_s) <= I_s``), every tie between
+coincident deadlines, and every ratio (``dbf(I)/I = dbf_s(I_s)/I_s``),
+which is why the rewired tests reproduce verdicts, witnesses and
+iteration counts of the component-based reference implementations
+exactly (see ``tests/kernel/test_parity_random.py``).
+
+Kernels are compiled once per distinct system: they are cached on
+:class:`~repro.engine.context.AnalysisContext` under the context
+fingerprint, so warm service/batch traffic — and rehydrated contexts
+loaded from the service's persistent backend — pays the compile cost
+once per task set per process.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from fractions import Fraction
+from heapq import heapify, heappop, heappush, heapreplace
+from math import lcm
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..model.components import DemandComponent
+from ..model.numeric import ExactTime, Time, to_exact
+
+__all__ = ["DemandKernel", "BackwardDeadlineWalker", "SCALE_CAP"]
+
+#: Largest accepted integerization scale.  Beyond this the common grid
+#: needs integers so wide that `int` arithmetic loses its edge over the
+#: exact mixed path, so compilation falls back to it.  (`Fraction`
+#: denominators are always finite, but the LCM across many unrelated
+#: denominators can explode combinatorially.)
+SCALE_CAP = 1 << 128
+
+
+def _prev_candidate(d0: ExactTime, p: ExactTime, limit: ExactTime) -> ExactTime:
+    """Largest ``d0 + k*p < limit`` (``k >= 0``), given ``d0 < limit``.
+
+    ``k = ceil((limit - d0) / p) - 1``, written with floor division so it
+    is exact for ints and Fractions alike; one-shot components (``p`` is
+    the 0 sentinel) have only ``d0`` itself.
+    """
+    return d0 + (-((d0 - limit) // p) - 1) * p if p else d0
+
+
+class DemandKernel:
+    """A per-system compiled view of the demand components.
+
+    Attributes:
+        n: component count.
+        scale: positive integerization factor, or ``None`` when the
+            kernel runs on the exact fallback path.  With a scale, the
+            flat arrays hold ``value * scale`` as machine integers;
+            without one they hold the original exact values.
+        d0s / periods / wcets: parallel tuples in source order.  A
+            one-shot component stores period ``0`` (periods are
+            strictly positive, so ``0`` is an unambiguous sentinel that
+            keeps the hot loops branching on truthiness only).
+        rates: per-component utilization ``C/T`` as `Fraction` (``0``
+            for one-shot components) — scale-invariant, shared by the
+            superposition bookkeeping.
+
+    All public methods accept and return values in *original* time
+    units; the ``*_scaled`` variants expose the internal grid for the
+    rewired tests that keep whole loops inside it.
+    """
+
+    __slots__ = (
+        "n",
+        "scale",
+        "d0s",
+        "periods",
+        "wcets",
+        "_rates",
+        "_sorted_keys",
+        "_sorted_pairs",
+        "_sorted_triples",
+    )
+
+    def __init__(self, components: Sequence[DemandComponent]) -> None:
+        comps = tuple(components)
+        self.n = len(comps)
+        scale = 1
+        for c in comps:
+            scale = lcm(scale, c.wcet.denominator, c.first_deadline.denominator)
+            if c.period is not None:
+                scale = lcm(scale, c.period.denominator)
+            if scale > SCALE_CAP:
+                break
+        if scale > SCALE_CAP:
+            self.scale: Optional[int] = None
+            self.d0s: Tuple[ExactTime, ...] = tuple(c.first_deadline for c in comps)
+            self.periods: Tuple[ExactTime, ...] = tuple(
+                c.period if c.period is not None else 0 for c in comps
+            )
+            self.wcets: Tuple[ExactTime, ...] = tuple(c.wcet for c in comps)
+        else:
+            self.scale = scale
+            self.d0s = tuple(int(c.first_deadline * scale) for c in comps)
+            self.periods = tuple(
+                int(c.period * scale) if c.period is not None else 0 for c in comps
+            )
+            self.wcets = tuple(int(c.wcet * scale) for c in comps)
+        self._rates: Optional[Tuple[Fraction, ...]] = None
+        pairs = sorted(zip(self.d0s, range(self.n)))
+        self._sorted_pairs: List[Tuple[ExactTime, int]] = pairs
+        self._sorted_keys: List[ExactTime] = [d for d, _ in pairs]
+        self._sorted_triples: List[Tuple[ExactTime, ExactTime, ExactTime]] = [
+            (d, self.periods[i], self.wcets[i]) for d, i in pairs
+        ]
+
+    @property
+    def rates(self) -> Tuple[Fraction, ...]:
+        """Per-component ``C/T`` as `Fraction` (0 for one-shot), built on
+        first use — only the superposition-family loops need them, and
+        ``n`` `Fraction` constructions would otherwise tax every
+        processor-demand/QPA compile."""
+        rates = self._rates
+        if rates is None:
+            rates = tuple(
+                Fraction(c) / Fraction(p) if p else Fraction(0)
+                for c, p in zip(self.wcets, self.periods)
+            )
+            self._rates = rates
+        return rates
+
+    # ------------------------------------------------------------------
+    # Grid conversions
+    # ------------------------------------------------------------------
+
+    @property
+    def min_d0_scaled(self) -> Optional[ExactTime]:
+        """Smallest first deadline on the internal grid (``None`` if empty)."""
+        return self._sorted_keys[0] if self.n else None
+
+    def inclusive_scaled(self, value: Time) -> ExactTime:
+        """Grid bound ``b`` with ``d_s <= b``  ⇔  ``d <= value``.
+
+        Grid points are integers, so flooring ``value * scale`` is exact
+        for inclusive comparisons (and for staircase evaluation, since
+        ``floor((floor(x) - a) / b) == floor((x - a) / b)`` for integer
+        ``a``, ``b > 0``).
+        """
+        if self.scale is None:
+            return to_exact(value)
+        v = Fraction(to_exact(value)) * self.scale
+        return v.numerator // v.denominator
+
+    def exclusive_scaled(self, value: Time) -> ExactTime:
+        """Grid limit ``l`` with ``d_s < l``  ⇔  ``d < value`` (ceiling)."""
+        if self.scale is None:
+            return to_exact(value)
+        v = Fraction(to_exact(value)) * self.scale
+        return -((-v.numerator) // v.denominator)
+
+    def unscale(self, value: ExactTime) -> ExactTime:
+        """Map a grid value back to original time units (normalized)."""
+        if self.scale is None:
+            return value
+        q = Fraction(value) / self.scale
+        return q.numerator if q.denominator == 1 else q
+
+    @staticmethod
+    def ratio(demand: ExactTime, interval: ExactTime) -> Fraction:
+        """``demand / interval`` for a grid pair — the scale cancels,
+        so this is the exact unscaled staircase ratio."""
+        return Fraction(demand) / Fraction(interval)
+
+    # ------------------------------------------------------------------
+    # Point evaluation
+    # ------------------------------------------------------------------
+
+    def dbf_scaled(self, t: ExactTime) -> ExactTime:
+        """System demand at grid instant *t* (grid units).
+
+        Iterates the by-deadline-sorted triples and stops at the first
+        ``d0 > t`` — no per-call slice or bisect, and QPA's backward
+        walk probes ever-smaller instants, so the scanned prefix keeps
+        shrinking as the test converges.
+        """
+        total = 0
+        for d0, p, c in self._sorted_triples:
+            if d0 > t:
+                break
+            total += ((t - d0) // p + 1) * c if p else c
+        return total
+
+    def dbf(self, interval: Time) -> ExactTime:
+        """Exact ``dbf(interval)`` in original units."""
+        return self.unscale(self.dbf_scaled(self.inclusive_scaled(interval)))
+
+    def dbf_batch(self, intervals: Iterable[Time]) -> List[ExactTime]:
+        """``dbf`` at every interval, in one pass over the components.
+
+        The component loop is the outer one, so each component's
+        parameters are loaded once per *batch* rather than once per
+        (component, interval) pair.  This is the bulk-evaluation
+        primitive for callers probing many intervals of one system at
+        once (obtain the kernel via ``AnalysisContext.kernel()``); the
+        interval-driven tests themselves walk
+        :meth:`first_overflow_scaled` / :meth:`points_scaled` instead.
+        """
+        pts = [self.inclusive_scaled(t) for t in intervals]
+        out: List[ExactTime] = [0] * len(pts)
+        for d0, p, c in zip(self.d0s, self.periods, self.wcets):
+            if p:
+                for i, t in enumerate(pts):
+                    if t >= d0:
+                        out[i] += ((t - d0) // p + 1) * c
+            else:
+                for i, t in enumerate(pts):
+                    if t >= d0:
+                        out[i] += c
+        return [self.unscale(v) for v in out]
+
+    # ------------------------------------------------------------------
+    # Forward walk
+    # ------------------------------------------------------------------
+
+    def points_scaled(
+        self, bound_scaled: ExactTime
+    ) -> Iterator[Tuple[ExactTime, ExactTime]]:
+        """Yield ``(interval, demand)`` at every staircase jump up to the
+        grid bound, coincident deadlines folded into one point.
+
+        The merge heap holds bare ``(deadline, index)`` pairs; the
+        by-deadline sorted prefix is already a valid min-heap, so setup
+        is a bisect plus one slice copy.
+        """
+        cut = bisect_right(self._sorted_keys, bound_scaled)
+        heap = self._sorted_pairs[:cut]
+        periods = self.periods
+        wcets = self.wcets
+        demand: ExactTime = 0
+        while heap:
+            d, idx = heap[0]
+            demand += wcets[idx]
+            p = periods[idx]
+            if p and d + p <= bound_scaled:
+                heapreplace(heap, (d + p, idx))
+            else:
+                heappop(heap)
+            if heap and heap[0][0] == d:
+                continue
+            yield d, demand
+
+    def first_overflow_scaled(
+        self, bound_scaled: ExactTime
+    ) -> Tuple[Optional[ExactTime], Optional[ExactTime], int]:
+        """First ``(interval, demand)`` with ``demand > interval`` up to
+        the grid bound, plus the count of distinct intervals checked.
+
+        ``(None, None, count)`` when the staircase stays at or below
+        capacity — the merged forward walk of the processor demand test,
+        inlined for speed.
+
+        On the integerized path heap entries are single machine integers
+        ``deadline * K + index`` (``K`` > any index): heap sifts compare
+        plain ints instead of tuples, the per-component stride becomes
+        one addition (``period * K`` preserves the index), and the
+        coincident-deadline fold is a subtraction-free range check.  The
+        exact fallback path keeps ``(deadline, index)`` tuples.
+        """
+        cut = bisect_right(self._sorted_keys, bound_scaled)
+        periods = self.periods
+        wcets = self.wcets
+        demand: ExactTime = 0
+        iterations = 0
+        if self.scale is not None:
+            k = self.n
+            strides = [p * k for p in periods]
+            # The by-deadline sorted prefix maps to a sorted (hence
+            # heap-ordered) list of encoded entries.
+            heap = [d * k + i for d, i in self._sorted_pairs[:cut]]
+            limit = (bound_scaled + 1) * k  # e + stride < limit ⟺ d + p <= bound
+            while heap:
+                entry = heap[0]
+                idx = entry % k
+                demand += wcets[idx]
+                stride = strides[idx]
+                if stride and entry + stride < limit:
+                    heapreplace(heap, entry + stride)
+                else:
+                    heappop(heap)
+                # Coincident fold: the next entry shares this deadline
+                # iff it still lies below the next deadline slot.
+                if heap and heap[0] < entry - idx + k:
+                    continue
+                iterations += 1
+                d = entry // k
+                if demand > d:
+                    return d, demand, iterations
+            return None, None, iterations
+        # Exact fallback: same walk, via the shared tuple-merge generator.
+        for d, demand in self.points_scaled(bound_scaled):
+            iterations += 1
+            if demand > d:
+                return d, demand, iterations
+        return None, None, iterations
+
+    def first_overflow(
+        self, bound: Time
+    ) -> Tuple[Optional[ExactTime], Optional[ExactTime], int]:
+        """:meth:`first_overflow_scaled` in original units."""
+        interval, demand, iterations = self.first_overflow_scaled(
+            self.inclusive_scaled(bound)
+        )
+        if interval is None:
+            return None, None, iterations
+        return self.unscale(interval), self.unscale(demand), iterations
+
+    def demand_profile(self, bound: Time) -> List[Tuple[ExactTime, ExactTime]]:
+        """Materialised staircase up to *bound*, in original units."""
+        b = self.inclusive_scaled(bound)
+        return [
+            (self.unscale(i), self.unscale(d)) for i, d in self.points_scaled(b)
+        ]
+
+    def best_ratio(self, horizon: Time, floor: Fraction) -> Fraction:
+        """Max of ``dbf(I)/I`` over staircase jumps ``I <= horizon``,
+        floored at *floor* — comparisons by cross-multiplication, one
+        `Fraction` built only for the final result."""
+        num, den = floor.numerator, floor.denominator
+        for i_s, d_s in self.points_scaled(self.inclusive_scaled(horizon)):
+            if d_s * den > num * i_s:
+                num, den = d_s, i_s
+        return Fraction(num) / Fraction(den)
+
+    def count_steps(self, bound: Time) -> int:
+        """Number of staircase jobs (not folded) with deadline ≤ *bound*."""
+        b = self.inclusive_scaled(bound)
+        total = 0
+        for d0, p in zip(self.d0s, self.periods):
+            if d0 <= b:
+                total += int((b - d0) // p) + 1 if p else 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Backward walk
+    # ------------------------------------------------------------------
+
+    def prev_deadline(self, limit: Time) -> Optional[ExactTime]:
+        """Largest deadline strictly below *limit* (one-shot query).
+
+        For a descending *sequence* of limits — QPA's backward steps —
+        use :meth:`backward_walker`, which caches per-component stride
+        state instead of rescanning every component per step.
+        """
+        l = self.exclusive_scaled(limit)
+        cut = bisect_left(self._sorted_keys, l)
+        periods = self.periods
+        best: Optional[ExactTime] = None
+        for d0, idx in self._sorted_pairs[:cut]:
+            cand = _prev_candidate(d0, periods[idx], l)
+            if best is None or cand > best:
+                best = cand
+        return None if best is None else self.unscale(best)
+
+    def backward_walker(self) -> "BackwardDeadlineWalker":
+        """Fresh stateful walker for monotone descending limits."""
+        return BackwardDeadlineWalker(self)
+
+
+class BackwardDeadlineWalker:
+    """Largest-deadline-below queries with cached per-component strides.
+
+    QPA steps backwards through a *non-increasing* sequence of instants.
+    A naive implementation rescans all ``n`` components per step; this
+    walker keeps, in a max-heap, each component's largest deadline below
+    the most recent limit, and on a new (smaller) limit recomputes —
+    one modular step each — only the candidates the limit invalidated.
+    The heap top then answers in ``O(log n)``; components whose cached
+    candidate is still valid are never touched.
+
+    Limits must be non-increasing across calls (each limit at most the
+    previous one) — components retired at a smaller limit are gone, so
+    an increasing query has no correct answer; it raises ``ValueError``
+    rather than returning a stale deadline.  The sequence QPA produces
+    is decreasing by construction.  Works identically on the integer
+    grid and on the exact fallback path.
+    """
+
+    __slots__ = ("_kernel", "_heap", "_limit")
+
+    def __init__(self, kernel: DemandKernel) -> None:
+        self._kernel = kernel
+        self._heap: Optional[List[Tuple[ExactTime, int]]] = None
+        self._limit: Optional[ExactTime] = None
+
+    def prev_scaled(self, limit: ExactTime) -> Optional[ExactTime]:
+        """Largest grid deadline strictly below the grid *limit*."""
+        kernel = self._kernel
+        periods = kernel.periods
+        heap = self._heap
+        if self._limit is not None and limit > self._limit:
+            raise ValueError(
+                f"backward walker limits must be non-increasing; got {limit!r} "
+                f"after {self._limit!r} (use DemandKernel.prev_deadline for "
+                "one-shot queries)"
+            )
+        self._limit = limit
+        if heap is None:
+            # First query: one candidate per component below the limit.
+            # (Entries are negated: heapq is a min-heap.)
+            cut = bisect_left(kernel._sorted_keys, limit)
+            heap = []
+            for d0, idx in kernel._sorted_pairs[:cut]:
+                heap.append((-_prev_candidate(d0, periods[idx], limit), idx))
+            heapify(heap)
+            self._heap = heap
+        else:
+            d0s = kernel.d0s
+            while heap and -heap[0][0] >= limit:
+                _, idx = heappop(heap)
+                d0 = d0s[idx]
+                if d0 >= limit:
+                    continue  # no deadline left below the limit: retire
+                heappush(heap, (-_prev_candidate(d0, periods[idx], limit), idx))
+        return -heap[0][0] if heap else None
+
+    def prev(self, limit: Time) -> Optional[ExactTime]:
+        """:meth:`prev_scaled` in original units."""
+        kernel = self._kernel
+        found = self.prev_scaled(kernel.exclusive_scaled(limit))
+        return None if found is None else kernel.unscale(found)

@@ -21,7 +21,7 @@ implemented once and support both task models unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
@@ -45,12 +45,17 @@ class DemandComponent:
         period: distance between consecutive deadlines, or ``None`` for a
             one-shot component contributing a single deadline.
         source: label of the originating task, for diagnostics.
+        utilization: long-run demand rate ``C/T`` (0 for one-shot
+            components).  Computed once at construction — it is read in
+            preflight, bound, load and packing loops, where rebuilding
+            two `Fraction` objects per access added up.
     """
 
     wcet: ExactTime
     first_deadline: ExactTime
     period: Optional[ExactTime] = None
     source: str = ""
+    utilization: ExactTime = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "wcet", to_exact(self.wcet))
@@ -63,18 +68,15 @@ class DemandComponent:
             raise ModelError(
                 f"component first deadline must be > 0, got {self.first_deadline}"
             )
-        if self.period is not None and self.period <= 0:
-            raise ModelError(f"component period must be > 0, got {self.period}")
-
-    # ------------------------------------------------------------------
-
-    @property
-    def utilization(self) -> ExactTime:
-        """Long-run demand rate ``C/T`` (0 for one-shot components)."""
-        if self.period is None:
-            return 0
-        ratio = Fraction(self.wcet) / Fraction(self.period)
-        return ratio.numerator if ratio.denominator == 1 else ratio
+        if self.period is not None:
+            if self.period <= 0:
+                raise ModelError(f"component period must be > 0, got {self.period}")
+            ratio = Fraction(self.wcet) / Fraction(self.period)
+            object.__setattr__(
+                self,
+                "utilization",
+                ratio.numerator if ratio.denominator == 1 else ratio,
+            )
 
     @property
     def is_recurrent(self) -> bool:

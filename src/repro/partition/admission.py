@@ -21,6 +21,13 @@ per-core preflight (normalization, utilization, bounds) is memoized in
 the engine's :class:`~repro.engine.context.AnalysisContext` LRU as
 tasks accrete — repeated probes of the same core prefix during best-fit
 scans and minimum-core searches hit the cache instead of recomputing.
+
+The demand-based predicates (``"exact-dbf"`` → processor demand,
+``"approx-dbf"`` → superposition) execute on the compiled
+:class:`~repro.kernel.DemandKernel` of each probed core content: the
+context LRU caches the kernel alongside the bounds, so the thousands of
+admission calls a packing run issues walk integerized flat arrays
+rather than component objects.
 """
 
 from __future__ import annotations

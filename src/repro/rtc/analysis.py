@@ -24,8 +24,8 @@ from fractions import Fraction
 from typing import Dict, List, Optional
 
 from ..analysis.bounds import BoundMethod
-from ..analysis.dbf import dbf_points
 from ..engine.context import preflight
+from ..kernel import DemandKernel
 from ..model.components import DemandSource, as_components, total_utilization
 from ..model.numeric import ExactTime, Time, to_exact
 from ..result import FailureWitness, FeasibilityResult, Verdict
@@ -36,11 +36,18 @@ __all__ = ["demand_curve", "rtc_feasibility_test", "approximation_gap"]
 
 
 def demand_curve(
-    source: DemandSource, segments: int, horizon: Time
+    source: DemandSource, segments: int, horizon: Time, corners=None
 ) -> MinOfLinesCurve:
-    """Concave upper bound of the system dbf with *segments* lines."""
+    """Concave upper bound of the system dbf with *segments* lines.
+
+    *corners* may carry a pre-materialised staircase (the
+    ``(interval, dbf)`` jump list up to *horizon*) so callers that
+    already walked it — :func:`approximation_gap` — don't compile and
+    walk a second kernel.
+    """
     components = as_components(source)
-    corners = list(dbf_points(components, horizon))
+    if corners is None:
+        corners = DemandKernel(components).demand_profile(horizon)
     if not corners:
         # No demand inside the horizon: a single zero line.
         return MinOfLinesCurve(lines=((0, 0),))
@@ -77,7 +84,11 @@ def rtc_feasibility_test(
         return FeasibilityResult(
             verdict=Verdict.FEASIBLE, test_name=name, iterations=0, bound=bound
         )
-    curve = demand_curve(components, segments, bound)
+    # Corners come from the context-cached kernel: repeated rtc runs on
+    # the same system (batches, admission probes) reuse one compile.
+    curve = demand_curve(
+        components, segments, bound, corners=ctx.kernel().demand_profile(bound)
+    )
     # demand' - beta is piecewise linear and concave on [start, bound]
     # (concave minus convex), so its maximum sits at the curve's start
     # cutoff, at a breakpoint where the active minimum line changes, at
@@ -122,10 +133,10 @@ def approximation_gap(
     Devi/SuperPos(1) envelope's gap alongside for reference.
     """
     components = as_components(source)
-    corners = list(dbf_points(components, horizon))
+    corners = DemandKernel(components).demand_profile(horizon)
     if not corners:
         return {"rtc_max": 0.0, "rtc_mean": 0.0, "envelope_max": 0.0, "envelope_mean": 0.0}
-    curve = demand_curve(components, segments, horizon)
+    curve = demand_curve(components, segments, horizon, corners=corners)
     rtc_errors = [float(Fraction(curve(x)) - Fraction(y)) for x, y in corners]
     envelope_errors = []
     for x, y in corners:

@@ -66,6 +66,40 @@ def test_min_of_n_strips_noise(bench_diff, tmp_path):
     assert code == 0
 
 
+def test_improvements_are_summarized(bench_diff, tmp_path, capsys):
+    """Speedups past the threshold get their own summary and exit 0."""
+    _write(tmp_path / "base", "BENCH_x.json", {"run_seconds": 1.0})
+    _write(tmp_path / "curr", "BENCH_x.json", {"run_seconds": 0.25})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 wall-time improvement(s):" in out
+    assert "4.00x faster" in out
+
+
+def test_zero_current_timing_does_not_crash(bench_diff, tmp_path, capsys):
+    """round(x, 6) can floor a sub-µs walk to 0.0; no division blowup."""
+    _write(tmp_path / "base", "BENCH_x.json", {"run_seconds": 1.0})
+    _write(tmp_path / "curr", "BENCH_x.json", {"run_seconds": 0.0})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+    assert "now below the noise floor" in capsys.readouterr().out
+
+
+def test_improvement_within_threshold_not_summarized(bench_diff, tmp_path, capsys):
+    _write(tmp_path / "base", "BENCH_x.json", {"run_seconds": 1.0})
+    _write(tmp_path / "curr", "BENCH_x.json", {"run_seconds": 0.9})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+    assert "improvement(s):" not in capsys.readouterr().out
+
+
 def test_sub_floor_timings_never_gate(bench_diff, tmp_path, capsys):
     _write(tmp_path / "base", "BENCH_x.json", {"tiny_seconds": 0.001})
     _write(tmp_path / "curr", "BENCH_x.json", {"tiny_seconds": 0.004})

@@ -1,0 +1,70 @@
+"""Pre-kernel reference walks, kept verbatim in ONE place.
+
+These are the component-based loops the interval-driven tests ran
+before the compiled-kernel layer (``IntervalQueue`` over
+``DemandComponent`` method calls; per-step ``largest_deadline_below``
+rescans).  Both the randomized parity suite
+(``tests/kernel/test_parity_random.py``) and the speedup benchmark
+(``benchmarks/test_kernel_micro.py``) consume this module, so the
+parity oracle and the benchmark baseline can never drift apart.
+
+One deliberate difference from the historical code: the QPA reference
+sums component ``dbf`` directly instead of calling the memoizing
+``ctx.dbf``.  Within one backward walk the probed instants strictly
+decrease, so the memo never hits on a first analysis — this is what a
+pre-kernel first run of a distinct set paid, minus the memo-insertion
+overhead (which flatters the reference).
+"""
+
+from repro.analysis.intervals import IntervalQueue
+from repro.analysis.qpa import largest_deadline_below
+
+__all__ = ["reference_processor_demand", "reference_qpa"]
+
+
+def reference_processor_demand(ctx, bound):
+    """(verdict, witness interval, witness demand, iterations)."""
+    components = ctx.components
+    queue = IntervalQueue()
+    for idx, comp in enumerate(components):
+        if comp.first_deadline <= bound:
+            queue.push(comp.first_deadline, idx)
+    demand = 0
+    iterations = 0
+    while queue:
+        interval, idx = queue.pop()
+        demand += components[idx].wcet
+        nxt = components[idx].next_deadline_after(interval)
+        if nxt is not None and nxt <= bound:
+            queue.push(nxt, idx)
+        head = queue.peek()
+        if head is not None and head[0] == interval:
+            continue
+        iterations += 1
+        if demand > interval:
+            return ("infeasible", interval, demand, iterations)
+    return ("feasible", None, None, iterations)
+
+
+def reference_qpa(ctx, bound):
+    """(verdict, witness interval, witness demand, iterations)."""
+    components = ctx.components
+    min_deadline = ctx.min_first_deadline
+    t = largest_deadline_below(components, bound + 1)
+    if t is None:
+        return ("feasible", None, None, 0)
+    iterations = 0
+    while True:
+        demand = sum((c.dbf(t) for c in components), 0)
+        iterations += 1
+        if demand > t:
+            return ("infeasible", t, demand, iterations)
+        if demand <= min_deadline:
+            return ("feasible", None, None, iterations)
+        if demand < t:
+            t = demand
+        else:
+            previous = largest_deadline_below(components, t)
+            if previous is None:
+                return ("feasible", None, None, iterations)
+            t = previous

@@ -1,0 +1,345 @@
+"""Randomized kernel ↔ component-path parity (the PR's acceptance net).
+
+Over 200+ generated systems — mixed ``int`` / ``float`` / ``Fraction``
+parameters, one-shot components, deliberately coincident deadlines —
+the compiled kernel must reproduce the component-based reference
+*bit-exactly*:
+
+* ``dbf`` / ``first_overflow`` / ``prev_deadline`` against the
+  reference oracles in :mod:`repro.analysis.dbf` and a brute-force
+  backward scan;
+* full ``FeasibilityResult`` equality (verdict, witness, iteration and
+  interval counts, bound) for ``processor-demand`` and ``qpa`` invoked
+  through the engine registry, against reference re-implementations of
+  the pre-kernel walks kept verbatim in this file;
+* verdict / iteration / interval / revision / witness equality for the
+  rewired superposition and All-Approximated walks against their
+  pre-kernel component-based loops (also kept verbatim below).
+"""
+
+import random
+from collections import deque
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.bounds import BoundMethod
+from repro.analysis.dbf import dbf as reference_dbf, dbf_points
+from repro.analysis.intervals import IntervalQueue
+from repro.analysis.qpa import largest_deadline_below
+from repro.core import all_approx_test, superposition_test
+from repro.engine import analyze
+from repro.engine.context import AnalysisContext, clear_context_cache
+from repro.kernel import DemandKernel
+from repro.model.components import DemandComponent, as_components
+
+from .reference_walks import reference_processor_demand, reference_qpa
+
+SET_COUNT = 220
+
+
+def _random_value(rng: random.Random, lo: int, hi: int):
+    """A value in [lo, hi] as int, dyadic float, or small Fraction."""
+    kind = rng.randrange(3)
+    base = rng.randint(lo, hi)
+    if kind == 0:
+        return base
+    if kind == 1:
+        return base + rng.choice([0.0, 0.25, 0.5, 0.75])
+    return base + Fraction(rng.randint(0, 11), rng.choice([2, 3, 4, 5, 6, 7, 12]))
+
+
+def _random_components(rng: random.Random):
+    n = rng.randint(1, 12)
+    comps = []
+    for _ in range(n):
+        period = _random_value(rng, 6, 60)
+        wcet = _random_value(rng, 1, 4)
+        deadline = _random_value(rng, 2, 50)
+        if rng.random() < 0.2:
+            comps.append(DemandComponent(wcet=wcet, first_deadline=deadline))
+        else:
+            comps.append(
+                DemandComponent(wcet=wcet, first_deadline=deadline, period=period)
+            )
+    # Force coincident deadlines in roughly half the sets.
+    if len(comps) >= 2 and rng.random() < 0.5:
+        first = comps[0]
+        comps.append(
+            DemandComponent(
+                wcet=1,
+                first_deadline=first.first_deadline,
+                period=comps[-1].period,
+            )
+        )
+    return as_components(comps)
+
+
+def _population():
+    rng = random.Random(20050815)
+    return [_random_components(rng) for _ in range(SET_COUNT)]
+
+
+_POPULATION = _population()
+
+
+# ----------------------------------------------------------------------
+# Reference implementations of the superposition-family walks (the
+# processor-demand / QPA references live in reference_walks.py, shared
+# with the speedup benchmark).
+# ----------------------------------------------------------------------
+
+
+def reference_superposition(ctx, level, bound):
+    """(verdict, witness interval, witness demand, iterations, intervals)."""
+    components = ctx.components
+    queue = IntervalQueue()
+    jobs_queued = [0] * len(components)
+    for idx, comp in enumerate(components):
+        if comp.first_deadline <= bound:
+            queue.push(comp.first_deadline, idx)
+            jobs_queued[idx] = 1
+    exact_demand = 0
+    u_ready = Fraction(0)
+    approx_base = Fraction(0)
+    iterations = 0
+    intervals = 0
+    last_interval = None
+    while queue:
+        interval, idx = queue.pop()
+        comp = components[idx]
+        exact_demand += comp.wcet
+        if jobs_queued[idx] < level:
+            nxt = comp.next_deadline_after(interval)
+            if nxt is not None and nxt <= bound:
+                queue.push(nxt, idx)
+                jobs_queued[idx] += 1
+        else:
+            rate = Fraction(comp.utilization)
+            if rate:
+                u_ready += rate
+                approx_base += rate * Fraction(interval)
+        iterations += 1
+        if last_interval != interval:
+            intervals += 1
+            last_interval = interval
+        value = exact_demand + u_ready * Fraction(interval) - approx_base
+        if value > interval:
+            return ("unknown", interval, value, iterations, intervals)
+    return ("feasible", None, None, iterations, intervals)
+
+
+def reference_all_approx(ctx, policy):
+    """(verdict, witness interval, witness demand, iterations, intervals,
+    revisions)."""
+    components = ctx.components
+    u = ctx.utilization
+    backstop = ctx.busy_period() if u == 1 else None
+    n = len(components)
+    queue = IntervalQueue()
+    jobs_counted = [0] * n
+    approx_at = [None] * n
+    approx_fifo = deque()
+    for idx, comp in enumerate(components):
+        queue.push(comp.first_deadline, idx)
+    exact_demand = 0
+    u_ready = Fraction(0)
+    approx_base = Fraction(0)
+    iterations = 0
+    intervals = 0
+    revisions = 0
+    last_interval = None
+
+    def pick(interval):
+        if policy == "fifo":
+            return approx_fifo.popleft()
+        if policy == "largest_error":
+            best = max(
+                approx_fifo,
+                key=lambda j: components[j].linear_envelope(interval)
+                - components[j].dbf(interval),
+            )
+        else:
+            best = max(approx_fifo, key=lambda j: Fraction(components[j].utilization))
+        approx_fifo.remove(best)
+        return best
+
+    while queue:
+        interval, idx = queue.pop()
+        if backstop is not None and interval > backstop:
+            break
+        comp = components[idx]
+        exact_demand += comp.wcet
+        jobs_counted[idx] += 1
+        iterations += 1
+        if last_interval != interval:
+            intervals += 1
+            last_interval = interval
+        value = exact_demand + u_ready * Fraction(interval) - approx_base
+        while value > interval:
+            if not approx_fifo:
+                return (
+                    "infeasible",
+                    interval,
+                    ctx.dbf(interval),
+                    iterations,
+                    intervals,
+                    revisions,
+                )
+            j = pick(interval)
+            comp_j = components[j]
+            rate = Fraction(comp_j.utilization)
+            u_ready -= rate
+            approx_base -= rate * Fraction(approx_at[j])
+            approx_at[j] = None
+            jobs_now = comp_j.jobs_up_to(interval)
+            exact_demand += (jobs_now - jobs_counted[j]) * comp_j.wcet
+            jobs_counted[j] = jobs_now
+            nxt = comp_j.next_deadline_after(interval)
+            if nxt is not None:
+                queue.push(nxt, j)
+            revisions += 1
+            iterations += 1
+            value = exact_demand + u_ready * Fraction(interval) - approx_base
+        if comp.period is not None:
+            rate = Fraction(comp.utilization)
+            u_ready += rate
+            approx_base += rate * Fraction(interval)
+            approx_at[idx] = interval
+            approx_fifo.append(idx)
+    return ("feasible", None, None, iterations, intervals, revisions)
+
+
+def _sample_probes(rng, comps, bound):
+    probes = [bound, bound + 1]
+    for c in comps[:4]:
+        probes.append(c.first_deadline)
+        if c.period is not None:
+            probes.append(c.first_deadline + 2 * c.period)
+    probes.extend(_random_value(rng, 1, 80) for _ in range(4))
+    return probes
+
+
+def test_population_is_diverse():
+    assert len(_POPULATION) >= 200
+    assert any(any(c.period is None for c in comps) for comps in _POPULATION)
+    assert any(
+        len({c.first_deadline for c in comps}) < len(comps) for comps in _POPULATION
+    )
+    scales = {DemandKernel(comps).scale for comps in _POPULATION}
+    assert 1 in scales and len(scales) > 3
+
+
+@pytest.mark.parametrize("index", range(SET_COUNT))
+def test_primitives_and_registry_parity(index):
+    comps = _POPULATION[index]
+    rng = random.Random(index)
+    clear_context_cache()
+    ctx = AnalysisContext.of(comps)
+    kernel = ctx.kernel()
+
+    bound = ctx.bound(BoundMethod.BEST) if ctx.utilization <= 1 else 120
+
+    # Point primitives against the component oracles.
+    probes = _sample_probes(rng, comps, bound)
+    assert kernel.dbf_batch(probes) == [reference_dbf(comps, t) for t in probes]
+    for t in probes[:5]:
+        assert kernel.dbf(t) == reference_dbf(comps, t)
+
+    # Forward walk: first_overflow against the incremental point stream.
+    expected_overflow = None
+    expected_steps = 0
+    for interval, demand in dbf_points(comps, bound):
+        expected_steps += 1
+        if demand > interval:
+            expected_overflow = (interval, demand)
+            break
+    interval, demand, iterations = kernel.first_overflow(bound)
+    assert iterations == expected_steps
+    if expected_overflow is None:
+        assert interval is None and demand is None
+    else:
+        assert (interval, demand) == expected_overflow
+
+    # Backward walk: the stride-caching walker against the full rescan.
+    walker = kernel.backward_walker()
+    limit = bound + 1
+    for _ in range(30):
+        expected = largest_deadline_below(comps, limit)
+        assert walker.prev(limit) == expected
+        assert kernel.prev_deadline(limit) == expected
+        if expected is None:
+            break
+        limit = expected
+
+    if ctx.utilization > 1:
+        return  # both tests short-circuit in preflight; nothing to compare
+
+    # Registry-level parity: verdict, witness, iterations, bounds.
+    pda = analyze(ctx, test="processor-demand")
+    verdict, w_interval, w_demand, its = reference_processor_demand(
+        ctx, ctx.bound(BoundMethod.BARUAH)
+    )
+    assert pda.verdict.value == verdict
+    assert pda.iterations == its and pda.intervals_checked == its
+    if w_interval is not None:
+        assert pda.witness is not None
+        assert pda.witness.interval == w_interval
+        assert pda.witness.demand == w_demand
+        assert pda.witness.exact
+    else:
+        assert pda.witness is None
+
+    qpa = analyze(ctx, test="qpa")
+    verdict, w_interval, w_demand, its = reference_qpa(
+        ctx, ctx.bound(BoundMethod.BEST)
+    )
+    assert qpa.verdict.value == verdict
+    assert qpa.iterations == its
+    if w_interval is not None:
+        assert qpa.witness is not None
+        assert qpa.witness.interval == w_interval
+        assert qpa.witness.demand == w_demand
+    else:
+        assert qpa.witness is None
+
+
+@pytest.mark.parametrize("index", range(0, SET_COUNT, 2))
+def test_superposition_family_parity(index):
+    """The rewired superposition / All-Approximated walks vs their
+    pre-kernel component loops: verdicts, counts, witnesses."""
+    comps = _POPULATION[index]
+    clear_context_cache()
+    ctx = AnalysisContext.of(comps)
+    if ctx.utilization > 1:
+        return  # preflight short-circuits before any walk
+
+    for level in (1, 3):
+        result = superposition_test(ctx, level)
+        verdict, w_interval, w_demand, its, ivs = reference_superposition(
+            ctx, level, ctx.bound(BoundMethod.SUPERPOSITION)
+        )
+        assert result.verdict.value == verdict, (index, level)
+        assert (result.iterations, result.intervals_checked) == (its, ivs)
+        if w_interval is not None:
+            assert result.witness.interval == w_interval
+            assert result.witness.demand == w_demand
+        else:
+            assert result.witness is None
+
+    for policy in ("largest_error", "fifo", "largest_utilization"):
+        result = all_approx_test(ctx, revision_policy=policy)
+        verdict, w_interval, w_demand, its, ivs, revs = reference_all_approx(
+            ctx, policy
+        )
+        assert result.verdict.value == verdict, (index, policy)
+        assert (result.iterations, result.intervals_checked, result.revisions) == (
+            its,
+            ivs,
+            revs,
+        )
+        if w_interval is not None:
+            assert result.witness.interval == w_interval
+            assert result.witness.demand == w_demand
+        else:
+            assert result.witness is None
