@@ -1,0 +1,146 @@
+"""Online admission micro-benchmark: per-event cost vs from-scratch.
+
+The acceptance bar for the online admission subsystem: on a warm
+1000-task controller, the mean per-event admission decision must be
+**≥ 5× faster** than re-analyzing the same system from scratch through
+the engine (cold context: normalization, bounds, kernel compile, full
+exact walk).  The from-scratch baselines are the two exact engine
+tests — ``processor-demand`` with its default Baruah bound (the
+stricter comparator: it is the cheaper of the two from scratch here)
+and ``qpa`` with its BEST bound — each timed with the context cache
+cleared, exactly what a stateless service pays per event.
+
+The event workload is admit/remove churn of small tasks against a
+U ≈ 0.85 resident system: every arrival runs the full staged pipeline
+(utilization gate → windowed ε-filter → exact stage when needed), and
+per-event verdicts are spot-checked against fresh engine analysis.
+
+Results land in ``BENCH_online.json``; the committed copy is the
+baseline ``bench_diff.py`` gates against.
+"""
+
+import random
+import time
+
+from repro.engine import analyze
+from repro.engine.context import clear_context_cache
+from repro.experiments import ascii_table
+from repro.generation import GeneratorConfig, TaskSetGenerator
+from repro.model.task import SporadicTask
+from repro.online import AdmissionController
+
+SIZES = (100, 500, 1000)
+EVENTS = 30
+SCRATCH_ROUNDS = 3
+BASE_UTILIZATION = 0.85
+
+
+def _base_taskset(size):
+    gen = TaskSetGenerator(
+        GeneratorConfig(
+            tasks=(size, size),
+            utilization=(BASE_UTILIZATION, BASE_UTILIZATION),
+            period_range=(1_000, 100_000),
+            gap=(0.1, 0.4),
+        ),
+        seed=2005 + size,
+    )
+    return gen.one()
+
+
+def _churn_events(count, seed):
+    rng = random.Random(seed)
+    tasks = []
+    for _ in range(count):
+        period = rng.randint(1_000, 100_000)
+        wcet = max(1, int(period * 0.002))
+        deadline = max(wcet, int(period * rng.uniform(0.7, 1.0)))
+        tasks.append(SporadicTask(wcet=wcet, deadline=deadline, period=period))
+    return tasks
+
+
+def _scratch_seconds(snapshot, test):
+    best = float("inf")
+    for _ in range(SCRATCH_ROUNDS):
+        clear_context_cache()
+        start = time.perf_counter()
+        result = analyze(snapshot, test=test)
+        best = min(best, time.perf_counter() - start)
+    assert result.is_feasible
+    return best
+
+
+def test_online_event_speedup(benchmark, bench_record):
+    payload = {
+        "benchmark": "online_admission",
+        "events": EVENTS,
+        "base_utilization": BASE_UTILIZATION,
+    }
+    rows = []
+
+    def run_all():
+        for size in SIZES:
+            controller = AdmissionController(_base_taskset(size))
+            churn = _churn_events(EVENTS, seed=97 + size)
+            # Warm-up: first contacts compile the kernel's lazy pieces
+            # (rates) and touch every code path once.
+            controller.admit(churn[0], name="warmup")
+            controller.remove("warmup")
+            total = 0.0
+            for index, task in enumerate(churn):
+                name = f"event{index}"
+                start = time.perf_counter()
+                decision = controller.admit(task, name=name)
+                total += time.perf_counter() - start
+                assert decision.admitted  # tiny tasks against U=0.85 fit
+                controller.remove(name)
+            event_seconds = total / EVENTS
+            snapshot = list(controller.snapshot())
+            pda_seconds = _scratch_seconds(snapshot, "processor-demand")
+            qpa_seconds = _scratch_seconds(snapshot, "qpa")
+            # Spot-check: the warm controller and the cold engine agree.
+            assert analyze(snapshot, test="qpa").is_feasible
+            speedup_pda = pda_seconds / event_seconds
+            speedup_qpa = qpa_seconds / event_seconds
+            payload[f"online_event_{size}_seconds"] = round(event_seconds, 6)
+            payload[f"fromscratch_pda_{size}_seconds"] = round(pda_seconds, 6)
+            payload[f"fromscratch_qpa_{size}_seconds"] = round(qpa_seconds, 6)
+            # Ratios anchor the trajectory but never gate (no *_seconds).
+            payload[f"online_speedup_vs_pda_{size}"] = round(speedup_pda, 2)
+            payload[f"online_speedup_vs_qpa_{size}"] = round(speedup_qpa, 2)
+            stats = controller.stats()
+            payload[f"online_filter_decisions_{size}"] = stats["approx-filter"]
+            payload[f"online_exact_decisions_{size}"] = stats["exact"]
+            rows.append(
+                [
+                    str(size),
+                    f"{event_seconds * 1e3:.3f}",
+                    f"{pda_seconds * 1e3:.3f}",
+                    f"{qpa_seconds * 1e3:.3f}",
+                    f"{speedup_pda:.2f}x / {speedup_qpa:.2f}x",
+                ]
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print(
+        "\n"
+        + ascii_table(
+            headers=[
+                "tasks",
+                "event ms",
+                "scratch pda ms",
+                "scratch qpa ms",
+                "speedup (pda/qpa)",
+            ],
+            rows=rows,
+            title="Warm per-event admission vs from-scratch re-analysis",
+        )
+    )
+    bench_record("BENCH_online.json", payload)
+
+    # The PR's acceptance criterion: ≥5× warm per-event speedup over
+    # from-scratch re-analysis at 1000 tasks (on the stricter of the
+    # two exact baselines).
+    assert payload["online_speedup_vs_pda_1000"] >= 5.0
+    assert payload["online_speedup_vs_qpa_1000"] >= 5.0

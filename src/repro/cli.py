@@ -14,7 +14,14 @@ Subcommands:
 * ``serve`` — run the long-lived analysis service (persistent result
   store + async job queue + HTTP JSON API);
 * ``submit`` / ``status`` / ``fetch`` — talk to a running service:
-  submit task-set files as a job, poll it, print its results.
+  submit task-set files as a job, poll it, print its results;
+* ``trace`` — generate an arrival trace (Poisson, bursty, ramp, churn)
+  for the online admission layer;
+* ``replay`` — replay a trace through an admission controller (or an
+  online multiprocessor placer with ``--cores``), with an optional
+  per-event parity oracle;
+* ``admit`` — one-shot admission check of candidate task(s) against a
+  base system.
 
 ``--cache-stats`` on the analysis-heavy commands prints the engine's
 shared-preflight cache counters after the run.
@@ -55,16 +62,26 @@ from .experiments import (
     run_figm,
     run_table1,
 )
-from .generation import example_systems, generate_taskset
+from .generation import (
+    TRACE_SCENARIOS,
+    example_systems,
+    generate_taskset,
+    generate_trace,
+)
 from .model import (
+    SporadicTask,
     TaskSet,
     as_components,
     dump_system,
     dump_taskset,
+    dump_trace,
+    dumps_trace,
     load_any,
     load_taskset,
+    load_trace,
     taskset_to_dict,
 )
+from .online import ARRIVE, AdmissionController, OnlinePlacer, replay
 from .partition import (
     HEURISTICS,
     PartitionedSystem,
@@ -329,6 +346,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for completion (with the default waiting mode)",
     )
 
+    p_trace = sub.add_parser(
+        "trace", help="generate an arrival trace for the online admission layer"
+    )
+    p_trace.add_argument(
+        "--scenario",
+        default="churn",
+        choices=TRACE_SCENARIOS,
+        help="workload shape (default: churn)",
+    )
+    p_trace.add_argument(
+        "--events", type=int, required=True, help="number of events"
+    )
+    p_trace.add_argument(
+        "--utilization",
+        type=float,
+        default=None,
+        help="target utilization the churn scenario hovers at",
+    )
+    p_trace.add_argument(
+        "--mixed-types",
+        action="store_true",
+        help="rotate task parameters through int/float/Fraction",
+    )
+    p_trace.add_argument("--seed", type=int, default=None)
+    p_trace.add_argument("-o", "--output", default=None, help="write JSON here")
+
+    p_replay = sub.add_parser(
+        "replay", help="replay an arrival trace through an admission controller"
+    )
+    p_replay.add_argument("trace", help="trace JSON (repro/trace-v1, see 'trace')")
+    p_replay.add_argument(
+        "--base", default=None, help="task-set JSON seeding the initial system"
+    )
+    p_replay.add_argument(
+        "--epsilon",
+        default="1/10",
+        metavar="EPS",
+        help="filter error bound, e.g. 0.1 or 1/10 ('none' disables the "
+        "approximate filter stage)",
+    )
+    p_replay.add_argument(
+        "--oracle",
+        action="store_true",
+        help="assert per-event verdict parity against from-scratch engine "
+        "analysis (slow; the correctness harness)",
+    )
+    p_replay.add_argument(
+        "--oracle-test",
+        default="qpa",
+        choices=("qpa", "processor-demand"),
+        help="exact test the oracle re-runs (default: qpa)",
+    )
+    p_replay.add_argument(
+        "--per-event", action="store_true", help="print one line per event"
+    )
+    p_replay.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="route arrivals onto m cores (online multiprocessor placement)",
+    )
+    p_replay.add_argument(
+        "--heuristic",
+        default="ff",
+        choices=("ff", "bf", "wf"),
+        help="core probe order for --cores (default: ff)",
+    )
+
+    p_admit = sub.add_parser(
+        "admit", help="admission-check candidate task(s) against a base system"
+    )
+    p_admit.add_argument("base", help="task-set JSON of the running system")
+    p_admit.add_argument(
+        "--task",
+        nargs=3,
+        metavar=("C", "D", "T"),
+        action="append",
+        default=None,
+        help="candidate (wcet deadline period); repeatable, admitted in order",
+    )
+    p_admit.add_argument(
+        "--file",
+        default=None,
+        help="task-set JSON whose tasks are admitted in order",
+    )
+    p_admit.add_argument(
+        "--epsilon",
+        default="1/10",
+        metavar="EPS",
+        help="filter error bound ('none' disables the approximate filter)",
+    )
+
     p_status = sub.add_parser("status", help="show a submitted job's status")
     p_status.add_argument("job", nargs="?", default=None,
                           help="job id (omit to list all jobs)")
@@ -374,6 +483,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_example(args)
     if args.command == "load":
         return _cmd_load(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "admit":
+        return _cmd_admit(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":
@@ -689,6 +804,146 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.output:
         dump_system(system, args.output)
         print(f"wrote {args.output}")
+    return code
+
+
+def _parse_epsilon(raw: str):
+    if raw == "none":
+        return None
+    return Fraction(raw)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    options = {}
+    if args.utilization is not None:
+        if args.scenario != "churn":
+            print(
+                "error: --utilization only applies to the churn scenario",
+                file=sys.stderr,
+            )
+            return 2
+        options["target_utilization"] = args.utilization
+    trace = generate_trace(
+        args.scenario,
+        args.events,
+        seed=args.seed,
+        mixed_types=args.mixed_types,
+        **options,
+    )
+    if args.output:
+        dump_trace(trace, args.output)
+        print(
+            f"wrote {len(trace)} events ({trace.arrivals} arrivals, "
+            f"{trace.departures} departures) to {args.output}"
+        )
+    else:
+        print(dumps_trace(trace))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    epsilon = _parse_epsilon(args.epsilon)
+    if args.cores is not None:
+        # Refuse silently dropping flags the placed mode does not honour.
+        if args.oracle:
+            print(
+                "error: --oracle applies to single-controller replays, "
+                "not --cores placement",
+                file=sys.stderr,
+            )
+            return 2
+        if args.base:
+            print(
+                "error: --base applies to single-controller replays, "
+                "not --cores placement",
+                file=sys.stderr,
+            )
+            return 2
+        return _replay_placed(trace, args, epsilon)
+    controller = None
+    if args.base:
+        controller = AdmissionController(load_taskset(args.base), epsilon=epsilon)
+    report = replay(
+        trace,
+        controller=controller,
+        epsilon=epsilon,
+        oracle=args.oracle,
+        oracle_test=args.oracle_test,
+    )
+    if args.per_event:
+        for record in report.records:
+            decision = record.decision
+            word = "admit " if decision.admitted else "reject"
+            if record.event.kind != ARRIVE:
+                word = "depart"
+            print(
+                f"  {record.index:>4d}  {word}  {decision.name:<12s} "
+                f"{decision.stage:<16s} U={float(decision.utilization):.4f} "
+                f"{decision.latency_seconds * 1e3:.3f}ms"
+            )
+    print(report.summary())
+    return 0
+
+
+def _replay_placed(trace, args: argparse.Namespace, epsilon) -> int:
+    placer = OnlinePlacer(args.cores, heuristic=args.heuristic, epsilon=epsilon)
+    for event in trace:
+        if event.kind == ARRIVE:
+            decision = placer.admit(event.task, name=event.name)
+            if args.per_event:
+                landed = (
+                    f"core {decision.core}" if decision.placed else "rejected"
+                )
+                print(f"  {event.name:<12s} -> {landed} (probed {decision.probed})")
+        elif event.name in placer:
+            placer.remove(event.name)
+    stats = placer.stats()
+    print(
+        f"placed {stats['placed']} tasks on {stats['cores']} cores "
+        f"({stats['heuristic']}); rejections: {stats['rejections']}, "
+        f"diversions: {stats['diversions']}"
+    )
+    for core, utilization in enumerate(stats["core_utilizations"]):
+        print(f"  core {core}: U = {utilization:.4f}")
+    # Rejections are an expected outcome of a replay, not a failure —
+    # same exit semantics as the single-controller mode.
+    return 0
+
+
+def _cmd_admit(args: argparse.Namespace) -> int:
+    base = load_taskset(args.base)
+    controller = AdmissionController(base, epsilon=_parse_epsilon(args.epsilon))
+    candidates = []
+    if args.file:
+        candidates.extend(load_taskset(args.file))
+    for c, d, t in args.task or []:
+        candidates.append(
+            SporadicTask(wcet=Fraction(c), deadline=Fraction(d), period=Fraction(t))
+        )
+    if not candidates:
+        print("error: pass --task C D T and/or --file", file=sys.stderr)
+        return 2
+    code = 0
+    for task in candidates:
+        decision = controller.admit(task, name=task.name or None)
+        word = "admitted" if decision.admitted else "REJECTED"
+        print(
+            f"{decision.name:<12s} {word:<9s} via {decision.stage:<16s} "
+            f"U={float(decision.utilization):.4f} "
+            f"({decision.latency_seconds * 1e3:.3f}ms)"
+        )
+        if not decision.admitted:
+            code = 1
+            if decision.witness is not None:
+                print(
+                    f"  witness: demand {decision.witness.demand} > interval "
+                    f"{decision.witness.interval}"
+                )
+    print(
+        f"system: {len(controller)} entries, "
+        f"U = {float(controller.utilization):.4f}"
+    )
     return code
 
 

@@ -11,9 +11,23 @@ from .examples import (
 )
 from .periods import loguniform_periods, ratio_constrained_periods, uniform_periods
 from .taskset_gen import GeneratorConfig, TaskSetGenerator, generate_taskset
+from .traces import (
+    TRACE_SCENARIOS,
+    bursty_trace,
+    churn_trace,
+    generate_trace,
+    poisson_trace,
+    ramp_trace,
+)
 from .uunifast import uunifast, uunifast_discard
 
 __all__ = [
+    "TRACE_SCENARIOS",
+    "generate_trace",
+    "poisson_trace",
+    "bursty_trace",
+    "ramp_trace",
+    "churn_trace",
     "uunifast",
     "uunifast_discard",
     "uniform_periods",

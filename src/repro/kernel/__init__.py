@@ -5,6 +5,12 @@ for a system via :meth:`repro.engine.context.AnalysisContext.kernel`,
 or compile directly from components with ``DemandKernel(components)``.
 """
 
+from .incremental import IncrementalKernel
 from .kernel import BackwardDeadlineWalker, DemandKernel, SCALE_CAP
 
-__all__ = ["DemandKernel", "BackwardDeadlineWalker", "SCALE_CAP"]
+__all__ = [
+    "DemandKernel",
+    "IncrementalKernel",
+    "BackwardDeadlineWalker",
+    "SCALE_CAP",
+]

@@ -1,0 +1,190 @@
+"""Mutable demand kernels: merge components in and out without recompiling.
+
+The online admission controller (:mod:`repro.online`) keeps one *live*
+system that mutates on every arrival and departure.  Recompiling a
+:class:`~repro.kernel.DemandKernel` per event would repeat the expensive
+part of compilation — per-component `Fraction` denominator LCMs and
+rescaling — for components that did not change.  An
+:class:`IncrementalKernel` is a `DemandKernel` whose flat arrays are
+mutable:
+
+* :meth:`add` merges one component's scaled stride triple into the
+  arrays.  When the component's denominators divide the current scale
+  this is an append plus three sorted-view insertions; when the LCM
+  grows, the existing integer arrays are multiplied by the growth
+  factor (pure ``int`` multiplications — no `Fraction` arithmetic on
+  the unchanged components).  When the LCM overflows
+  :data:`~repro.kernel.kernel.SCALE_CAP` the kernel degrades to the
+  exact mixed ``int``/`Fraction` fallback path, exactly like a fresh
+  compile would.
+* :meth:`remove_span` drops a contiguous run of components and remaps
+  the by-deadline sorted views.  The scale is *not* shrunk back: any
+  common multiple of the remaining denominators is a valid grid, and
+  scaling by a positive constant preserves every comparison, tie and
+  ratio the tests make (see :mod:`repro.kernel.kernel`), so verdicts,
+  witnesses and iteration counts stay bit-exact with a freshly
+  compiled kernel.
+
+All read primitives are inherited unchanged from `DemandKernel` — the
+flat attributes are lists instead of tuples, which every inherited loop
+(indexing, ``zip``, ``bisect``, heap setup slices) handles identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from fractions import Fraction
+from math import lcm
+from typing import List, Sequence
+
+from ..model.components import DemandComponent
+from ..model.numeric import ExactTime
+from .kernel import SCALE_CAP, DemandKernel
+
+__all__ = ["IncrementalKernel"]
+
+
+class IncrementalKernel(DemandKernel):
+    """A :class:`DemandKernel` supporting in-place component add/remove.
+
+    The flat parallel arrays (``d0s`` / ``periods`` / ``wcets``) and the
+    by-deadline sorted views are plain lists kept consistent by the
+    mutators; component order is insertion order, so index ``i`` always
+    refers to the ``i``-th currently-present component.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, components: Sequence[DemandComponent] = ()) -> None:
+        super().__init__(components)
+        self.d0s = list(self.d0s)
+        self.periods = list(self.periods)
+        self.wcets = list(self.wcets)
+        if self._rates is not None:  # pragma: no cover - rates are lazy
+            self._rates = list(self._rates)
+
+    @property
+    def rates(self):
+        """Per-component ``C/T`` (0 for one-shot), maintained as a list
+        so the mutators can extend/shrink it in step with the arrays."""
+        rates = self._rates
+        if rates is None:
+            rates = [
+                Fraction(c) / Fraction(p) if p else Fraction(0)
+                for c, p in zip(self.wcets, self.periods)
+            ]
+            self._rates = rates
+        return rates
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, component: DemandComponent) -> int:
+        """Merge *component* into the kernel; returns its index."""
+        d0 = component.first_deadline
+        period = component.period if component.period is not None else 0
+        wcet = component.wcet
+        if self.scale is not None:
+            grown = lcm(
+                self.scale,
+                wcet.denominator if isinstance(wcet, Fraction) else 1,
+                d0.denominator if isinstance(d0, Fraction) else 1,
+                period.denominator if isinstance(period, Fraction) else 1,
+            )
+            if grown > SCALE_CAP:
+                self._degrade_to_exact()
+            elif grown != self.scale:
+                self._rescale(grown // self.scale)
+                self.scale = grown
+        if self.scale is None:
+            d0_s: ExactTime = d0
+            period_s: ExactTime = period
+            wcet_s: ExactTime = wcet
+        else:
+            d0_s = int(d0 * self.scale)
+            period_s = int(period * self.scale)
+            wcet_s = int(wcet * self.scale)
+        index = self.n
+        self.d0s.append(d0_s)
+        self.periods.append(period_s)
+        self.wcets.append(wcet_s)
+        if self._rates is not None:
+            self._rates.append(
+                Fraction(wcet_s) / Fraction(period_s) if period_s else Fraction(0)
+            )
+        self.n += 1
+        # One bisection finds the slot for all three parallel sorted
+        # views (the new index is the largest, so the (d0, index) order
+        # and the bare-d0 order agree on tie placement).
+        at = bisect_left(self._sorted_pairs, (d0_s, index))
+        self._sorted_pairs.insert(at, (d0_s, index))
+        self._sorted_keys.insert(at, d0_s)
+        self._sorted_triples.insert(at, (d0_s, period_s, wcet_s))
+        return index
+
+    def remove_span(self, start: int, count: int = 1) -> None:
+        """Drop components ``start .. start+count-1`` (insertion order)."""
+        if count < 1 or start < 0 or start + count > self.n:
+            raise ValueError(
+                f"invalid removal span [{start}, {start + count}) of a "
+                f"{self.n}-component kernel"
+            )
+        del self.d0s[start : start + count]
+        del self.periods[start : start + count]
+        del self.wcets[start : start + count]
+        if self._rates is not None:
+            del self._rates[start : start + count]
+        self.n -= count
+        end = start + count
+        pairs: List = []
+        keys: List[ExactTime] = []
+        triples: List = []
+        for (d0, idx), triple in zip(self._sorted_pairs, self._sorted_triples):
+            if start <= idx < end:
+                continue
+            if idx >= end:
+                idx -= count
+            pairs.append((d0, idx))
+            keys.append(d0)
+            triples.append(triple)
+        self._sorted_pairs = pairs
+        self._sorted_keys = keys
+        self._sorted_triples = triples
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _rescale(self, factor: int) -> None:
+        """Grow the integer grid by *factor* (> 1), in place."""
+        self.d0s = [v * factor for v in self.d0s]
+        self.periods = [v * factor for v in self.periods]
+        self.wcets = [v * factor for v in self.wcets]
+        # rates are scale-invariant (C*k / T*k) — nothing to fix.
+        self._sorted_keys = [k * factor for k in self._sorted_keys]
+        self._sorted_pairs = [(d * factor, i) for d, i in self._sorted_pairs]
+        self._sorted_triples = [
+            (d * factor, p * factor, c * factor) for d, p, c in self._sorted_triples
+        ]
+
+    def _degrade_to_exact(self) -> None:
+        """Switch to the exact mixed int/Fraction path (scale overflow)."""
+        scale = self.scale
+        if scale is None:  # pragma: no cover - already exact
+            return
+        unscale = Fraction(1, scale)
+
+        def back(v: ExactTime) -> ExactTime:
+            q = v * unscale
+            return q.numerator if q.denominator == 1 else q
+
+        self.scale = None
+        self.d0s = [back(v) for v in self.d0s]
+        self.periods = [back(v) for v in self.periods]
+        self.wcets = [back(v) for v in self.wcets]
+        self._sorted_keys = [back(k) for k in self._sorted_keys]
+        self._sorted_pairs = [(back(d), i) for d, i in self._sorted_pairs]
+        self._sorted_triples = [
+            (back(d), back(p), back(c)) for d, p, c in self._sorted_triples
+        ]

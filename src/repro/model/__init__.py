@@ -24,20 +24,28 @@ from .serialization import (
     decode_value,
     dump_system,
     dump_taskset,
+    dump_trace,
     dumps_system,
     dumps_taskset,
+    dumps_trace,
     encode_value,
+    event_from_dict,
+    event_to_dict,
     load_any,
     load_system,
     load_taskset,
+    load_trace,
     loads_system,
     loads_taskset,
+    loads_trace,
     result_from_dict,
     result_to_dict,
     system_from_dict,
     system_to_dict,
     taskset_from_dict,
     taskset_to_dict,
+    trace_from_dict,
+    trace_to_dict,
 )
 from .task import SporadicTask, task
 from .taskset import TaskSet
@@ -79,4 +87,12 @@ __all__ = [
     "decode_value",
     "result_to_dict",
     "result_from_dict",
+    "event_to_dict",
+    "event_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
+    "dump_trace",
+    "load_trace",
+    "dumps_trace",
+    "loads_trace",
 ]

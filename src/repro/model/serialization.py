@@ -8,7 +8,10 @@ Three document formats:
   assignment map (``null`` entries mark unassigned tasks);
 * ``repro/result-v1`` — a :class:`~repro.result.FeasibilityResult`
   (verdict, effort counters, bound, witness, details), the wire format
-  of the analysis service's result store and HTTP API.
+  of the analysis service's result store and HTTP API;
+* ``repro/trace-v1`` — an arrival trace for the online admission
+  layer: ordered arrive/depart events, arrivals carrying their task's
+  parameters.
 
 Time values survive a round trip exactly: integers stay integers and
 Fractions are encoded as ``"p/q"`` strings, so an analysis re-run on a
@@ -31,6 +34,7 @@ from .taskset import TaskSet
 from .validation import ModelError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..online.trace import ArrivalEvent, Trace
     from ..partition.platform import PartitionedSystem
     from ..result import FeasibilityResult
 
@@ -52,11 +56,20 @@ __all__ = [
     "decode_value",
     "result_to_dict",
     "result_from_dict",
+    "event_to_dict",
+    "event_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
+    "dump_trace",
+    "load_trace",
+    "dumps_trace",
+    "loads_trace",
 ]
 
 _FORMAT = "repro/taskset-v1"
 _SYSTEM_FORMAT = "repro/system-v1"
 _RESULT_FORMAT = "repro/result-v1"
+_TRACE_FORMAT = "repro/trace-v1"
 
 
 def _encode_time(value: ExactTime) -> Union[int, str]:
@@ -239,17 +252,22 @@ def load_system(path: Union[str, Path]) -> "PartitionedSystem":
     return loads_system(Path(path).read_text(encoding="utf-8"))
 
 
-def load_any(path: Union[str, Path]) -> Union[TaskSet, "PartitionedSystem"]:
-    """Read either supported JSON format, dispatching on ``format``.
+def load_any(
+    path: Union[str, Path]
+) -> Union[TaskSet, "PartitionedSystem", "Trace"]:
+    """Read any supported JSON document, dispatching on ``format``.
 
-    Returns a :class:`TaskSet` for ``repro/taskset-v1`` and a
+    Returns a :class:`TaskSet` for ``repro/taskset-v1``, a
     :class:`~repro.partition.platform.PartitionedSystem` for
-    ``repro/system-v1`` — what format-agnostic consumers (the CLI's
-    ``partition`` command) want.
+    ``repro/system-v1``, and a :class:`~repro.online.trace.Trace` for
+    ``repro/trace-v1`` — what format-agnostic consumers (the CLI's
+    ``partition`` and ``replay`` commands) want.
     """
     data = json.loads(Path(path).read_text(encoding="utf-8"))
     if isinstance(data, dict) and data.get("format") == _SYSTEM_FORMAT:
         return system_from_dict(data)
+    if isinstance(data, dict) and data.get("format") == _TRACE_FORMAT:
+        return trace_from_dict(data)
     return taskset_from_dict(data)
 
 
@@ -364,3 +382,105 @@ def result_from_dict(data: Dict[str, Any]) -> "FeasibilityResult":
         )
     except (TypeError, ValueError) as err:
         raise ModelError(f"invalid result document: {err}") from None
+
+
+# ---------------------------------------------------------------------------
+# repro/trace-v1 — arrival traces for the online admission layer
+# ---------------------------------------------------------------------------
+# The trace types live in repro.online (which imports this package), so
+# they are resolved lazily at call time, like the partition types above.
+
+
+def event_to_dict(event: "ArrivalEvent") -> Dict[str, Any]:
+    """Encode one arrival/departure event as a JSON-serializable dict."""
+    document: Dict[str, Any] = {
+        "kind": event.kind,
+        "name": event.name,
+        "time": _encode_time(event.time),
+    }
+    if event.task is not None:
+        document["task"] = {
+            "name": event.task.name,
+            "wcet": _encode_time(event.task.wcet),
+            "deadline": _encode_time(event.task.deadline),
+            "period": _encode_time(event.task.period),
+            "phase": _encode_time(event.task.phase),
+        }
+    return document
+
+
+def event_from_dict(data: Dict[str, Any]) -> "ArrivalEvent":
+    """Decode an event produced by :func:`event_to_dict`."""
+    from ..online.trace import ArrivalEvent
+
+    if not isinstance(data, dict):
+        raise ModelError(
+            f"event document must be a dict, got {type(data).__name__}"
+        )
+    missing = [key for key in ("kind", "name") if key not in data]
+    if missing:
+        raise ModelError(f"event is missing {', '.join(map(repr, missing))}")
+    task = None
+    task_doc = data.get("task")
+    if task_doc is not None:
+        (task,) = _tasks_from_entries([task_doc])
+    try:
+        return ArrivalEvent(
+            kind=data["kind"],
+            name=data["name"],
+            task=task,
+            time=_decode_time(data.get("time", 0)),
+        )
+    except ModelError:
+        raise
+    except (TypeError, ValueError) as err:
+        raise ModelError(f"invalid event document: {err}") from None
+
+
+def trace_to_dict(trace: "Trace") -> Dict[str, Any]:
+    """Encode an arrival trace as a plain JSON-serializable dict."""
+    return {
+        "format": _TRACE_FORMAT,
+        "name": trace.name,
+        "events": [event_to_dict(event) for event in trace],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> "Trace":
+    """Decode a trace produced by :func:`trace_to_dict`."""
+    from ..online.trace import Trace
+
+    if not isinstance(data, dict) or "events" not in data:
+        raise ModelError("trace document must be a dict with an 'events' key")
+    declared = data.get("format", _TRACE_FORMAT)
+    if declared != _TRACE_FORMAT:
+        raise ModelError(f"unsupported trace format {declared!r}")
+    events = data["events"]
+    if not isinstance(events, list):
+        raise ModelError(
+            f"'events' must be a list, got {type(events).__name__}"
+        )
+    return Trace(
+        [event_from_dict(entry) for entry in events],
+        name=data.get("name", ""),
+    )
+
+
+def dumps_trace(trace: "Trace", indent: int = 2) -> str:
+    """Serialize an arrival trace to a JSON string."""
+    return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def loads_trace(text: str) -> "Trace":
+    """Deserialize an arrival trace from a JSON string."""
+    return trace_from_dict(json.loads(text))
+
+
+def dump_trace(trace: "Trace", path: Union[str, Path]) -> None:
+    """Write an arrival trace to *path* as JSON."""
+    Path(path).write_text(dumps_trace(trace), encoding="utf-8")
+
+
+def load_trace(path: Union[str, Path]) -> "Trace":
+    """Read an arrival trace from a JSON file at *path*."""
+    return loads_trace(Path(path).read_text(encoding="utf-8"))

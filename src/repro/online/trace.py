@@ -1,0 +1,146 @@
+"""Arrival traces: the workload model of the online admission layer.
+
+A *trace* is an ordered sequence of :class:`ArrivalEvent` — tasks
+arriving into and departing from a live system.  Traces are what the
+replay harness feeds to an
+:class:`~repro.online.controller.AdmissionController`, what the
+``generation`` trace scenarios produce, and what the ``repro/trace-v1``
+JSON format (:mod:`repro.model.serialization`) round-trips, so a trace
+generated on one machine replays bit-identically on another.
+
+Event times are bookkeeping: admission decisions are event-ordered, not
+clock-driven, so the controller never inspects them — but generators
+emit physically meaningful times (Poisson inter-arrivals, burst
+clusters) and reports carry them through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..model.numeric import ExactTime, Time, to_exact
+from ..model.task import SporadicTask
+from ..model.validation import ModelError
+
+__all__ = ["ArrivalEvent", "Trace", "ARRIVE", "DEPART"]
+
+#: Event kinds.  Plain strings — they go on the wire in trace-v1.
+ARRIVE = "arrive"
+DEPART = "depart"
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One dynamic event: a task arriving into or leaving the system.
+
+    Attributes:
+        kind: :data:`ARRIVE` or :data:`DEPART`.
+        name: identity of the arriving/departing task — the handle the
+            controller admits and removes by.
+        task: the arriving task's parameters (required for arrivals,
+            absent for departures).
+        time: event timestamp, for reporting only.
+    """
+
+    kind: str
+    name: str
+    task: Optional[SporadicTask] = None
+    time: ExactTime = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ARRIVE, DEPART):
+            raise ModelError(
+                f"event kind must be {ARRIVE!r} or {DEPART!r}, got {self.kind!r}"
+            )
+        if not self.name:
+            raise ModelError("events need a non-empty task name")
+        if self.kind == ARRIVE and self.task is None:
+            raise ModelError(f"arrival of {self.name!r} carries no task")
+        if self.kind == DEPART and self.task is not None:
+            raise ModelError(f"departure of {self.name!r} must not carry a task")
+        object.__setattr__(self, "time", to_exact(self.time))
+
+    @classmethod
+    def arrive(
+        cls, name: str, task: SporadicTask, time: Time = 0
+    ) -> "ArrivalEvent":
+        return cls(kind=ARRIVE, name=name, task=task, time=time)
+
+    @classmethod
+    def depart(cls, name: str, time: Time = 0) -> "ArrivalEvent":
+        return cls(kind=DEPART, name=name, time=time)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered, validated event sequence.
+
+    Validation is structural: event times must be non-decreasing, every
+    departure must name a task that arrived earlier and has not already
+    departed.  (Whether an arrival is *admitted* is the controller's
+    decision at replay time — a trace may legitimately depart a task
+    that was rejected; the controller treats that as a no-op.)
+    """
+
+    events: Tuple[ArrivalEvent, ...]
+    name: str = ""
+
+    def __init__(
+        self, events: Sequence[ArrivalEvent], name: str = ""
+    ) -> None:
+        entries = tuple(events)
+        previous: Optional[ExactTime] = None
+        seen: set = set()
+        for index, event in enumerate(entries):
+            if not isinstance(event, ArrivalEvent):
+                raise ModelError(
+                    f"trace entry {index} must be an ArrivalEvent, got "
+                    f"{type(event).__name__}"
+                )
+            if previous is not None and event.time < previous:
+                raise ModelError(
+                    f"trace times must be non-decreasing; event {index} at "
+                    f"{event.time} follows {previous}"
+                )
+            previous = event.time
+            if event.kind == ARRIVE:
+                if event.name in seen:
+                    raise ModelError(
+                        f"event {index}: task {event.name!r} arrives while "
+                        "already present"
+                    )
+                seen.add(event.name)
+            else:
+                if event.name not in seen:
+                    raise ModelError(
+                        f"event {index}: departure of unknown task "
+                        f"{event.name!r}"
+                    )
+                seen.discard(event.name)
+        object.__setattr__(self, "events", entries)
+        object.__setattr__(self, "name", name)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> ArrivalEvent:
+        return self.events[index]
+
+    @property
+    def arrivals(self) -> int:
+        return sum(1 for e in self.events if e.kind == ARRIVE)
+
+    @property
+    def departures(self) -> int:
+        return len(self.events) - self.arrivals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Trace{label}({len(self.events)} events: "
+            f"{self.arrivals} arrivals, {self.departures} departures)"
+        )

@@ -24,6 +24,12 @@ context LRU layers over it, so a restarted server starts warm.
 from .api import AnalysisServer, ApiError, requests_from_document
 from .client import ServiceClient, ServiceError
 from .jobs import Job, JobQueue, JobState
+from .sessions import (
+    AdmissionSession,
+    AdmissionSessionManager,
+    decision_to_dict,
+    events_from_document,
+)
 from .store import ResultStore, canonical_options, fingerprint_key
 
 __all__ = [
@@ -35,6 +41,10 @@ __all__ = [
     "Job",
     "JobQueue",
     "JobState",
+    "AdmissionSession",
+    "AdmissionSessionManager",
+    "decision_to_dict",
+    "events_from_document",
     "ResultStore",
     "canonical_options",
     "fingerprint_key",

@@ -21,7 +21,21 @@ GET       /v1/jobs                    list job snapshots
 GET       /v1/jobs/{id}               one job's status/progress
 GET       /v1/jobs/{id}/result        results of a finished job
 DELETE    /v1/jobs/{id}               cancel (immediate if queued)
+POST      /v1/admission               create an admission session (201)
+GET       /v1/admission               list admission sessions
+GET       /v1/admission/{id}          one session's stats snapshot
+POST      /v1/admission/{id}/events   apply trace-v1 events, get decisions
+GET       /v1/admission/{id}/decisions  decision log (``?since=N`` cursor)
+DELETE    /v1/admission/{id}          close the session
 ========  ==========================  =======================================
+
+Admission sessions wrap a live
+:class:`~repro.online.controller.AdmissionController`: the create body
+may seed an initial ``taskset`` and set ``epsilon`` (number or
+``"p/q"`` string; ``null`` disables the approximate filter stage), an
+events body is ``{"events": [...]}`` in ``repro/trace-v1`` event shape
+(a full trace document works as-is), and the decision log doubles as a
+poll-based stream via its ``since`` cursor.
 
 A submission body carries the test selection and one source of task
 sets::
@@ -42,6 +56,7 @@ from __future__ import annotations
 
 import json
 import threading
+from fractions import Fraction
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -58,6 +73,7 @@ from ..model.serialization import (
 )
 from ..model.validation import ModelError
 from .jobs import JobQueue
+from .sessions import AdmissionSessionManager, events_from_document
 from .store import ResultStore
 
 __all__ = ["AnalysisServer", "ApiError", "requests_from_document"]
@@ -274,6 +290,7 @@ class AnalysisServer:
             runner=runner,
             registry=self.registry,
         )
+        self.sessions = AdmissionSessionManager()
         self._previous_backend = (
             set_context_backend(store) if store is not None else None
         )
@@ -359,8 +376,9 @@ class AnalysisServer:
         if path == "/v1/jobs" and method == "POST":
             document = handler._read_json()
             requests = requests_from_document(document, self.registry)
+            priority = document.get("priority", 0)
             try:
-                job_id = self.queue.submit(requests)
+                job_id = self.queue.submit(requests, priority=priority)
             except ValueError as err:
                 raise ApiError(400, str(err)) from None
             handler._send_json(202, self.queue.status(job_id))
@@ -384,6 +402,46 @@ class AnalysisServer:
                     return True
             except KeyError:
                 raise ApiError(404, f"unknown job {job_id!r}") from None
+        if path == "/v1/admission" and method == "POST":
+            handler._send_json(
+                201, self._create_session(handler._read_json())
+            )
+            return True
+        if path == "/v1/admission" and method == "GET":
+            handler._send_json(200, {"sessions": self.sessions.list_sessions()})
+            return True
+        if path.startswith("/v1/admission/"):
+            rest = path[len("/v1/admission/") :]
+            parts = rest.split("/")
+            session_id = parts[0]
+            try:
+                if len(parts) == 1 and method == "GET":
+                    handler._send_json(
+                        200, self.sessions.get(session_id).snapshot()
+                    )
+                    return True
+                if len(parts) == 1 and method == "DELETE":
+                    handler._send_json(200, self.sessions.close(session_id))
+                    return True
+                if len(parts) == 2 and parts[1] == "events" and method == "POST":
+                    handler._send_json(
+                        200,
+                        self._apply_events(session_id, handler._read_json()),
+                    )
+                    return True
+                if (
+                    len(parts) == 2
+                    and parts[1] == "decisions"
+                    and method == "GET"
+                ):
+                    handler._send_json(
+                        200, self._decision_log(session_id, handler.path)
+                    )
+                    return True
+            except KeyError:
+                raise ApiError(
+                    404, f"unknown session {session_id!r}"
+                ) from None
         return False
 
     # ------------------------------------------------------------------
@@ -430,12 +488,88 @@ class AnalysisServer:
         ]
         return snapshot
 
+    def _create_session(self, document: Any) -> Dict[str, Any]:
+        if not isinstance(document, dict):
+            raise ApiError(400, "the request body must be a JSON object")
+        epsilon: Any = document.get("epsilon", "1/10")
+        if epsilon is not None:
+            try:
+                epsilon = Fraction(str(epsilon))
+            except (ValueError, ZeroDivisionError):
+                raise ApiError(
+                    400, f"invalid epsilon {document.get('epsilon')!r}"
+                ) from None
+        initial: Any = ()
+        if "taskset" in document:
+            try:
+                initial = taskset_from_dict(document["taskset"])
+            except ModelError as err:
+                raise ApiError(400, str(err)) from None
+        name = document.get("name", "")
+        if not isinstance(name, str):
+            raise ApiError(400, "'name' must be a string")
+        try:
+            session = self.sessions.create(
+                initial=initial, epsilon=epsilon, name=name
+            )
+        except (ModelError, ValueError) as err:
+            raise ApiError(400, str(err)) from None
+        return session.snapshot()
+
+    def _apply_events(self, session_id: str, document: Any) -> Dict[str, Any]:
+        session = self.sessions.get(session_id)
+        try:
+            events = events_from_document(document)
+        except ModelError as err:
+            raise ApiError(400, str(err)) from None
+        decisions = []
+        for index, event in enumerate(events):
+            try:
+                decisions.append(session.apply(event))
+            except ModelError as err:
+                # Events apply one at a time; say how far the batch got
+                # so the client knows what state it just mutated.
+                raise ApiError(
+                    400,
+                    f"event {index}: {err} (the {index} earlier event(s) of "
+                    "this batch were applied; see the decisions log)",
+                ) from None
+        return {"session": session.id, "decisions": decisions}
+
+    def _decision_log(self, session_id: str, raw_path: str) -> Dict[str, Any]:
+        from urllib.parse import parse_qs, urlsplit
+
+        session = self.sessions.get(session_id)
+        query = parse_qs(urlsplit(raw_path).query)
+        since = 0
+        if "since" in query:
+            try:
+                since = int(query["since"][0])
+                if since < 0:
+                    raise ValueError
+            except ValueError:
+                raise ApiError(
+                    400, "'since' must be a non-negative integer"
+                ) from None
+        decisions = session.log(since)
+        # 'next' is the absolute cursor for the following poll; indices
+        # are absolute and survive log pruning, so derive it from the
+        # last returned decision rather than from page length.
+        next_cursor = decisions[-1]["index"] + 1 if decisions else since
+        return {
+            "session": session.id,
+            "since": since,
+            "next": next_cursor,
+            "decisions": decisions,
+        }
+
     def cache_stats(self) -> Dict[str, Any]:
-        """Context LRU, store, and queue counters in one document."""
+        """Context LRU, store, queue, and session counters in one document."""
         return {
             "context": context_cache_info(),
             "store": self.store.stats() if self.store is not None else None,
             "queue": self.queue.stats(),
+            "admission": self.sessions.stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

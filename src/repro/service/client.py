@@ -102,6 +102,7 @@ class ServiceClient:
         self,
         tasksets: Sequence[TaskSet],
         test: str = "all-approx",
+        priority: int = 0,
         **options: Any,
     ) -> str:
         """Submit one job over *tasksets*; returns the job id."""
@@ -109,6 +110,8 @@ class ServiceClient:
         if not sets:
             raise ValueError("submit needs at least one task set")
         document: Dict[str, Any] = {"test": test, "options": options}
+        if priority:
+            document["priority"] = priority
         if len(sets) == 1:
             document["taskset"] = taskset_to_dict(sets[0])
         else:
@@ -140,22 +143,35 @@ class ServiceClient:
         job_id: str,
         timeout: float = 60.0,
         poll: float = 0.05,
+        max_poll: float = 2.0,
+        backoff: float = 1.6,
     ) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state.
+
+        Polling uses capped exponential backoff: the first sleep is
+        *poll* seconds, each subsequent one *backoff* times longer, up
+        to *max_poll* — short jobs return promptly while long campaigns
+        stop hammering the server.  The final sleep is clipped so the
+        *timeout* deadline is observed exactly.
 
         Returns the final snapshot; raises :class:`TimeoutError` if the
         job is still queued/running after *timeout* seconds.
         """
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff}")
         deadline = time.monotonic() + timeout
+        delay = poll
         while True:
             snapshot = self.status(job_id)
             if snapshot["state"] in ("done", "failed", "cancelled"):
                 return snapshot
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['state']} after {timeout}s"
                 )
-            time.sleep(poll)
+            time.sleep(min(delay, remaining))
+            delay = min(delay * backoff, max_poll)
 
     def run(
         self,
@@ -174,6 +190,61 @@ class ServiceClient:
                 f"{snapshot.get('error') or 'no detail'}",
             )
         return self.results(job_id)
+
+    # ------------------------------------------------------------------
+    # Admission sessions
+    # ------------------------------------------------------------------
+
+    def create_admission_session(
+        self,
+        taskset: Optional[TaskSet] = None,
+        epsilon: Optional[Any] = "1/10",
+        name: str = "",
+    ) -> str:
+        """Create an admission session; returns its id.
+
+        ``epsilon=None`` disables the approximate filter stage.
+        """
+        document: Dict[str, Any] = {
+            "epsilon": None if epsilon is None else str(epsilon),
+            "name": name,
+        }
+        if taskset is not None:
+            document["taskset"] = taskset_to_dict(taskset)
+        return self._request("POST", "/v1/admission", document)["session"]
+
+    def admission_sessions(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/admission")["sessions"]
+
+    def admission_stats(self, session_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/admission/{session_id}")
+
+    def admission_events(
+        self, session_id: str, events: Sequence[Any]
+    ) -> List[Dict[str, Any]]:
+        """POST trace events (``ArrivalEvent`` or ready-made trace-v1
+        dicts); returns the per-event decision documents."""
+        from ..model.serialization import event_to_dict
+
+        encoded = [
+            entry if isinstance(entry, dict) else event_to_dict(entry)
+            for entry in events
+        ]
+        return self._request(
+            "POST", f"/v1/admission/{session_id}/events", {"events": encoded}
+        )["decisions"]
+
+    def admission_decisions(
+        self, session_id: str, since: int = 0
+    ) -> Dict[str, Any]:
+        """Decision log from *since* — poll with the returned ``next``
+        cursor to stream decisions."""
+        return self._request(
+            "GET", f"/v1/admission/{session_id}/decisions?since={since}"
+        )
+
+    def close_admission_session(self, session_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/admission/{session_id}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ServiceClient(base_url={self.base_url!r})"

@@ -19,6 +19,12 @@ so served and computed results are indistinguishable — the job records
 Option validation happens at :meth:`JobQueue.submit` time against the
 registry schema: a bad request fails fast in the caller (the HTTP layer
 turns it into a 400) instead of surfacing later inside a worker.
+
+Jobs carry a *priority* (default 0): workers pop the highest-priority
+queued job first, FIFO within a priority level.  Priorities only
+reorder the backlog — a running job is never preempted — so a saturated
+queue serves an urgent single analysis ahead of a bulk campaign
+submitted earlier.
 """
 
 from __future__ import annotations
@@ -71,6 +77,7 @@ class Job:
     kind: str
     requests: List[_JobRequest]
     state: str = JobState.QUEUED
+    priority: int = 0
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -92,6 +99,7 @@ class Job:
             "job": self.id,
             "kind": self.kind,
             "state": self.state,
+            "priority": self.priority,
             "total": self.total,
             "done": self.done,
             "from_store": self.from_store,
@@ -141,7 +149,14 @@ class JobQueue:
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._lock = threading.Lock()
-        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        # Entries are (-priority, sequence, job id): the highest
+        # priority pops first, FIFO within a level.  Shutdown sentinels
+        # use -inf so they preempt any backlog and stop workers at the
+        # next pop, leaving queued jobs queued.
+        self._queue: "queue.PriorityQueue[Tuple[float, int, Optional[str]]]" = (
+            queue.PriorityQueue()
+        )
+        self._sequence = 0
         self._closed = False
         self._workers = [
             threading.Thread(
@@ -160,16 +175,21 @@ class JobQueue:
         self,
         requests: Sequence[AnalysisRequest],
         kind: Optional[str] = None,
+        priority: int = 0,
     ) -> str:
         """Validate and enqueue *requests* as one job; returns the job id.
 
-        Raises ``ValueError`` on an empty submission, an unknown test
-        name, or options failing the test's schema — nothing is queued
-        in that case.
+        *priority* orders the backlog: higher pops first, FIFO within a
+        level (default 0).  Raises ``ValueError`` on an empty
+        submission, an unknown test name, an invalid priority, or
+        options failing the test's schema — nothing is queued in that
+        case.
         """
         batch = list(requests)
         if not batch:
             raise ValueError("a job needs at least one analysis request")
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ValueError(f"priority must be an int, got {priority!r}")
         if self._closed:
             raise RuntimeError("the job queue is shut down")
         resolved: List[_JobRequest] = []
@@ -193,12 +213,15 @@ class JobQueue:
             id=uuid.uuid4().hex[:12],
             kind=kind or ("single" if len(resolved) == 1 else "batch"),
             requests=resolved,
+            priority=priority,
         )
         job.results = [None] * job.total
         with self._lock:
             self._jobs[job.id] = job
             self._order.append(job.id)
-        self._queue.put(job.id)
+            self._sequence += 1
+            entry = (-float(priority), self._sequence, job.id)
+        self._queue.put(entry)
         return job.id
 
     def get(self, job_id: str) -> Job:
@@ -277,7 +300,7 @@ class JobQueue:
             return
         self._closed = True
         for _ in self._workers:
-            self._queue.put(None)
+            self._queue.put((float("-inf"), 0, None))
         for thread in self._workers:
             thread.join(timeout)
 
@@ -287,7 +310,7 @@ class JobQueue:
 
     def _worker_loop(self) -> None:
         while True:
-            job_id = self._queue.get()
+            _, _, job_id = self._queue.get()
             if job_id is None:
                 return
             with self._lock:

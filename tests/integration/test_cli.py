@@ -345,3 +345,113 @@ def test_version(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["--version"])
     assert exc.value.code == 0
+
+
+class TestOnlineCommands:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--scenario",
+                    "churn",
+                    "--events",
+                    "30",
+                    "--seed",
+                    "11",
+                    "-o",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        return str(path)
+
+    def test_trace_writes_valid_trace_v1(self, trace_file):
+        from repro.model import load_trace
+
+        trace = load_trace(trace_file)
+        assert len(trace) == 30
+
+    def test_trace_prints_json_without_output(self, capsys):
+        assert main(["trace", "--scenario", "ramp", "--events", "5"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro/trace-v1"
+        assert len(document["events"]) == 5
+
+    def test_trace_utilization_only_for_churn(self, capsys):
+        code = main(
+            ["trace", "--scenario", "ramp", "--events", "5", "--utilization", "0.5"]
+        )
+        assert code == 2
+        assert "churn" in capsys.readouterr().err
+
+    def test_replay_summary(self, trace_file, capsys):
+        assert main(["replay", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 30 events" in out
+        assert "admitted" in out
+
+    def test_replay_with_oracle_and_base(self, trace_file, taskset_file, capsys):
+        assert (
+            main(
+                [
+                    "replay",
+                    trace_file,
+                    "--base",
+                    taskset_file,
+                    "--oracle",
+                    "--per-event",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(oracle: qpa)" in out
+        assert "approx-filter" in out
+
+    def test_replay_onto_cores(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--cores", "2", "--heuristic", "wf"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cores (wf)" in out
+        assert "core 1:" in out
+
+    def test_replay_epsilon_none(self, trace_file, capsys):
+        assert main(["replay", trace_file, "--epsilon", "none"]) == 0
+        assert "stage exact" in capsys.readouterr().out
+
+    def test_admit_accepts_and_rejects(self, taskset_file, capsys):
+        assert (
+            main(["admit", taskset_file, "--task", "1", "20", "25"]) == 0
+        )
+        assert "admitted" in capsys.readouterr().out
+        assert (
+            main(["admit", taskset_file, "--task", "500", "20", "25"]) == 1
+        )
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_admit_from_file(self, taskset_file, tmp_path, capsys):
+        from repro.model import TaskSet, dump_taskset
+
+        candidates = tmp_path / "candidates.json"
+        dump_taskset(TaskSet.of((1, 30, 40), (1, 40, 50)), candidates)
+        assert main(["admit", taskset_file, "--file", str(candidates)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("admitted") == 2
+
+    def test_admit_needs_candidates(self, taskset_file, capsys):
+        assert main(["admit", taskset_file]) == 2
+        assert "--task" in capsys.readouterr().err
+
+    def test_replay_cores_rejects_oracle_and_base(
+        self, trace_file, taskset_file, capsys
+    ):
+        assert main(["replay", trace_file, "--cores", "2", "--oracle"]) == 2
+        assert "--oracle" in capsys.readouterr().err
+        assert (
+            main(["replay", trace_file, "--cores", "2", "--base", taskset_file])
+            == 2
+        )
+        assert "--base" in capsys.readouterr().err

@@ -1,0 +1,249 @@
+"""Admission controller unit tests: pipeline stages, rollback, invariants."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import analyze
+from repro.generation import generate_taskset
+from repro.model import SporadicTask, TaskSet
+from repro.model.components import DemandComponent, as_components
+from repro.model.validation import ModelError
+from repro.online import AdmissionController, Stage
+from repro.result import Verdict
+
+
+def _task(c, d, t, name=""):
+    return SporadicTask(wcet=c, deadline=d, period=t, name=name)
+
+
+class TestLifecycle:
+    def test_admit_then_remove_restores_empty(self):
+        controller = AdmissionController()
+        decision = controller.admit(_task(1, 4, 5), name="a")
+        assert decision.admitted and decision.verdict is Verdict.FEASIBLE
+        assert len(controller) == 1 and "a" in controller
+        departure = controller.remove("a")
+        assert departure.admitted and departure.stage == Stage.DEPARTURE
+        assert len(controller) == 0 and controller.utilization == 0
+        assert controller.snapshot() == ()
+
+    def test_initial_system_is_one_entry(self, simple_taskset):
+        controller = AdmissionController(simple_taskset)
+        assert len(controller) == 1 and "initial" in controller
+        assert controller.utilization == simple_taskset.utilization
+        assert len(controller.snapshot()) == len(simple_taskset)
+
+    def test_infeasible_initial_system_rejected(self, infeasible_taskset):
+        with pytest.raises(ModelError, match="initial system is infeasible"):
+            AdmissionController(infeasible_taskset)
+
+    def test_overloaded_initial_system_rejected(self):
+        with pytest.raises(ModelError, match="U > 1"):
+            AdmissionController(TaskSet.of((3, 2, 2), (3, 2, 2)))
+
+    def test_duplicate_name_rejected(self):
+        controller = AdmissionController()
+        controller.admit(_task(1, 8, 10), name="a")
+        with pytest.raises(ModelError, match="already admitted"):
+            controller.admit(_task(1, 8, 10), name="a")
+
+    def test_auto_names_are_unique(self):
+        controller = AdmissionController()
+        first = controller.admit(_task(1, 40, 50))
+        second = controller.admit(_task(1, 40, 50))
+        assert first.name != second.name
+
+    def test_remove_unknown_strict_raises(self):
+        controller = AdmissionController()
+        with pytest.raises(KeyError):
+            controller.remove("ghost")
+        decision = controller.remove("ghost", strict=False)
+        assert not decision.admitted and decision.stage == Stage.ABSENT
+
+    def test_event_stream_and_component_sources(self):
+        controller = AdmissionController()
+        component = DemandComponent(wcet=1, first_deadline=3, period=7)
+        assert controller.admit(component, name="comp").admitted
+        one_shot = DemandComponent(wcet=1, first_deadline=9)
+        assert controller.admit(one_shot, name="shot").admitted
+        assert len(controller.snapshot()) == 2
+        controller.remove("comp")
+        assert [c.period for c in controller.snapshot()] == [None]
+
+
+class TestPipelineStages:
+    def test_utilization_gate_rejects_overload(self):
+        controller = AdmissionController(TaskSet.of((4, 10, 10)))
+        decision = controller.admit(_task(7, 10, 10), name="x")
+        assert not decision.admitted
+        assert decision.stage == Stage.GATE
+        assert decision.verdict is Verdict.INFEASIBLE
+        # Rolled back: nothing changed.
+        assert len(controller) == 1
+        assert controller.utilization == Fraction(2, 5)
+
+    def test_filter_accepts_comfortable_arrival(self):
+        controller = AdmissionController(TaskSet.of((1, 10, 10)))
+        decision = controller.admit(_task(1, 10, 10), name="x")
+        assert decision.admitted and decision.stage == Stage.FILTER
+        assert controller.approx_clean
+
+    def test_exact_stage_decides_when_filter_is_inconclusive(self):
+        # (1,1,3)+(4,6,8) is exactly feasible but SuperPos(2) — epsilon
+        # 0.9 — overestimates past capacity, so the filter stays
+        # inconclusive and the windowed exact stage must admit.
+        controller = AdmissionController(
+            TaskSet.of((1, 1, 3)), epsilon=Fraction(9, 10)
+        )
+        decision = controller.admit(_task(4, 6, 8), name="x")
+        assert decision.admitted and decision.stage == Stage.EXACT
+        assert not controller.approx_clean
+
+    def test_exact_stage_rejects_with_witness(self):
+        controller = AdmissionController(TaskSet.of((1, 1, 2)))
+        decision = controller.admit(_task(1, 1, 2), name="x")
+        assert not decision.admitted and decision.stage == Stage.EXACT
+        assert decision.verdict is Verdict.INFEASIBLE
+        assert decision.witness is not None
+        assert decision.witness.demand > decision.witness.interval
+        # The witness is checkable against the would-be system.
+        would_be = list(controller.snapshot()) + list(
+            as_components([_task(1, 1, 2)])
+        )
+        fresh = analyze(would_be, test="qpa")
+        assert fresh.is_infeasible
+        # Rollback left the admitted system intact and feasible.
+        assert analyze(list(controller.snapshot()), test="qpa").is_feasible
+
+    def test_filter_disabled_goes_straight_to_exact(self):
+        controller = AdmissionController(epsilon=None)
+        decision = controller.admit(_task(1, 10, 10), name="x")
+        assert decision.admitted and decision.stage == Stage.EXACT
+
+    def test_zero_demand_entity_is_trivial(self):
+        controller = AdmissionController()
+        decision = controller.admit(_task(0, 5, 5), name="idle")
+        assert decision.admitted and decision.stage == Stage.TRIVIAL
+        assert controller.snapshot() == ()
+        controller.remove("idle")  # the handle still exists
+
+    def test_approx_clean_reestablished_by_full_filter_pass(self):
+        controller = AdmissionController(
+            TaskSet.of((1, 1, 3)), epsilon=Fraction(9, 10)
+        )
+        controller.admit(_task(4, 6, 8), name="tight")
+        assert not controller.approx_clean
+        controller.remove("tight")
+        # Dirty flag survives departures...
+        assert not controller.approx_clean
+        # ...until the next arrival's full filter pass succeeds.
+        decision = controller.admit(_task(1, 100, 100), name="easy")
+        assert decision.admitted and decision.stage == Stage.FILTER
+        assert controller.approx_clean
+
+
+class TestBookkeeping:
+    def test_incremental_utilization_is_exact(self):
+        controller = AdmissionController()
+        controller.admit(_task(1, 2, 3), name="a")
+        controller.admit(_task(Fraction(1, 7), 2, Fraction(22, 7)), name="b")
+        expected = Fraction(1, 3) + Fraction(1, 7) / Fraction(22, 7)
+        assert controller.utilization == expected
+        controller.remove("b")
+        assert controller.utilization == Fraction(1, 3)
+
+    def test_bounds_match_engine_context(self):
+        from repro.analysis.bounds import BoundMethod
+        from repro.engine.context import AnalysisContext
+
+        controller = AdmissionController()
+        tasks = generate_taskset(n=12, utilization=0.8, seed=17)
+        for index, task in enumerate(tasks):
+            controller.admit(task, name=f"t{index}")
+        ctx = AnalysisContext.of(list(controller.snapshot()))
+        assert controller._bound_baruah() == ctx.bound(BoundMethod.BARUAH)
+        assert controller._bound_george() == ctx.bound(BoundMethod.GEORGE)
+        assert controller._bound_superposition() == ctx.bound(
+            BoundMethod.SUPERPOSITION
+        )
+        assert controller._best_bound() == ctx.bound(BoundMethod.BEST)
+        # Bounds stay exact after removals (max trackers recompute).
+        controller.remove("t3")
+        controller.remove("t7")
+        ctx = AnalysisContext.of(list(controller.snapshot()))
+        assert controller._best_bound() == ctx.bound(BoundMethod.BEST)
+
+    def test_stats_counters(self):
+        controller = AdmissionController()
+        controller.admit(_task(1, 10, 10), name="a")
+        controller.admit(_task(20, 10, 10), name="fat")  # gate reject
+        controller.remove("a")
+        stats = controller.stats()
+        assert stats["events"] == 3
+        assert stats["arrivals"] == 2 and stats["departures"] == 1
+        assert stats["admitted"] == 1 and stats["rejected"] == 1
+        assert stats[Stage.GATE] == 1
+        assert stats["mean_latency_seconds"] > 0
+
+    def test_decision_latency_recorded(self):
+        controller = AdmissionController()
+        decision = controller.admit(_task(1, 5, 5))
+        assert decision.latency_seconds >= 0
+        assert decision.tasks == 1 and decision.utilization == Fraction(1, 5)
+
+
+class TestExactnessAtBoundaries:
+    def test_utilization_exactly_one_admits_when_feasible(self):
+        # Implicit deadlines at U == 1: feasible, and the bound falls
+        # back to the busy period exactly like the engine's.
+        controller = AdmissionController(TaskSet.of((1, 2, 2)))
+        decision = controller.admit(_task(1, 2, 2), name="x")
+        assert decision.admitted
+        assert controller.utilization == 1
+        assert analyze(list(controller.snapshot()), test="qpa").is_feasible
+
+    def test_one_shot_components_in_bounds(self):
+        controller = AdmissionController()
+        controller.admit(DemandComponent(wcet=2, first_deadline=5), name="burst")
+        decision = controller.admit(_task(1, 4, 4), name="periodic")
+        assert decision.admitted
+        fresh = analyze(list(controller.snapshot()), test="processor-demand")
+        assert fresh.is_feasible
+
+
+class TestRollbackHygiene:
+    def test_rejected_arrival_does_not_grow_the_grid(self):
+        controller = AdmissionController(TaskSet.of((4, 5, 5)))
+        assert controller._kernel.scale == 1
+        # A candidate with a denominator the grid does not know: the
+        # tentative merge rescales, the rejection must restore the grid.
+        decision = controller.admit(
+            _task(Fraction(7, 3), Fraction(7, 3), Fraction(7, 3)), name="x"
+        )
+        assert not decision.admitted
+        assert controller._kernel.scale == 1
+        assert controller._kernel.n == 1
+
+    def test_rejected_arrival_does_not_degrade_to_exact_path(self):
+        controller = AdmissionController(TaskSet.of((9, 10, 10)))
+        assert controller._kernel.scale == 1
+        huge_prime = (1 << 127) - 1
+        fat = DemandComponent(
+            wcet=Fraction(huge_prime - 1, huge_prime),
+            first_deadline=Fraction(1, huge_prime),
+            period=1,
+        )
+        # Forcing the LCM past SCALE_CAP degrades the tentative kernel;
+        # the rejection recompiles back onto the integer grid.
+        decision = controller.admit(fat, name="nasty")
+        assert not decision.admitted
+        assert controller._kernel.scale == 1
+
+    def test_auto_name_skips_user_supplied_handles(self):
+        controller = AdmissionController()
+        controller.admit(_task(1, 40, 50), name="task1")
+        decision = controller.admit(_task(1, 40, 50))  # auto-named
+        assert decision.admitted and decision.name == "task2"
+        another = controller.admit(_task(1, 40, 50))
+        assert another.admitted and another.name == "task3"

@@ -1,0 +1,127 @@
+"""Online multiprocessor placement: routing, stats, offline agreement."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import SporadicTask, TaskSet
+from repro.model.serialization import loads_system, dumps_system
+from repro.model.validation import ModelError
+from repro.online import OnlinePlacer
+from repro.partition import verify_partition
+from repro.partition.platform import Platform
+
+
+def _task(c, d, t, name=""):
+    return SporadicTask(wcet=c, deadline=d, period=t, name=name)
+
+
+class TestRouting:
+    def test_first_fit_sticks_to_core_zero(self):
+        placer = OnlinePlacer(3, heuristic="ff")
+        for index in range(4):
+            decision = placer.admit(_task(1, 8, 10), name=f"t{index}")
+            assert decision.core == 0 and not decision.diverted
+
+    def test_worst_fit_balances(self):
+        placer = OnlinePlacer(2, heuristic="wf")
+        cores = [
+            placer.admit(_task(1, 8, 10), name=f"t{i}").core for i in range(4)
+        ]
+        assert cores == [0, 1, 0, 1]
+
+    def test_best_fit_fills_fullest_admitting_core(self):
+        placer = OnlinePlacer(2, heuristic="bf")
+        placer.admit(_task(4, 10, 10), name="big")       # core 0
+        placer.admit(_task(1, 10, 10), name="small")     # bf: back onto core 0
+        assert placer.core_of("big") == placer.core_of("small") == 0
+
+    def test_diversion_when_preferred_core_is_full(self):
+        placer = OnlinePlacer(2, heuristic="ff")
+        placer.admit(_task(9, 10, 10), name="hog")
+        decision = placer.admit(_task(5, 10, 10), name="spill")
+        assert decision.core == 1 and decision.diverted
+        assert placer.diversions == 1
+
+    def test_rejection_when_no_core_admits(self):
+        placer = OnlinePlacer(2, heuristic="ff")
+        placer.admit(_task(9, 10, 10), name="a")
+        placer.admit(_task(9, 10, 10), name="b")
+        decision = placer.admit(_task(5, 10, 10), name="c")
+        assert not decision.placed and decision.core is None
+        assert decision.probed == (0, 1)
+        assert placer.rejections == 1
+        assert "c" not in placer
+
+    def test_departure_frees_capacity(self):
+        placer = OnlinePlacer(1)
+        placer.admit(_task(9, 10, 10), name="a")
+        assert not placer.admit(_task(5, 10, 10), name="b").placed
+        placer.remove("a")
+        assert placer.admit(_task(5, 10, 10), name="b").placed
+        with pytest.raises(KeyError):
+            placer.remove("a")
+
+    def test_rejects_non_task_sources(self):
+        placer = OnlinePlacer(1)
+        with pytest.raises(ModelError, match="whole tasks"):
+            placer.admit(TaskSet.of((1, 2, 3)))  # type: ignore[arg-type]
+
+    def test_duplicate_name_rejected(self):
+        placer = OnlinePlacer(2)
+        placer.admit(_task(1, 5, 5), name="a")
+        with pytest.raises(ModelError, match="already placed"):
+            placer.admit(_task(1, 5, 5), name="a")
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement heuristic"):
+            OnlinePlacer(2, heuristic="zz")
+
+
+class TestSystemExport:
+    def test_system_round_trips_and_verifies(self):
+        placer = OnlinePlacer(Platform(cores=2, name="duo"), heuristic="wf")
+        tasks = [
+            _task(2, 8, 10, name="alpha"),
+            _task(3, 9, 12, name="beta"),
+            _task(1, 4, 6, name="gamma"),
+        ]
+        for task in tasks:
+            assert placer.admit(task).placed
+        system = placer.system()
+        assert system.is_complete
+        restored = loads_system(dumps_system(system))
+        assert restored == system
+        verification = verify_partition(system, method="exact")
+        assert verification.ok
+
+    def test_utilizations_match_controllers(self):
+        placer = OnlinePlacer(2, heuristic="wf")
+        placer.admit(_task(1, 4, 4), name="a")
+        placer.admit(_task(1, 8, 8), name="b")
+        assert placer.utilizations() == (Fraction(1, 4), Fraction(1, 8))
+
+    def test_stats_document(self):
+        placer = OnlinePlacer(2)
+        placer.admit(_task(1, 4, 4), name="a")
+        stats = placer.stats()
+        assert stats["cores"] == 2 and stats["placed"] == 1
+        assert len(stats["per_core"]) == 2
+        assert stats["per_core"][0]["admitted"] == 1
+
+
+class TestNameGeneration:
+    def test_auto_name_skips_taken_handles(self):
+        placer = OnlinePlacer(2)
+        placer.admit(_task(1, 40, 50), name="task1")
+        decision = placer.admit(_task(1, 40, 50))  # unnamed task
+        assert decision.placed and decision.name == "task2"
+
+    def test_probe_order_matches_partition_layer(self):
+        from repro.partition.packing import _probe_order
+
+        placer = OnlinePlacer(3, heuristic="bf")
+        placer.admit(_task(1, 4, 4), name="a")
+        placer.admit(_task(1, 8, 8), name="b")
+        loads = list(placer.utilizations())
+        assert placer.probe_order() == _probe_order("bf", loads, 3)

@@ -1,0 +1,167 @@
+"""Online/from-scratch parity: the correctness bar of the subsystem.
+
+Randomized churn traces — hundreds of events, mixed int/float/Fraction
+task parameters — replayed through a controller, with every verdict
+checked against a fresh engine ``analyze()`` of the snapshot:
+
+* an admitted arrival's system must be FEASIBLE from scratch,
+* a rejected arrival's would-be system must be INFEASIBLE from scratch,
+* the system after any departure must be FEASIBLE from scratch,
+
+under both exact engine tests (``qpa`` and ``processor-demand``), which
+agree by their own parity suite — so one oracle run per test suffices.
+"""
+
+import pytest
+
+from repro.engine import analyze
+from repro.generation import churn_trace, generate_trace, poisson_trace
+from repro.model.components import as_components
+from repro.online import (
+    ARRIVE,
+    AdmissionController,
+    ParityError,
+    ReplayReport,
+    Stage,
+    replay,
+)
+
+
+def _assert_full_parity(trace, epsilon="1/10", oracle_test="qpa"):
+    """Manual replay asserting per-event verdict parity (both directions)."""
+    from fractions import Fraction
+
+    controller = AdmissionController(
+        epsilon=None if epsilon is None else Fraction(epsilon)
+    )
+    checked_rejections = 0
+    for event in trace:
+        if event.kind == ARRIVE:
+            before = list(controller.snapshot())
+            decision = controller.admit(event.task, name=event.name)
+            if decision.admitted:
+                fresh = analyze(list(controller.snapshot()), test=oracle_test)
+                assert fresh.is_feasible, (event.name, decision.stage)
+            else:
+                would_be = before + list(as_components([event.task]))
+                fresh = analyze(would_be, test=oracle_test)
+                assert fresh.is_infeasible, (event.name, decision.stage)
+                checked_rejections += 1
+        else:
+            controller.remove(event.name, strict=False)
+            fresh = analyze(list(controller.snapshot()), test=oracle_test)
+            assert fresh.is_feasible, event.name
+    return controller, checked_rejections
+
+
+class TestChurnParity:
+    def test_200_event_mixed_type_churn_parity_qpa(self):
+        trace = churn_trace(
+            220,
+            seed=2005,
+            mixed_types=True,
+            target_utilization=0.92,
+            per_task_utilization=(0.02, 0.2),
+            period_range=(10, 2_000),
+        )
+        assert len(trace) >= 200
+        controller, rejections = _assert_full_parity(trace, oracle_test="qpa")
+        stats = controller.stats()
+        # The trace must actually contest admission, not rubber-stamp it.
+        assert stats["rejected"] > 0
+        assert stats["admitted"] > 0
+        assert stats["departures"] > 0
+
+    def test_200_event_churn_parity_processor_demand(self):
+        trace = churn_trace(
+            200,
+            seed=77,
+            mixed_types=True,
+            target_utilization=0.95,
+            per_task_utilization=(0.05, 0.3),
+            period_range=(5, 500),
+        )
+        _assert_full_parity(trace, oracle_test="processor-demand")
+
+    def test_parity_with_filter_disabled(self):
+        trace = churn_trace(
+            120,
+            seed=31,
+            mixed_types=True,
+            target_utilization=0.9,
+            per_task_utilization=(0.05, 0.25),
+            period_range=(5, 400),
+        )
+        controller, _ = _assert_full_parity(trace, epsilon=None)
+        stats = controller.stats()
+        assert stats[Stage.FILTER] == 0  # every arrival went exact
+
+    def test_oracle_replay_mode_agrees(self):
+        trace = generate_trace(
+            "churn", 150, seed=9, mixed_types=True,
+            target_utilization=0.93,
+            per_task_utilization=(0.03, 0.25),
+            period_range=(8, 800),
+        )
+        report = replay(trace, oracle=True)
+        assert isinstance(report, ReplayReport)
+        assert report.events == len(trace)
+        assert report.oracle == "qpa"
+
+    def test_poisson_trace_oracle(self):
+        trace = poisson_trace(
+            120, seed=4, mixed_types=True, per_task_utilization=(0.02, 0.12)
+        )
+        report = replay(trace, oracle=True, oracle_test="processor-demand")
+        assert report.events == len(trace)
+
+    def test_oracle_catches_a_wrong_verdict(self, monkeypatch):
+        """The oracle is live: force a bogus accept and watch it fire."""
+        from repro.online import controller as controller_module
+
+        from repro.model import SporadicTask
+        from repro.online import ArrivalEvent, Trace
+
+        # (1,1,2) twice: U == 1 passes the gate, but dbf(1) = 2 — any
+        # honest stage rejects the second arrival.
+        task = SporadicTask(wcet=1, deadline=1, period=2)
+        trace = Trace(
+            [
+                ArrivalEvent.arrive("a", task, time=0),
+                ArrivalEvent.arrive("b", task, time=1),
+            ]
+        )
+        # Lobotomize the filter and the exact scan: every arrival that
+        # passes the utilization gate is admitted, feasible or not.
+        monkeypatch.setattr(
+            controller_module,
+            "_superpos_scan",
+            lambda kernel, level, lo_s, hi_s: (True, 0),
+        )
+        monkeypatch.setattr(
+            controller_module,
+            "_qpa_scan",
+            lambda kernel, bound, lo_s: (True, 0, None),
+        )
+        with pytest.raises(ParityError):
+            replay(trace, oracle=True)
+
+
+class TestReplayReport:
+    def test_report_aggregates(self):
+        trace = churn_trace(80, seed=13, target_utilization=0.9)
+        report = replay(trace)
+        assert report.events == 80
+        assert report.admitted + report.rejected == trace.arrivals
+        assert report.mean_latency_seconds > 0
+        assert report.max_latency_seconds >= report.mean_latency_seconds
+        assert sum(report.stage_counts().values()) == 80
+        summary = report.summary()
+        assert "replayed 80 events" in summary
+        assert "admitted" in summary
+
+    def test_replay_continues_existing_controller(self, simple_taskset):
+        controller = AdmissionController(simple_taskset)
+        trace = churn_trace(30, seed=3, target_utilization=0.7)
+        replay(trace, controller=controller)
+        assert "initial" in controller

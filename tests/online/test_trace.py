@@ -1,0 +1,177 @@
+"""Trace model validation, serialization round-trips, generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.generation import (
+    TRACE_SCENARIOS,
+    bursty_trace,
+    churn_trace,
+    generate_trace,
+    poisson_trace,
+    ramp_trace,
+)
+from repro.model import SporadicTask
+from repro.model.serialization import (
+    dumps_trace,
+    event_from_dict,
+    event_to_dict,
+    loads_trace,
+    trace_from_dict,
+)
+from repro.model.validation import ModelError
+from repro.online import ARRIVE, DEPART, ArrivalEvent, Trace
+
+
+def _task(**overrides):
+    params = dict(wcet=1, deadline=4, period=5)
+    params.update(overrides)
+    return SporadicTask(**params)
+
+
+class TestArrivalEvent:
+    def test_arrival_carries_task(self):
+        event = ArrivalEvent.arrive("a", _task(), time=3)
+        assert event.kind == ARRIVE and event.task is not None
+
+    def test_arrival_without_task_rejected(self):
+        with pytest.raises(ModelError, match="carries no task"):
+            ArrivalEvent(kind=ARRIVE, name="a")
+
+    def test_departure_with_task_rejected(self):
+        with pytest.raises(ModelError, match="must not carry"):
+            ArrivalEvent(kind=DEPART, name="a", task=_task())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError, match="kind"):
+            ArrivalEvent(kind="pause", name="a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError, match="name"):
+            ArrivalEvent.depart("")
+
+
+class TestTrace:
+    def test_validates_departure_of_unknown_task(self):
+        with pytest.raises(ModelError, match="unknown task"):
+            Trace([ArrivalEvent.depart("ghost")])
+
+    def test_validates_double_arrival(self):
+        events = [
+            ArrivalEvent.arrive("a", _task()),
+            ArrivalEvent.arrive("a", _task()),
+        ]
+        with pytest.raises(ModelError, match="already present"):
+            Trace(events)
+
+    def test_rearrival_after_departure_is_fine(self):
+        Trace(
+            [
+                ArrivalEvent.arrive("a", _task(), time=0),
+                ArrivalEvent.depart("a", time=1),
+                ArrivalEvent.arrive("a", _task(), time=2),
+            ]
+        )
+
+    def test_validates_time_ordering(self):
+        events = [
+            ArrivalEvent.arrive("a", _task(), time=5),
+            ArrivalEvent.arrive("b", _task(), time=4),
+        ]
+        with pytest.raises(ModelError, match="non-decreasing"):
+            Trace(events)
+
+    def test_counts(self):
+        trace = Trace(
+            [
+                ArrivalEvent.arrive("a", _task(), time=0),
+                ArrivalEvent.arrive("b", _task(), time=1),
+                ArrivalEvent.depart("a", time=2),
+            ]
+        )
+        assert len(trace) == 3
+        assert trace.arrivals == 2 and trace.departures == 1
+
+
+class TestSerialization:
+    def test_round_trip_mixed_parameter_types(self):
+        trace = Trace(
+            [
+                ArrivalEvent.arrive("int", _task(), time=0),
+                ArrivalEvent.arrive(
+                    "frac",
+                    _task(
+                        wcet=Fraction(1, 3),
+                        deadline=Fraction(7, 2),
+                        period=Fraction(9, 2),
+                    ),
+                    time=Fraction(1, 2),
+                ),
+                ArrivalEvent.arrive(
+                    "float", _task(wcet=0.25, deadline=3.5, period=5.5), time=1
+                ),
+                ArrivalEvent.depart("int", time=2),
+            ],
+            name="mixed",
+        )
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.name == "mixed"
+        assert list(restored) == list(trace)
+
+    def test_event_round_trip_preserves_task_name(self):
+        event = ArrivalEvent.arrive("x", _task(name="tau9"), time=7)
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_malformed_documents_rejected(self):
+        with pytest.raises(ModelError, match="'events'"):
+            trace_from_dict({"format": "repro/trace-v1"})
+        with pytest.raises(ModelError, match="unsupported trace format"):
+            trace_from_dict({"format": "repro/trace-v2", "events": []})
+        with pytest.raises(ModelError, match="missing"):
+            event_from_dict({"kind": "arrive"})
+
+    def test_generated_traces_round_trip(self):
+        for scenario in TRACE_SCENARIOS:
+            trace = generate_trace(scenario, 25, seed=3, mixed_types=True)
+            assert list(loads_trace(dumps_trace(trace))) == list(trace)
+
+
+class TestGenerators:
+    def test_exact_event_counts(self):
+        for scenario, generator in (
+            ("poisson", poisson_trace),
+            ("bursty", bursty_trace),
+            ("ramp", ramp_trace),
+            ("churn", churn_trace),
+        ):
+            trace = generator(50, seed=1)
+            assert len(trace) == 50, scenario
+
+    def test_seed_reproducibility(self):
+        a = churn_trace(80, seed=42, mixed_types=True)
+        b = churn_trace(80, seed=42, mixed_types=True)
+        assert list(a) == list(b)
+        c = churn_trace(80, seed=43, mixed_types=True)
+        assert list(a) != list(c)
+
+    def test_ramp_is_pure_arrivals(self):
+        trace = ramp_trace(30, seed=2)
+        assert trace.departures == 0
+
+    def test_churn_has_both_kinds(self):
+        trace = churn_trace(120, seed=5)
+        assert trace.arrivals > 0 and trace.departures > 0
+
+    def test_mixed_types_cover_all_flavours(self):
+        trace = churn_trace(90, seed=9, mixed_types=True)
+        kinds = {
+            type(e.task.period)
+            for e in trace
+            if e.kind == ARRIVE
+        }
+        assert int in kinds and Fraction in kinds
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace scenario"):
+            generate_trace("tsunami", 10)

@@ -58,7 +58,7 @@ class TestIntrospection:
 
     def test_cache_stats_shape(self, client):
         stats = client.cache_stats()
-        assert set(stats) == {"context", "store", "queue"}
+        assert set(stats) == {"context", "store", "queue", "admission"}
         assert stats["store"] is None  # this server runs without a store
         assert "hits" in stats["context"]
         assert "workers" in stats["queue"]
@@ -216,3 +216,44 @@ class TestSubmission:
         listed = {j["job"] for j in client.jobs()}
         assert job_id in listed
         assert before <= listed
+
+
+class TestClientBackoff:
+    def test_wait_backs_off_exponentially_with_cap(self, monkeypatch):
+        """wait() polls with capped exponential backoff, not a fixed sleep."""
+        client = ServiceClient("http://unused.invalid")
+        monkeypatch.setattr(
+            client, "status", lambda job_id: {"state": "running"}
+        )
+        sleeps = []
+        clock = [0.0]
+        monkeypatch.setattr(
+            "repro.service.client.time.monotonic", lambda: clock[0]
+        )
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock[0] += seconds
+
+        monkeypatch.setattr("repro.service.client.time.sleep", fake_sleep)
+        with pytest.raises(TimeoutError):
+            client.wait("job", timeout=10.0, poll=0.05, max_poll=2.0, backoff=2.0)
+        # Doubling from the initial poll up to the cap...
+        assert sleeps[:6] == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+        # ...then flat at the cap (modulo the final deadline clip).
+        assert all(s == 2.0 for s in sleeps[6:-1])
+        assert max(sleeps) <= 2.0
+        # Far fewer polls than fixed-interval polling would have issued.
+        assert len(sleeps) < 10.0 / 0.05
+        # The deadline is observed exactly: total sleep == timeout.
+        assert sum(sleeps) == pytest.approx(10.0)
+
+    def test_wait_rejects_shrinking_backoff(self):
+        client = ServiceClient("http://unused.invalid")
+        with pytest.raises(ValueError, match="backoff"):
+            client.wait("job", backoff=0.5)
+
+    def test_wait_returns_promptly_for_fast_jobs(self, client, simple_taskset):
+        job_id = client.submit([simple_taskset], test="devi")
+        snapshot = client.wait(job_id, timeout=30.0)
+        assert snapshot["state"] == "done"

@@ -197,3 +197,51 @@ class TestProgress:
             JobQueue(workers=0)
         with pytest.raises(ValueError):
             JobQueue(shard_size=0)
+
+
+class TestPriorities:
+    def test_higher_priority_jumps_the_backlog(self, simple_taskset):
+        """With one busy worker, a later high-priority job runs before an
+        earlier default-priority one."""
+        runner = _GatedRunner()
+        q = JobQueue(runner=runner, workers=1)
+        try:
+            blocker = q.submit(_requests([simple_taskset]))
+            assert runner.started.wait(10)  # the worker is now occupied
+            low = q.submit(_requests([simple_taskset], "qpa"))
+            high = q.submit(_requests([simple_taskset], "devi"), priority=5)
+            runner.gate.set()
+            assert q.wait(blocker, timeout=10)["state"] == JobState.DONE
+            assert q.wait(high, timeout=10)["state"] == JobState.DONE
+            assert q.wait(low, timeout=10)["state"] == JobState.DONE
+            assert q.status(high)["started_at"] < q.status(low)["started_at"]
+        finally:
+            runner.gate.set()
+            q.shutdown()
+
+    def test_fifo_within_a_priority_level(self, simple_taskset):
+        runner = _GatedRunner()
+        q = JobQueue(runner=runner, workers=1)
+        try:
+            blocker = q.submit(_requests([simple_taskset]))
+            assert runner.started.wait(10)
+            first = q.submit(_requests([simple_taskset], "qpa"), priority=2)
+            second = q.submit(_requests([simple_taskset], "devi"), priority=2)
+            runner.gate.set()
+            for job_id in (blocker, first, second):
+                assert q.wait(job_id, timeout=10)["state"] == JobState.DONE
+            assert (
+                q.status(first)["started_at"] <= q.status(second)["started_at"]
+            )
+        finally:
+            runner.gate.set()
+            q.shutdown()
+
+    def test_priority_in_snapshot_and_validation(self, queue, simple_taskset):
+        job_id = queue.submit(_requests([simple_taskset]), priority=-3)
+        assert queue.status(job_id)["priority"] == -3
+        queue.wait(job_id, timeout=10)
+        with pytest.raises(ValueError, match="priority"):
+            queue.submit(_requests([simple_taskset]), priority="urgent")
+        with pytest.raises(ValueError, match="priority"):
+            queue.submit(_requests([simple_taskset]), priority=True)
