@@ -29,12 +29,20 @@ Only files present on *both* sides are compared, so adding a new
 benchmark never breaks the diff; it starts gating once its baseline is
 committed.  Non-timing metrics (throughputs, speedups, counters) are
 reported for context but never gate.
+
+Besides the per-metric table, the job output ends with one aggregated
+**trajectory summary**: the geometric mean of the calibration-scaled
+wall-time ratios per benchmark file and across all of them — a single
+"this PR made the suite 0.93× of baseline" number that survives being
+skimmed, where the per-metric table does not.  The summary is purely
+informational; only individual metric regressions gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 from typing import Dict, Iterator, List, Tuple
@@ -164,6 +172,62 @@ def compare(
     return lines, regressions, improvements
 
 
+def trajectory_summary(
+    baseline: Dict[str, Dict],
+    current: Dict[str, Dict],
+    threshold: float,
+    floor: float,
+) -> List[str]:
+    """Aggregated trajectory across every shared ``BENCH_*.json`` file.
+
+    One line per file with the geometric mean of its calibration-scaled
+    ``current / baseline`` wall-time ratios (gating keys above the noise
+    floor only — the same population :func:`compare` judges), then one
+    overall line with the cross-file geomean and how many metrics moved
+    past the threshold in either direction.  Geometric, not arithmetic:
+    wall-time ratios compose multiplicatively, and a 2x win should
+    cancel a 2x loss instead of averaging to "1.25x slower".  Empty when
+    no shared file has a usable timing metric.
+    """
+    per_file: List[Tuple[str, float, int]] = []
+    all_logs: List[float] = []
+    improved = regressed = 0
+    for name in sorted(set(baseline) & set(current)):
+        base, curr = baseline[name], current[name]
+        scale = _speed_scale(base, curr)
+        logs: List[float] = []
+        for key in _timing_keys(base):
+            if not isinstance(curr.get(key), (int, float)):
+                continue
+            b, c = float(base[key]), float(curr[key]) * scale
+            if b <= 0 or c <= 0 or max(b, c) < floor:
+                continue
+            ratio = c / b
+            logs.append(math.log(ratio))
+            if ratio > 1 + threshold:
+                regressed += 1
+            elif ratio < 1 / (1 + threshold):
+                improved += 1
+        if logs:
+            per_file.append((name, math.exp(sum(logs) / len(logs)), len(logs)))
+            all_logs.extend(logs)
+    if not all_logs:
+        return []
+    lines = [
+        "benchmark trajectory (geomean of scaled wall-time ratios; "
+        "<1.00x is faster than baseline):"
+    ]
+    for name, gmean, count in per_file:
+        lines.append(f"  {name:<28s} {gmean:6.3f}x  over {count} metric(s)")
+    overall = math.exp(sum(all_logs) / len(all_logs))
+    lines.append(
+        f"  overall: {overall:.3f}x across {len(all_logs)} metric(s) in "
+        f"{len(per_file)} file(s) — {improved} improved, {regressed} "
+        f"regressed past the ±{threshold * 100:.0f}% threshold"
+    )
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -211,6 +275,11 @@ def main(argv=None) -> int:
     )
     for line in lines:
         print(line)
+    summary = trajectory_summary(baseline, current, args.threshold, args.floor)
+    if summary:
+        print()
+        for line in summary:
+            print(line)
     if improvements:
         print(f"\n{len(improvements)} wall-time improvement(s):")
         for item in improvements:

@@ -208,11 +208,11 @@ def _ratio_above_u_exists(
             "pass a larger exact_decision_limit to force the scan"
         )
 
-    u_num, u_den = u.numerator, u.denominator
-    for interval, demand in kernel.points_scaled(kernel.inclusive_scaled(busy)):
-        if demand * u_den > u_num * interval:
-            return kernel.ratio(demand, interval)
-    return None
+    # One bulk ratio scan over the busy window (backend-dispatched);
+    # any ratio above u proves existence, and the scan's maximum also
+    # gives the caller's refinement loop its best possible start.
+    best = kernel.best_ratio(busy, u)
+    return best if best > u else None
 
 
 def _envelope_offset(components) -> Fraction:

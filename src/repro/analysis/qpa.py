@@ -84,14 +84,13 @@ def qpa_test(
         raise AssertionError("no finite bound despite U <= 1")
 
     kernel = ctx.kernel()
-    dbf_scaled = kernel.dbf_scaled
-    min_deadline = kernel.min_d0_scaled
-    walker = kernel.backward_walker()
 
     # The forward tests check deadlines <= bound; QPA starts just past the
-    # bound so the same closed range is covered.
-    t = walker.prev_scaled(kernel.exclusive_scaled(bound + 1))
-    if t is None:
+    # bound so the same closed range is covered.  The whole walk runs on
+    # the kernel (dispatched through the active execution backend; the
+    # t-sequence is backend-invariant, see DemandKernel.qpa).
+    status, interval, demand, iterations = kernel.qpa(bound)
+    if status == "empty":
         return FeasibilityResult(
             verdict=Verdict.FEASIBLE,
             test_name=name,
@@ -99,45 +98,25 @@ def qpa_test(
             bound=bound,
             details={"utilization": u, "reason": "no deadline within bound"},
         )
-
-    iterations = 0
-    while True:
-        demand = dbf_scaled(t)
-        iterations += 1
-        if demand > t:
-            return FeasibilityResult(
-                verdict=Verdict.INFEASIBLE,
-                test_name=name,
-                iterations=iterations,
-                intervals_checked=iterations,
-                bound=bound,
-                witness=FailureWitness(
-                    interval=kernel.unscale(t),
-                    demand=kernel.unscale(demand),
-                    exact=True,
-                ),
-                details={"utilization": u},
-            )
-        if demand <= min_deadline:
-            return FeasibilityResult(
-                verdict=Verdict.FEASIBLE,
-                test_name=name,
-                iterations=iterations,
-                intervals_checked=iterations,
-                bound=bound,
-                details={"utilization": u},
-            )
-        if demand < t:
-            t = demand
-        else:  # demand == t: step to the previous deadline
-            previous = walker.prev_scaled(t)
-            if previous is None:
-                return FeasibilityResult(
-                    verdict=Verdict.FEASIBLE,
-                    test_name=name,
-                    iterations=iterations,
-                    intervals_checked=iterations,
-                    bound=bound,
-                    details={"utilization": u},
-                )
-            t = previous
+    if status == "infeasible":
+        return FeasibilityResult(
+            verdict=Verdict.INFEASIBLE,
+            test_name=name,
+            iterations=iterations,
+            intervals_checked=iterations,
+            bound=bound,
+            witness=FailureWitness(
+                interval=interval,
+                demand=demand,
+                exact=True,
+            ),
+            details={"utilization": u},
+        )
+    return FeasibilityResult(
+        verdict=Verdict.FEASIBLE,
+        test_name=name,
+        iterations=iterations,
+        intervals_checked=iterations,
+        bound=bound,
+        details={"utilization": u},
+    )

@@ -68,6 +68,7 @@ from .generation import (
     generate_taskset,
     generate_trace,
 )
+from .kernel import backend_info, set_backend
 from .model import (
     SporadicTask,
     TaskSet,
@@ -145,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's context-cache counters after the run",
     )
+    _add_kernel_backend_option(p_analyze)
 
     p_generate = sub.add_parser("generate", help="generate a random task set")
     p_generate.add_argument("--tasks", type=int, required=True)
@@ -192,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's context-cache counters after the run",
     )
+    _add_kernel_backend_option(p_exp)
 
     p_load = sub.add_parser(
         "load", help="exact system load and sensitivity of a task set"
@@ -261,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's context-cache counters after the run",
     )
+    _add_kernel_backend_option(p_part)
 
     p_serve = sub.add_parser(
         "serve",
@@ -454,6 +458,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_kernel_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel-backend",
+        default="auto",
+        choices=("auto", "python", "numpy"),
+        help="kernel execution backend: auto picks numpy when installed "
+        "(the 'fast' extra), python pins the pure-python reference loops",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -465,6 +479,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("analyze", "experiment", "partition"):
+        # Raises ValueError (exit 2 via main) for "numpy" without numpy.
+        set_backend(getattr(args, "kernel_backend", None) or "auto")
         command = {
             "analyze": _cmd_analyze,
             "experiment": _cmd_experiment,
@@ -516,6 +532,12 @@ def _print_cache_stats(args: argparse.Namespace) -> None:
     print(
         f"context cache: hits={info['hits']} misses={info['misses']} "
         f"size={info['size']}/{info['max_size']}{note}"
+    )
+    backend = backend_info()
+    print(
+        f"kernel backend: {backend['active']} "
+        f"(available: {', '.join(backend['available'])}) "
+        f"calls={backend['calls']} fallbacks={backend['fallbacks']}"
     )
 
 

@@ -23,9 +23,10 @@ constrained-deadline systems (paper Lemma 2).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from fractions import Fraction
 from heapq import heapify, heappop, heappush
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from ..engine.context import preflight
 from ..model.components import DemandSource, as_components
@@ -37,6 +38,7 @@ __all__ = [
     "max_test_interval",
     "approximated_component_dbf",
     "approximated_dbf",
+    "envelope_batch",
     "superposition_test",
 ]
 
@@ -71,6 +73,45 @@ def approximated_dbf(source: DemandSource, interval: Time, level: int) -> ExactT
     return sum(
         (approximated_component_dbf(c, t, level) for c in as_components(source)), 0
     )
+
+
+def envelope_batch(
+    source: DemandSource, intervals: Iterable[Time]
+) -> List[ExactTime]:
+    """System linear envelope ``Σ linear_envelope(I)`` at many intervals.
+
+    The bulk screening primitive: the envelope is a sum of per-component
+    lines that switch on at their first deadlines, so three prefix sums
+    over the by-first-deadline order (``Σ C``, ``Σ C/T``, ``Σ (C/T)·d0``)
+    answer every probe with one bisect plus one exact linear evaluation —
+    ``O((n + m) log)`` instead of the ``O(n · m)`` per-point component
+    loop.  Values are exact (`Fraction` arithmetic, normalized to `int`
+    when integral), identical to summing
+    :meth:`~repro.model.components.DemandComponent.linear_envelope`.
+    """
+    comps = sorted(as_components(source), key=lambda c: to_exact(c.first_deadline))
+    d0s: List[ExactTime] = []
+    cum_c: List[Fraction] = [Fraction(0)]
+    cum_rate: List[Fraction] = [Fraction(0)]
+    cum_rate_d0: List[Fraction] = [Fraction(0)]
+    for c in comps:
+        d0 = to_exact(c.first_deadline)
+        rate = (
+            Fraction(to_exact(c.wcet)) / Fraction(to_exact(c.period))
+            if c.period is not None
+            else Fraction(0)
+        )
+        d0s.append(d0)
+        cum_c.append(cum_c[-1] + Fraction(to_exact(c.wcet)))
+        cum_rate.append(cum_rate[-1] + rate)
+        cum_rate_d0.append(cum_rate_d0[-1] + rate * Fraction(d0))
+    out: List[ExactTime] = []
+    for interval in intervals:
+        t = to_exact(interval)
+        at = bisect_right(d0s, t)
+        value = cum_c[at] + cum_rate[at] * Fraction(t) - cum_rate_d0[at]
+        out.append(_normalize(value))
+    return out
 
 
 def superposition_test(

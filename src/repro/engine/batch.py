@@ -29,8 +29,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..analysis.processor_demand import processor_demand_test
 from ..model.components import DemandSource
 from ..result import FeasibilityResult
+from .campaign import processor_demand_many
 from .registry import TestRegistry, default_registry
 
 __all__ = ["AnalysisRequest", "BatchRunner", "default_jobs"]
@@ -177,10 +179,33 @@ class BatchRunner:
     def _run_sequential(
         self, batch: Sequence[AnalysisRequest]
     ) -> List[FeasibilityResult]:
-        return [
-            runner(request.source, **options)
-            for request, (runner, options) in zip(batch, self._resolve_batch(batch))
-        ]
+        entries = self._resolve_batch(batch)
+        results: List[Optional[FeasibilityResult]] = [None] * len(batch)
+        # Campaign fast path: runs of processor-demand requests sharing
+        # one option signature execute as a single batched kernel
+        # campaign (bit-identical results; see engine.campaign).
+        campaigns: Dict[Any, List[int]] = {}
+        for index, (request, (runner, options)) in enumerate(zip(batch, entries)):
+            if runner is processor_demand_test:
+                try:
+                    key: Any = tuple(sorted(options.items()))
+                except TypeError:  # unhashable option value
+                    key = None
+                if key is not None:
+                    campaigns.setdefault(key, []).append(index)
+                    continue
+            results[index] = runner(request.source, **options)
+        for indices in campaigns.values():
+            _, options = entries[indices[0]]
+            if len(indices) >= 2:
+                outcomes = processor_demand_many(
+                    [batch[i].source for i in indices], **options
+                )
+            else:
+                outcomes = [processor_demand_test(batch[indices[0]].source, **options)]
+            for index, outcome in zip(indices, outcomes):
+                results[index] = outcome
+        return results  # type: ignore[return-value]
 
     def _run_parallel(
         self, batch: Sequence[AnalysisRequest]

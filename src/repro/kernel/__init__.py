@@ -3,8 +3,25 @@
 See :mod:`repro.kernel.kernel` for the design; obtain a cached instance
 for a system via :meth:`repro.engine.context.AnalysisContext.kernel`,
 or compile directly from components with ``DemandKernel(components)``.
+
+Execution of the hot primitives is pluggable (see
+:mod:`repro.kernel.backend`): the pure-python loops are the always-on
+reference, and :mod:`repro.kernel.vectorized` provides a numpy backend
+auto-selected when numpy is importable.  Select explicitly with
+:func:`set_backend`; inspect with :func:`backend_info`.
 """
 
+from .backend import (
+    BackendUnsupported,
+    KernelBackend,
+    PurePythonBackend,
+    analyze_many,
+    available_backends,
+    backend_info,
+    get_backend,
+    reset_backend_stats,
+    set_backend,
+)
 from .incremental import IncrementalKernel
 from .kernel import BackwardDeadlineWalker, DemandKernel, SCALE_CAP
 
@@ -13,4 +30,13 @@ __all__ = [
     "IncrementalKernel",
     "BackwardDeadlineWalker",
     "SCALE_CAP",
+    "BackendUnsupported",
+    "KernelBackend",
+    "PurePythonBackend",
+    "analyze_many",
+    "available_backends",
+    "backend_info",
+    "get_backend",
+    "reset_backend_stats",
+    "set_backend",
 ]

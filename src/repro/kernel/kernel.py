@@ -52,6 +52,12 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..model.components import DemandComponent
 from ..model.numeric import ExactTime, Time, to_exact
+from .backend import (
+    BackendUnsupported,
+    get_backend,
+    record_call,
+    record_fallback,
+)
 
 __all__ = ["DemandKernel", "BackwardDeadlineWalker", "SCALE_CAP"]
 
@@ -105,6 +111,7 @@ class DemandKernel:
         "_sorted_keys",
         "_sorted_pairs",
         "_sorted_triples",
+        "_vec_cache",
     )
 
     def __init__(self, components: Sequence[DemandComponent]) -> None:
@@ -132,6 +139,9 @@ class DemandKernel:
             )
             self.wcets = tuple(int(c.wcet * scale) for c in comps)
         self._rates: Optional[Tuple[Fraction, ...]] = None
+        # Per-backend compiled view (e.g. numpy arrays), built lazily by
+        # the active backend and invalidated by incremental mutation.
+        self._vec_cache = None
         pairs = sorted(zip(self.d0s, range(self.n)))
         self._sorted_pairs: List[Tuple[ExactTime, int]] = pairs
         self._sorted_keys: List[ExactTime] = [d for d, _ in pairs]
@@ -229,8 +239,24 @@ class DemandKernel:
         once (obtain the kernel via ``AnalysisContext.kernel()``); the
         interval-driven tests themselves walk
         :meth:`first_overflow_scaled` / :meth:`points_scaled` instead.
+
+        Dispatches through the active execution backend (numpy turns
+        the batch into one broadcasted floor-divide); the pure-python
+        component-outer loop is the reference and fallback.
         """
         pts = [self.inclusive_scaled(t) for t in intervals]
+        record_call()
+        try:
+            out = get_backend().dbf_batch_scaled(self, pts)
+        except BackendUnsupported:
+            record_fallback()
+            out = self._dbf_batch_scaled_py(pts)
+        return [self.unscale(v) for v in out]
+
+    def _dbf_batch_scaled_py(
+        self, pts: Sequence[ExactTime]
+    ) -> List[ExactTime]:
+        """Reference bulk evaluation: component-outer interpreted loop."""
         out: List[ExactTime] = [0] * len(pts)
         for d0, p, c in zip(self.d0s, self.periods, self.wcets):
             if p:
@@ -241,7 +267,7 @@ class DemandKernel:
                 for i, t in enumerate(pts):
                     if t >= d0:
                         out[i] += c
-        return [self.unscale(v) for v in out]
+        return out
 
     # ------------------------------------------------------------------
     # Forward walk
@@ -281,8 +307,23 @@ class DemandKernel:
         the grid bound, plus the count of distinct intervals checked.
 
         ``(None, None, count)`` when the staircase stays at or below
-        capacity — the merged forward walk of the processor demand test,
-        inlined for speed.
+        capacity — the merged forward walk of the processor demand test.
+        Dispatches through the active backend (numpy sweeps the
+        candidate grid in deadline windows with early exit); falls back
+        to the sequential heap walk, which is also the reference for
+        witnesses and iteration counts.
+        """
+        record_call()
+        try:
+            return get_backend().first_overflow_scaled(self, bound_scaled)
+        except BackendUnsupported:
+            record_fallback()
+            return self._first_overflow_scaled_py(bound_scaled)
+
+    def _first_overflow_scaled_py(
+        self, bound_scaled: ExactTime
+    ) -> Tuple[Optional[ExactTime], Optional[ExactTime], int]:
+        """Reference forward walk, inlined for speed.
 
         On the integerized path heap entries are single machine integers
         ``deadline * K + index`` (``K`` > any index): heap sifts compare
@@ -348,10 +389,23 @@ class DemandKernel:
 
     def best_ratio(self, horizon: Time, floor: Fraction) -> Fraction:
         """Max of ``dbf(I)/I`` over staircase jumps ``I <= horizon``,
-        floored at *floor* — comparisons by cross-multiplication, one
-        `Fraction` built only for the final result."""
+        floored at *floor* — comparisons stay exact on every backend
+        (cross-multiplied integer compares; no float on a verdict path),
+        one `Fraction` built only for the final result."""
+        h = self.inclusive_scaled(horizon)
+        record_call()
+        try:
+            return get_backend().best_ratio_scaled(self, h, floor)
+        except BackendUnsupported:
+            record_fallback()
+            return self._best_ratio_scaled_py(h, floor)
+
+    def _best_ratio_scaled_py(
+        self, horizon_scaled: ExactTime, floor: Fraction
+    ) -> Fraction:
+        """Reference ratio scan over the sequential point stream."""
         num, den = floor.numerator, floor.denominator
-        for i_s, d_s in self.points_scaled(self.inclusive_scaled(horizon)):
+        for i_s, d_s in self.points_scaled(horizon_scaled):
             if d_s * den > num * i_s:
                 num, den = d_s, i_s
         return Fraction(num) / Fraction(den)
@@ -359,6 +413,15 @@ class DemandKernel:
     def count_steps(self, bound: Time) -> int:
         """Number of staircase jobs (not folded) with deadline ≤ *bound*."""
         b = self.inclusive_scaled(bound)
+        record_call()
+        try:
+            return get_backend().count_steps_scaled(self, b)
+        except BackendUnsupported:
+            record_fallback()
+            return self._count_steps_scaled_py(b)
+
+    def _count_steps_scaled_py(self, bound_scaled: ExactTime) -> int:
+        b = bound_scaled
         total = 0
         for d0, p in zip(self.d0s, self.periods):
             if d0 <= b:
@@ -389,6 +452,57 @@ class DemandKernel:
     def backward_walker(self) -> "BackwardDeadlineWalker":
         """Fresh stateful walker for monotone descending limits."""
         return BackwardDeadlineWalker(self)
+
+    def qpa(
+        self, bound: Time
+    ) -> Tuple[str, Optional[ExactTime], Optional[ExactTime], int]:
+        """The full Zhang & Burns backward walk up to *bound*.
+
+        Returns ``(status, interval, demand, iterations)`` with status
+        ``"empty"`` (no deadline at or below the bound — trivially
+        feasible), ``"infeasible"`` (witness interval/demand in original
+        units, exact), or ``"feasible"``.  Dispatches through the active
+        backend: the walk's ``t``-sequence — hence verdicts, witnesses
+        and iteration counts — is identical on every backend; only the
+        per-step evaluation strategy differs.
+        """
+        limit = self.exclusive_scaled(bound + 1)
+        record_call()
+        try:
+            status, t, demand, iterations = get_backend().qpa_scaled(
+                self, limit
+            )
+        except BackendUnsupported:
+            record_fallback()
+            status, t, demand, iterations = self._qpa_scaled_py(limit)
+        if status == "infeasible":
+            return status, self.unscale(t), self.unscale(demand), iterations
+        return status, None, None, iterations
+
+    def _qpa_scaled_py(
+        self, limit_scaled: ExactTime
+    ) -> Tuple[str, Optional[ExactTime], Optional[ExactTime], int]:
+        """Reference backward walk on the grid (stride-caching walker)."""
+        walker = self.backward_walker()
+        t = walker.prev_scaled(limit_scaled)
+        if t is None:
+            return ("empty", None, None, 0)
+        min_deadline = self.min_d0_scaled
+        iterations = 0
+        while True:
+            demand = self.dbf_scaled(t)
+            iterations += 1
+            if demand > t:
+                return ("infeasible", t, demand, iterations)
+            if demand <= min_deadline:
+                return ("feasible", None, None, iterations)
+            if demand < t:
+                t = demand
+            else:
+                previous = walker.prev_scaled(t)
+                if previous is None:
+                    return ("feasible", None, None, iterations)
+                t = previous
 
 
 class BackwardDeadlineWalker:

@@ -199,3 +199,41 @@ def test_non_timing_keys_never_gate(bench_diff, tmp_path):
         )
         == 0
     )
+
+
+def test_trajectory_summary_aggregates_across_files(bench_diff, tmp_path, capsys):
+    """One geomean line per file plus an overall cross-file line."""
+    _write(tmp_path / "base", "BENCH_a.json", {"x_seconds": 1.0, "y_seconds": 4.0})
+    _write(tmp_path / "curr", "BENCH_a.json", {"x_seconds": 0.5, "y_seconds": 2.0})
+    _write(tmp_path / "base", "BENCH_b.json", {"z_seconds": 1.0})
+    _write(tmp_path / "curr", "BENCH_b.json", {"z_seconds": 1.0})
+    code = bench_diff.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "curr")]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "benchmark trajectory" in out
+    assert "BENCH_a.json" in out and "0.500x" in out
+    assert "BENCH_b.json" in out and "1.000x" in out
+    # geomean(0.5, 0.5, 1.0) = 0.63x overall, two improvements past 25%
+    assert "overall: 0.630x across 3 metric(s) in 2 file(s)" in out
+    assert "2 improved, 0 regressed" in out
+
+
+def test_trajectory_summary_geomean_balances_win_and_loss(bench_diff):
+    """A 2x win and a 2x loss cancel to 1.0x, not an arithmetic 1.25x."""
+    baseline = {"BENCH_x.json": {"a_seconds": 1.0, "b_seconds": 1.0}}
+    current = {"BENCH_x.json": {"a_seconds": 2.0, "b_seconds": 0.5}}
+    lines = bench_diff.trajectory_summary(baseline, current, 0.25, 0.05)
+    assert any("1.000x  over 2 metric(s)" in line for line in lines)
+    assert any("1 improved, 1 regressed" in line for line in lines)
+
+
+def test_trajectory_summary_skips_sub_floor_and_disjoint(bench_diff):
+    """Sub-floor metrics and unshared files contribute nothing."""
+    baseline = {
+        "BENCH_x.json": {"tiny_seconds": 0.001},
+        "BENCH_gone.json": {"run_seconds": 1.0},
+    }
+    current = {"BENCH_x.json": {"tiny_seconds": 0.004}}
+    assert bench_diff.trajectory_summary(baseline, current, 0.25, 0.05) == []
