@@ -45,7 +45,7 @@ import json
 import math
 import sys
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 def _load_records(directory: Path) -> Dict[str, Dict]:
@@ -172,24 +172,24 @@ def compare(
     return lines, regressions, improvements
 
 
-def trajectory_summary(
+def trajectory_summary_data(
     baseline: Dict[str, Dict],
     current: Dict[str, Dict],
     threshold: float,
     floor: float,
-) -> List[str]:
-    """Aggregated trajectory across every shared ``BENCH_*.json`` file.
+) -> Optional[Dict]:
+    """Machine-readable trajectory across shared ``BENCH_*.json`` files.
 
-    One line per file with the geometric mean of its calibration-scaled
-    ``current / baseline`` wall-time ratios (gating keys above the noise
-    floor only — the same population :func:`compare` judges), then one
-    overall line with the cross-file geomean and how many metrics moved
-    past the threshold in either direction.  Geometric, not arithmetic:
-    wall-time ratios compose multiplicatively, and a 2x win should
-    cancel a 2x loss instead of averaging to "1.25x slower".  Empty when
-    no shared file has a usable timing metric.
+    Per-file geometric means of the calibration-scaled ``current /
+    baseline`` wall-time ratios (gating keys above the noise floor only
+    — the same population :func:`compare` judges), plus the cross-file
+    geomean and how many metrics moved past the threshold in either
+    direction.  Geometric, not arithmetic: wall-time ratios compose
+    multiplicatively, and a 2x win should cancel a 2x loss instead of
+    averaging to "1.25x slower".  ``None`` when no shared file has a
+    usable timing metric.
     """
-    per_file: List[Tuple[str, float, int]] = []
+    per_file: List[Dict] = []
     all_logs: List[float] = []
     improved = regressed = 0
     for name in sorted(set(baseline) & set(current)):
@@ -209,20 +209,51 @@ def trajectory_summary(
             elif ratio < 1 / (1 + threshold):
                 improved += 1
         if logs:
-            per_file.append((name, math.exp(sum(logs) / len(logs)), len(logs)))
+            per_file.append(
+                {
+                    "file": name,
+                    "geomean_ratio": math.exp(sum(logs) / len(logs)),
+                    "metrics": len(logs),
+                }
+            )
             all_logs.extend(logs)
     if not all_logs:
+        return None
+    return {
+        "files": per_file,
+        "overall_geomean_ratio": math.exp(sum(all_logs) / len(all_logs)),
+        "metrics": len(all_logs),
+        "improved": improved,
+        "regressed": regressed,
+        "threshold": threshold,
+        "floor": floor,
+    }
+
+
+def trajectory_summary(
+    baseline: Dict[str, Dict],
+    current: Dict[str, Dict],
+    threshold: float,
+    floor: float,
+) -> List[str]:
+    """:func:`trajectory_summary_data` rendered as report lines (empty
+    when there is no usable timing metric)."""
+    data = trajectory_summary_data(baseline, current, threshold, floor)
+    if data is None:
         return []
     lines = [
         "benchmark trajectory (geomean of scaled wall-time ratios; "
         "<1.00x is faster than baseline):"
     ]
-    for name, gmean, count in per_file:
-        lines.append(f"  {name:<28s} {gmean:6.3f}x  over {count} metric(s)")
-    overall = math.exp(sum(all_logs) / len(all_logs))
+    for entry in data["files"]:
+        lines.append(
+            f"  {entry['file']:<28s} {entry['geomean_ratio']:6.3f}x  "
+            f"over {entry['metrics']} metric(s)"
+        )
     lines.append(
-        f"  overall: {overall:.3f}x across {len(all_logs)} metric(s) in "
-        f"{len(per_file)} file(s) — {improved} improved, {regressed} "
+        f"  overall: {data['overall_geomean_ratio']:.3f}x across "
+        f"{data['metrics']} metric(s) in {len(data['files'])} file(s) — "
+        f"{data['improved']} improved, {data['regressed']} "
         f"regressed past the ±{threshold * 100:.0f}% threshold"
     )
     return lines
@@ -254,6 +285,13 @@ def main(argv=None) -> int:
         default=0.05,
         help="ignore timings where both sides are below this many seconds",
     )
+    parser.add_argument(
+        "--summary-json",
+        default=None,
+        metavar="FILE",
+        help="additionally write the trajectory summary (per-file and "
+        "overall geomeans, improved/regressed counts) as JSON",
+    )
     args = parser.parse_args(argv)
 
     baseline = _load_records(Path(args.baseline))
@@ -280,6 +318,18 @@ def main(argv=None) -> int:
         print()
         for line in summary:
             print(line)
+    if args.summary_json:
+        data = trajectory_summary_data(
+            baseline, current, args.threshold, args.floor
+        )
+        Path(args.summary_json).write_text(
+            json.dumps(
+                data if data is not None else {}, indent=2, sort_keys=True
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nwrote trajectory summary to {args.summary_json}")
     if improvements:
         print(f"\n{len(improvements)} wall-time improvement(s):")
         for item in improvements:

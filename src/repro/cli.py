@@ -21,10 +21,14 @@ Subcommands:
   online multiprocessor placer with ``--cores``), with an optional
   per-event parity oracle;
 * ``admit`` — one-shot admission check of candidate task(s) against a
-  base system.
+  base system;
+* ``obs`` — observability of a running service: scrape ``/v1/metrics``
+  (Prometheus text or JSON) or tail the structured event stream.
 
 ``--cache-stats`` on the analysis-heavy commands prints the engine's
-shared-preflight cache counters after the run.
+shared-preflight cache counters after the run; ``--metrics-out FILE``
+on ``analyze``/``experiment``/``replay`` dumps the in-process metrics
+registry as JSON when the run finishes.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from fractions import Fraction
 from typing import List, Optional
 
@@ -146,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's context-cache counters after the run",
     )
+    _add_metrics_out_option(p_analyze)
     _add_kernel_backend_option(p_analyze)
 
     p_generate = sub.add_parser("generate", help="generate a random task set")
@@ -194,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's context-cache counters after the run",
     )
+    _add_metrics_out_option(p_exp)
     _add_kernel_backend_option(p_exp)
 
     p_load = sub.add_parser(
@@ -308,6 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
         "which keeps the context cache warm)",
     )
     p_serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="append structured events to this JSONL journal "
+        "(size-capped, rotates to FILE.1, FILE.2, ...)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
@@ -417,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("ff", "bf", "wf"),
         help="core probe order for --cores (default: ff)",
     )
+    _add_metrics_out_option(p_replay)
 
     p_admit = sub.add_parser(
         "admit", help="admission-check candidate task(s) against a base system"
@@ -455,7 +470,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print raw repro/result-v1 documents instead of a table",
     )
+
+    p_obs = sub.add_parser(
+        "obs", help="observability of a running service (metrics, events)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_metrics = obs_sub.add_parser(
+        "metrics", help="scrape /v1/metrics from a running service"
+    )
+    p_obs_metrics.add_argument(
+        "--url", default="http://127.0.0.1:8787", help=url_help
+    )
+    p_obs_metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON snapshot instead of Prometheus text",
+    )
+    p_obs_events = obs_sub.add_parser(
+        "events", help="read the structured event stream (one JSON per line)"
+    )
+    p_obs_events.add_argument(
+        "--url", default="http://127.0.0.1:8787", help=url_help
+    )
+    p_obs_events.add_argument(
+        "--since", type=int, default=0, help="start cursor (default: 0)"
+    )
+    p_obs_events.add_argument(
+        "--limit", type=int, default=500, help="events per page (default: 500)"
+    )
+    p_obs_events.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new events until interrupted",
+    )
+    p_obs_events.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="--follow poll interval in seconds (default: 1)",
+    )
     return parser
+
+
+def _add_metrics_out_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the in-process metrics registry as JSON after the run",
+    )
 
 
 def _add_kernel_backend_option(parser: argparse.ArgumentParser) -> None:
@@ -488,6 +551,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         }[args.command]
         code = command(args)
         _print_cache_stats(args)
+        _dump_metrics(args)
         return code
     if args.command == "generate":
         return _cmd_generate(args)
@@ -502,7 +566,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "replay":
-        return _cmd_replay(args)
+        code = _cmd_replay(args)
+        _dump_metrics(args)
+        return code
     if args.command == "admit":
         return _cmd_admit(args)
     if args.command == "serve":
@@ -513,7 +579,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_status(args)
     if args.command == "fetch":
         return _cmd_fetch(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _dump_metrics(args: argparse.Namespace) -> None:
+    """Honour ``--metrics-out`` where the flag exists."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    from pathlib import Path
+
+    from .obs import registry as obs_registry
+
+    Path(path).write_text(
+        json.dumps(
+            {"metrics": obs_registry().snapshot()}, indent=2, sort_keys=True
+        ),
+        encoding="utf-8",
+    )
+    print(f"wrote metrics snapshot to {path}")
 
 
 def _print_cache_stats(args: argparse.Namespace) -> None:
@@ -983,6 +1069,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         runner=runner,
         max_rows=args.max_rows,
         quiet=not args.verbose,
+        journal=args.journal,
     )
     # Machine-readable first line: scripts (and the e2e test) parse the
     # URL, which matters when --port 0 picked an ephemeral port.
@@ -991,6 +1078,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "result store: " + (str(store) if store else "disabled"),
         flush=True,
     )
+    if args.journal:
+        print(f"event journal: {args.journal}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -1090,7 +1179,32 @@ def _cmd_status(args: argparse.Namespace) -> int:
         "error",
     ):
         print(f"{field:>12s}: {snapshot[field]}")
+    latency = snapshot.get("queue_latency_seconds")
+    if latency is not None:
+        print(f"{'queue wait':>12s}: {latency:.6f}s")
     return 0 if snapshot["state"] != "failed" else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.obs_command == "metrics":
+        if args.json:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(client.metrics_text())
+        return 0
+    cursor = args.since
+    try:
+        while True:
+            page = client.events(since=cursor, limit=args.limit)
+            for event in page["events"]:
+                print(json.dumps(event, sort_keys=True), flush=args.follow)
+            cursor = page["next"]
+            if not args.follow:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
 
 
 def _cmd_fetch(args: argparse.Namespace) -> int:

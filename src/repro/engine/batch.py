@@ -31,11 +31,32 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.processor_demand import processor_demand_test
 from ..model.components import DemandSource
+from ..obs import ITERATION_BUCKETS
+from ..obs import counter as _obs_counter
+from ..obs import histogram as _obs_histogram
+from ..obs import span as _obs_span
 from ..result import FeasibilityResult
 from .campaign import processor_demand_many
 from .registry import TestRegistry, default_registry
 
 __all__ = ["AnalysisRequest", "BatchRunner", "default_jobs"]
+
+# Same families registry.py registers (registration is idempotent):
+# batched runs dispatch to test runners directly, bypassing
+# TestRegistry.run(), and the parallel path computes in worker
+# processes whose registries are discarded — so the parent records
+# every request here after results land.
+_ANALYSES = _obs_counter(
+    "repro_engine_analyses_total",
+    "Feasibility analyses run through the engine, by test.",
+    ("test",),
+)
+_TEST_ITERATIONS = _obs_histogram(
+    "repro_engine_test_iterations",
+    "Kernel iterations reported per analysis, by test.",
+    ("test",),
+    ITERATION_BUCKETS,
+)
 
 
 @dataclass(frozen=True)
@@ -123,17 +144,24 @@ class BatchRunner:
         batch = list(requests)
         if not batch:
             return []
-        if self.jobs <= 1 or len(batch) < 2 or self._custom_registry:
-            return self._run_sequential(batch)
-        try:
-            return self._run_parallel(batch)
-        except Exception:
-            # No process pool available (restricted sandbox, missing
-            # semaphores, daemonic caller) or an unpicklable source:
-            # analysis must still land.  Tests are pure, so re-running
-            # sequentially is safe, and a genuine per-test error will
-            # reproduce here with a cleaner traceback.
-            return self._run_sequential(batch)
+        with _obs_span("engine.batch", requests=len(batch), jobs=self.jobs):
+            if self.jobs <= 1 or len(batch) < 2 or self._custom_registry:
+                results = self._run_sequential(batch)
+            else:
+                try:
+                    results = self._run_parallel(batch)
+                except Exception:
+                    # No process pool available (restricted sandbox,
+                    # missing semaphores, daemonic caller) or an
+                    # unpicklable source: analysis must still land.
+                    # Tests are pure, so re-running sequentially is
+                    # safe, and a genuine per-test error will reproduce
+                    # here with a cleaner traceback.
+                    results = self._run_sequential(batch)
+        for request, result in zip(batch, results):
+            _ANALYSES.labels(request.test).inc()
+            _TEST_ITERATIONS.labels(request.test).observe(result.iterations or 0)
+        return results
 
     def map(
         self,

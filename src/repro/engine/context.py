@@ -41,6 +41,7 @@ from ..model.components import (
     total_utilization,
 )
 from ..model.numeric import ExactTime, Time, to_exact
+from ..obs import counter as _obs_counter
 from ..result import FeasibilityResult, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -70,9 +71,22 @@ _CONTEXTS: "OrderedDict[Fingerprint, AnalysisContext]" = OrderedDict()
 #: the service layer calls :meth:`AnalysisContext.of` from HTTP handler
 #: and job worker threads concurrently.
 _CACHE_LOCK = threading.Lock()
-_CACHE_HITS = 0
-_CACHE_MISSES = 0
-_PERSISTENT_HITS = 0
+# The hit/miss tallies live on the process-global metrics registry so
+# `--cache-stats`, `/v1/cache-stats` and the Prometheus exposition read
+# the same cells; the handles are pre-bound so the hot path pays one
+# method call per event.
+_CACHE_HITS = _obs_counter(
+    "repro_engine_context_cache_hits_total",
+    "AnalysisContext LRU cache hits.",
+)
+_CACHE_MISSES = _obs_counter(
+    "repro_engine_context_cache_misses_total",
+    "AnalysisContext LRU cache misses.",
+)
+_PERSISTENT_HITS = _obs_counter(
+    "repro_engine_context_persistent_hits_total",
+    "Context misses rehydrated from the persistent backend.",
+)
 
 #: Optional persistent second-level cache behind the in-memory LRU.
 #: Anything with ``load_context(fingerprint) -> Optional[Mapping]`` and
@@ -128,7 +142,6 @@ class AnalysisContext:
     @classmethod
     def of(cls, source: DemandSource) -> "AnalysisContext":
         """Normalize *source* into a context, reusing the LRU cache."""
-        global _CACHE_HITS, _CACHE_MISSES, _PERSISTENT_HITS
         if isinstance(source, AnalysisContext):
             return source
         components = tuple(as_components(source))
@@ -139,9 +152,9 @@ class AnalysisContext:
             cached = _CONTEXTS.get(key)
             if cached is not None:
                 _CONTEXTS.move_to_end(key)
-                _CACHE_HITS += 1
+                _CACHE_HITS.inc()
                 return cached
-            _CACHE_MISSES += 1
+            _CACHE_MISSES.inc()
         # Backend I/O happens outside the lock; a concurrent miss on the
         # same key at worst loads the state twice, which is idempotent.
         ctx = cls(components, fingerprint=key)
@@ -158,7 +171,7 @@ class AnalysisContext:
                 pass
         with _CACHE_LOCK:
             if rehydrated:
-                _PERSISTENT_HITS += 1
+                _PERSISTENT_HITS.inc()
             existing = _CONTEXTS.get(key)
             if existing is not None:
                 # Another thread populated the key meanwhile; keep its
@@ -436,20 +449,19 @@ def context_cache_info() -> Dict[str, int]:
         return {
             "size": len(_CONTEXTS),
             "max_size": _CACHE_MAX,
-            "hits": _CACHE_HITS,
-            "misses": _CACHE_MISSES,
-            "persistent_hits": _PERSISTENT_HITS,
+            "hits": _CACHE_HITS.value,
+            "misses": _CACHE_MISSES.value,
+            "persistent_hits": _PERSISTENT_HITS.value,
         }
 
 
 def clear_context_cache() -> None:
     """Drop all cached contexts (tests and long-lived processes)."""
-    global _CACHE_HITS, _CACHE_MISSES, _PERSISTENT_HITS
     with _CACHE_LOCK:
         _CONTEXTS.clear()
-        _CACHE_HITS = 0
-        _CACHE_MISSES = 0
-        _PERSISTENT_HITS = 0
+    _CACHE_HITS.reset()
+    _CACHE_MISSES.reset()
+    _PERSISTENT_HITS.reset()
 
 
 def set_context_backend(backend: Optional[Any]) -> Optional[Any]:

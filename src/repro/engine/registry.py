@@ -26,6 +26,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 from ..model.components import DemandSource
+from ..obs import ITERATION_BUCKETS
+from ..obs import counter as _obs_counter
+from ..obs import histogram as _obs_histogram
+from ..obs import span as _obs_span
 from ..result import FeasibilityResult
 
 __all__ = [
@@ -36,6 +40,23 @@ __all__ = [
     "default_registry",
     "analyze",
 ]
+
+
+# Every analysis — CLI, batch runner, service jobs, experiment
+# batteries — funnels through TestRegistry.run, so this is where the
+# per-test tallies and the iteration-count distributions (the paper's
+# reported unit of work) are recorded, under the engine.analyze span.
+_ANALYSES = _obs_counter(
+    "repro_engine_analyses_total",
+    "Feasibility analyses run through the engine, by test.",
+    labelnames=("test",),
+)
+_TEST_ITERATIONS = _obs_histogram(
+    "repro_engine_test_iterations",
+    "Iterations reported per analysis, by test.",
+    labelnames=("test",),
+    buckets=ITERATION_BUCKETS,
+)
 
 
 class TestKind(enum.Enum):
@@ -199,7 +220,11 @@ class TestRegistry:
         """Resolve *name*, validate *options*, run the test."""
         definition = self.get(name)
         resolved = definition.resolve_options(options)
-        return definition.runner(source, **resolved)
+        with _obs_span("engine.analyze", test=name):
+            result = definition.runner(source, **resolved)
+        _ANALYSES.labels(name).inc()
+        _TEST_ITERATIONS.labels(name).observe(result.iterations or 0)
+        return result
 
 
 # ---------------------------------------------------------------------------

@@ -31,6 +31,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs import counter as _obs_counter
+from ..obs import span as _obs_span
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from fractions import Fraction
 
@@ -157,7 +160,20 @@ class PurePythonBackend(KernelBackend):
 
 _PYTHON = PurePythonBackend()
 _ACTIVE: Optional[KernelBackend] = None  # None = auto-select on first use
-_STATS = {"calls": 0, "fallbacks": 0}
+
+# The dispatch tallies live on the process-global metrics registry
+# (repro.obs) — one source of truth for backend_info(), --cache-stats
+# and the /v1/metrics exposition alike.  Handles are pre-bound module
+# constants so record_call() stays a single method call on the hot path.
+_CALLS = _obs_counter(
+    "repro_kernel_backend_calls_total",
+    "Kernel primitive dispatches through the backend seam.",
+)
+_FALLBACKS = _obs_counter(
+    "repro_kernel_backend_fallbacks_total",
+    "Dispatches the active backend declined (BackendUnsupported) and "
+    "the pure-python loop re-ran.",
+)
 
 
 def _numpy_backend() -> Optional[KernelBackend]:
@@ -232,23 +248,23 @@ def backend_info() -> Dict[str, object]:
     return {
         "active": get_backend().name,
         "available": available_backends(),
-        "calls": _STATS["calls"],
-        "fallbacks": _STATS["fallbacks"],
+        "calls": _CALLS.value,
+        "fallbacks": _FALLBACKS.value,
     }
 
 
 def reset_backend_stats() -> None:
     """Zero the dispatch counters (tests and long-lived processes)."""
-    _STATS["calls"] = 0
-    _STATS["fallbacks"] = 0
+    _CALLS.reset()
+    _FALLBACKS.reset()
 
 
 def record_call() -> None:
-    _STATS["calls"] += 1
+    _CALLS.inc()
 
 
 def record_fallback() -> None:
-    _STATS["fallbacks"] += 1
+    _FALLBACKS.inc()
 
 
 def analyze_many(
@@ -267,10 +283,13 @@ def analyze_many(
     if not pairs:
         return []
     record_call()
-    try:
-        return get_backend().analyze_many(pairs)
-    except BackendUnsupported:
-        record_fallback()
-        return [
-            kernel._first_overflow_scaled_py(bound) for kernel, bound in pairs
-        ]
+    backend = get_backend()
+    with _obs_span("backend.analyze_many", backend=backend.name, systems=len(pairs)):
+        try:
+            return backend.analyze_many(pairs)
+        except BackendUnsupported:
+            record_fallback()
+            return [
+                kernel._first_overflow_scaled_py(bound)
+                for kernel, bound in pairs
+            ]

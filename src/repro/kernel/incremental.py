@@ -39,9 +39,25 @@ from typing import List, Sequence
 
 from ..model.components import DemandComponent
 from ..model.numeric import ExactTime
+from ..obs import counter as _obs_counter
+from ..obs import emit as _obs_emit
 from .kernel import SCALE_CAP, DemandKernel
 
 __all__ = ["IncrementalKernel"]
+
+# Rescales and exact-degrades are rare (a handful per admission
+# session) but load-bearing for performance diagnosis: a degraded
+# kernel abandons the integer fast path for good.  Each one therefore
+# gets both a counter bump and a structured event.
+_RESCALES = _obs_counter(
+    "repro_kernel_rescales_total",
+    "Incremental-kernel integer grid growths (LCM grew on add).",
+)
+_DEGRADES = _obs_counter(
+    "repro_kernel_degrades_total",
+    "Incremental kernels degraded to the exact Fraction path "
+    "(scale past SCALE_CAP).",
+)
 
 
 class IncrementalKernel(DemandKernel):
@@ -160,6 +176,10 @@ class IncrementalKernel(DemandKernel):
 
     def _rescale(self, factor: int) -> None:
         """Grow the integer grid by *factor* (> 1), in place."""
+        _RESCALES.inc()
+        _obs_emit(
+            "kernel", "kernel.rescale", factor=factor, components=self.n
+        )
         self.d0s = [v * factor for v in self.d0s]
         self.periods = [v * factor for v in self.periods]
         self.wcets = [v * factor for v in self.wcets]
@@ -175,6 +195,8 @@ class IncrementalKernel(DemandKernel):
         scale = self.scale
         if scale is None:  # pragma: no cover - already exact
             return
+        _DEGRADES.inc()
+        _obs_emit("kernel", "kernel.degrade", components=self.n)
         unscale = Fraction(1, scale)
 
         def back(v: ExactTime) -> ExactTime:

@@ -52,6 +52,10 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..model.components import DemandComponent
 from ..model.numeric import ExactTime, Time, to_exact
+from ..obs import ITERATION_BUCKETS
+from ..obs import counter as _obs_counter
+from ..obs import histogram as _obs_histogram
+from ..obs import span as _obs_span
 from .backend import (
     BackendUnsupported,
     get_backend,
@@ -60,6 +64,32 @@ from .backend import (
 )
 
 __all__ = ["DemandKernel", "BackwardDeadlineWalker", "SCALE_CAP"]
+
+# Pre-bound per-primitive handles: the dispatch methods below are the
+# hot seam every feasibility test funnels through, so each records one
+# counter bump (and, for the walking primitives, one iteration-count
+# observation — the paper's own efficiency metric) with no label
+# resolution or formatting per call.
+_PRIMITIVE_CALLS = _obs_counter(
+    "repro_kernel_primitive_calls_total",
+    "Kernel primitive invocations, by primitive.",
+    labelnames=("primitive",),
+)
+_DBF_BATCH_CALLS = _PRIMITIVE_CALLS.labels("dbf_batch")
+_FIRST_OVERFLOW_CALLS = _PRIMITIVE_CALLS.labels("first_overflow")
+_QPA_CALLS = _PRIMITIVE_CALLS.labels("qpa")
+_BEST_RATIO_CALLS = _PRIMITIVE_CALLS.labels("best_ratio")
+_COUNT_STEPS_CALLS = _PRIMITIVE_CALLS.labels("count_steps")
+_QPA_ITERATIONS = _obs_histogram(
+    "repro_kernel_qpa_iterations",
+    "dbf evaluations per QPA backward walk.",
+    buckets=ITERATION_BUCKETS,
+)
+_PDA_ITERATIONS = _obs_histogram(
+    "repro_kernel_pda_iterations",
+    "Distinct intervals checked per processor-demand forward walk.",
+    buckets=ITERATION_BUCKETS,
+)
 
 #: Largest accepted integerization scale.  Beyond this the common grid
 #: needs integers so wide that `int` arithmetic loses its edge over the
@@ -246,6 +276,7 @@ class DemandKernel:
         """
         pts = [self.inclusive_scaled(t) for t in intervals]
         record_call()
+        _DBF_BATCH_CALLS.inc()
         try:
             out = get_backend().dbf_batch_scaled(self, pts)
         except BackendUnsupported:
@@ -314,11 +345,15 @@ class DemandKernel:
         witnesses and iteration counts.
         """
         record_call()
-        try:
-            return get_backend().first_overflow_scaled(self, bound_scaled)
-        except BackendUnsupported:
-            record_fallback()
-            return self._first_overflow_scaled_py(bound_scaled)
+        _FIRST_OVERFLOW_CALLS.inc()
+        with _obs_span("kernel.pda", n=self.n):
+            try:
+                result = get_backend().first_overflow_scaled(self, bound_scaled)
+            except BackendUnsupported:
+                record_fallback()
+                result = self._first_overflow_scaled_py(bound_scaled)
+        _PDA_ITERATIONS.observe(result[2])
+        return result
 
     def _first_overflow_scaled_py(
         self, bound_scaled: ExactTime
@@ -394,6 +429,7 @@ class DemandKernel:
         one `Fraction` built only for the final result."""
         h = self.inclusive_scaled(horizon)
         record_call()
+        _BEST_RATIO_CALLS.inc()
         try:
             return get_backend().best_ratio_scaled(self, h, floor)
         except BackendUnsupported:
@@ -414,6 +450,7 @@ class DemandKernel:
         """Number of staircase jobs (not folded) with deadline ≤ *bound*."""
         b = self.inclusive_scaled(bound)
         record_call()
+        _COUNT_STEPS_CALLS.inc()
         try:
             return get_backend().count_steps_scaled(self, b)
         except BackendUnsupported:
@@ -468,13 +505,16 @@ class DemandKernel:
         """
         limit = self.exclusive_scaled(bound + 1)
         record_call()
-        try:
-            status, t, demand, iterations = get_backend().qpa_scaled(
-                self, limit
-            )
-        except BackendUnsupported:
-            record_fallback()
-            status, t, demand, iterations = self._qpa_scaled_py(limit)
+        _QPA_CALLS.inc()
+        with _obs_span("kernel.qpa", n=self.n):
+            try:
+                status, t, demand, iterations = get_backend().qpa_scaled(
+                    self, limit
+                )
+            except BackendUnsupported:
+                record_fallback()
+                status, t, demand, iterations = self._qpa_scaled_py(limit)
+        _QPA_ITERATIONS.observe(iterations)
         if status == "infeasible":
             return status, self.unscale(t), self.unscale(demand), iterations
         return status, None, None, iterations

@@ -1,0 +1,72 @@
+"""Unified observability: metrics, events, spans, resource sampling.
+
+The substrate the ROADMAP's distributed-fleet coordinator consumes, and
+a live reproduction check of the paper's efficiency claims: QPA/PDA
+iteration counts, approximation-stage hit rates, and backend dispatch
+tallies — the very quantities Albers & Slomka (DATE 2005) measure — are
+first-class series here instead of scattered ad-hoc counters.
+
+Four pieces, one import::
+
+    from repro import obs
+
+    C = obs.counter("repro_engine_analyses_total", labelnames=("test",))
+    C.labels("qpa").inc()                  # pre-bound handles, hot-path safe
+
+    with obs.span("engine.analyze", test="qpa"):
+        ...                                # wall time → repro_span_seconds
+
+    obs.emit("service", "job.started", job="j-1")   # ring + JSONL journal
+    obs.ResourceSampler(interval=5).start()         # CPU/RSS/fd gauges
+
+    print(obs.registry().exposition())     # Prometheus text format 0.0.4
+
+Set ``REPRO_OBS=off`` in the environment to turn every mutation into a
+no-op (reads then report zeros); :func:`set_enabled` flips the same
+switch at runtime for overhead A/B tests.
+"""
+
+from .events import Event, EventLog, emit, event_log
+from .metrics import (
+    DEFAULT_BUCKETS,
+    ITERATION_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    is_enabled,
+    registry,
+    set_enabled,
+)
+from .sampler import ResourceSampler, sample_process
+from .tracing import SpanHandle, current_span, set_span_events, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "is_enabled",
+    "set_enabled",
+    "DEFAULT_BUCKETS",
+    "ITERATION_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Event",
+    "EventLog",
+    "event_log",
+    "emit",
+    "span",
+    "current_span",
+    "SpanHandle",
+    "set_span_events",
+    "ResourceSampler",
+    "sample_process",
+]

@@ -1,0 +1,237 @@
+"""Structured events: typed records, a ring buffer, and a JSONL journal.
+
+An :class:`Event` is the unit the fleet coordinator (ROADMAP) will
+consume: a timestamp, a coarse *category* (``service``, ``kernel``,
+``admission``, ``trace``, ``resource``), a dotted *name*
+(``job.started``, ``kernel.rescale``), and a small JSON-able payload.
+
+Two sinks, both always consistent:
+
+* an **in-memory ring buffer** with a monotonically increasing sequence
+  cursor — the backing store of the ``/v1/events?since=`` endpoint.
+  The cursor survives eviction (``since`` past the evicted prefix just
+  returns the retained suffix), which makes polling clients trivial;
+* an optional **append-only JSONL journal** with size-capped rotation
+  (``path`` → ``path.1`` … ``path.N``): one JSON document per line, no
+  framing, safe to ``tail`` and safe to parse after a crash (a torn
+  final line is skipped by any line-wise reader).
+
+Emission is cheap and never raises into the instrumented caller: a
+disabled switch (see :mod:`repro.obs.metrics`) short-circuits before
+any payload formatting, and journal I/O errors disable the journal
+rather than poison the hot path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .metrics import counter, is_enabled
+
+__all__ = ["Event", "EventLog", "event_log", "emit"]
+
+_EVENTS_TOTAL = counter(
+    "repro_events_emitted_total",
+    "Structured events emitted, by category.",
+    labelnames=("category",),
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observability record."""
+
+    seq: int
+    ts: float
+    category: str
+    name: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "category": self.category,
+            "name": self.name,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "Event":
+        return cls(
+            seq=int(document.get("seq", 0)),
+            ts=float(document.get("ts", 0.0)),
+            category=str(document.get("category", "")),
+            name=str(document.get("name", "")),
+            payload=dict(document.get("payload") or {}),
+        )
+
+
+class EventLog:
+    """Ring buffer + optional rotating JSONL journal."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._journal: Optional[io.TextIOWrapper] = None
+        self._journal_path: Optional[str] = None
+        self._journal_max_bytes = 0
+        self._journal_backups = 0
+        self._journal_size = 0
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+
+    def attach_journal(
+        self,
+        path: str,
+        max_bytes: int = 4 * 1024 * 1024,
+        backups: int = 2,
+    ) -> None:
+        """Start appending events to *path* with size-capped rotation.
+
+        When the file exceeds *max_bytes* it is renamed to ``path.1``
+        (existing backups shift up, the oldest past *backups* is
+        dropped) and a fresh file is started.
+        """
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        with self._lock:
+            self._close_journal_locked()
+            handle = open(path, "a", encoding="utf-8")
+            self._journal = handle
+            self._journal_path = path
+            self._journal_max_bytes = max_bytes
+            self._journal_backups = max(0, backups)
+            self._journal_size = handle.tell()
+
+    def detach_journal(self) -> None:
+        with self._lock:
+            self._close_journal_locked()
+
+    @property
+    def journal_path(self) -> Optional[str]:
+        return self._journal_path
+
+    def _close_journal_locked(self) -> None:
+        if self._journal is not None:
+            try:
+                self._journal.close()
+            except OSError:  # pragma: no cover - close failure is benign
+                pass
+        self._journal = None
+        self._journal_path = None
+        self._journal_size = 0
+
+    def _rotate_locked(self) -> None:
+        path = self._journal_path
+        assert path is not None and self._journal is not None
+        self._journal.close()
+        if self._journal_backups > 0:
+            oldest = f"{path}.{self._journal_backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self._journal_backups - 1, 0, -1):
+                src = f"{path}.{index}"
+                if os.path.exists(src):
+                    os.replace(src, f"{path}.{index + 1}")
+            os.replace(path, f"{path}.1")
+        else:
+            os.remove(path)
+        self._journal = open(path, "a", encoding="utf-8")
+        self._journal_size = 0
+
+    def _write_journal_locked(self, line: str) -> None:
+        journal = self._journal
+        if journal is None:
+            return
+        try:
+            journal.write(line)
+            journal.write("\n")
+            journal.flush()
+            self._journal_size += len(line) + 1
+            if self._journal_size >= self._journal_max_bytes:
+                self._rotate_locked()
+        except OSError:
+            # A full disk must not take the analysis down with it.
+            self._close_journal_locked()
+
+    # ------------------------------------------------------------------
+    # Emission and reads
+    # ------------------------------------------------------------------
+
+    def emit(
+        self, category: str, name: str, /, **payload: Any
+    ) -> Optional[Event]:
+        """Record one event; returns it, or ``None`` when disabled.
+
+        ``category`` and ``name`` are positional-only so payload keys
+        may reuse those words (``emit("x", "y", name="job-7")``).
+        """
+        if not is_enabled():
+            return None
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                seq=self._seq,
+                ts=time.time(),
+                category=category,
+                name=name,
+                payload=payload,
+            )
+            self._ring.append(event)
+            if self._journal is not None:
+                self._write_journal_locked(
+                    json.dumps(event.to_dict(), separators=(",", ":"))
+                )
+        _EVENTS_TOTAL.labels(category).inc()
+        return event
+
+    def since(self, cursor: int = 0, limit: int = 500) -> Tuple[List[Event], int]:
+        """Events with ``seq > cursor`` (oldest first) and the next cursor.
+
+        The next cursor is always the newest sequence number seen by the
+        log, so a poller that fell behind the ring resumes at the tail
+        instead of spinning over evicted history.
+        """
+        with self._lock:
+            events = [e for e in self._ring if e.seq > cursor][: max(0, limit)]
+            next_cursor = events[-1].seq if events else self._seq
+        return events, next_cursor
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        """Drop buffered events (the cursor keeps advancing; tests)."""
+        with self._lock:
+            self._ring.clear()
+
+
+_LOG = EventLog()
+
+
+def event_log() -> EventLog:
+    """The process-global event log."""
+    return _LOG
+
+
+def emit(category: str, name: str, /, **payload: Any) -> Optional[Event]:
+    """Emit one event on the global log."""
+    return _LOG.emit(category, name, **payload)

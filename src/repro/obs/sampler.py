@@ -1,0 +1,172 @@
+"""Resource sampler: periodic process CPU/memory/fd gauges.
+
+A daemon thread samples the process every ``interval`` seconds and
+feeds gauges — the per-worker resource monitoring the ROADMAP's fleet
+coordinator needs before it can health-check workers.  Everything is
+stdlib: :func:`resource.getrusage` for CPU and peak RSS, ``/proc``
+(when present — Linux) for current RSS/VSZ and open file descriptors.
+``psutil`` is used only if it happens to be importable, and only to
+fill the same gauges slightly more portably; its absence changes
+nothing.
+
+Each sample also lands as one ``resource.sample`` event (category
+``resource``) so journals carry the time series, not just the latest
+gauge value.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Optional
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    _resource = None  # type: ignore[assignment]
+
+try:  # strictly optional; the stdlib path below is the contract
+    import psutil as _psutil  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - psutil not installed
+    _psutil = None
+
+from .events import emit
+from .metrics import counter, gauge
+
+__all__ = ["ResourceSampler", "sample_process"]
+
+_CPU_USER = gauge(
+    "repro_process_cpu_user_seconds",
+    "Cumulative user-mode CPU time of the process.",
+)
+_CPU_SYSTEM = gauge(
+    "repro_process_cpu_system_seconds",
+    "Cumulative system-mode CPU time of the process.",
+)
+_MAX_RSS = gauge(
+    "repro_process_max_rss_bytes",
+    "Peak resident set size (ru_maxrss).",
+)
+_RSS = gauge(
+    "repro_process_rss_bytes",
+    "Current resident set size (/proc or psutil; 0 when unavailable).",
+)
+_VMS = gauge(
+    "repro_process_vms_bytes",
+    "Current virtual memory size (/proc or psutil; 0 when unavailable).",
+)
+_OPEN_FDS = gauge(
+    "repro_process_open_fds",
+    "Open file descriptors (/proc/self/fd; 0 when unavailable).",
+)
+_THREADS = gauge(
+    "repro_process_threads",
+    "Live Python threads (threading.active_count).",
+)
+_SAMPLES = counter(
+    "repro_resource_samples_total",
+    "Resource samples taken since process start.",
+)
+
+
+def _proc_memory() -> Optional[Dict[str, int]]:
+    """Current RSS/VSZ from ``/proc/self/statm`` (Linux only)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        page = os.sysconf("SC_PAGE_SIZE")
+        return {"vms": int(fields[0]) * page, "rss": int(fields[1]) * page}
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def _open_fd_count() -> Optional[int]:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def sample_process() -> Dict[str, Any]:
+    """Take one sample, update the gauges, and return the raw numbers."""
+    sample: Dict[str, Any] = {}
+    if _resource is not None:
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        sample["cpu_user_seconds"] = usage.ru_utime
+        sample["cpu_system_seconds"] = usage.ru_stime
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        scale = 1 if os.uname().sysname == "Darwin" else 1024
+        sample["max_rss_bytes"] = usage.ru_maxrss * scale
+    memory = _proc_memory()
+    if memory is None and _psutil is not None:  # pragma: no cover - optional
+        try:
+            info = _psutil.Process().memory_info()
+            memory = {"rss": info.rss, "vms": info.vms}
+        except Exception:
+            memory = None
+    if memory is not None:
+        sample["rss_bytes"] = memory["rss"]
+        sample["vms_bytes"] = memory["vms"]
+    fds = _open_fd_count()
+    if fds is not None:
+        sample["open_fds"] = fds
+    sample["threads"] = threading.active_count()
+
+    if "cpu_user_seconds" in sample:
+        _CPU_USER.set(sample["cpu_user_seconds"])
+        _CPU_SYSTEM.set(sample["cpu_system_seconds"])
+        _MAX_RSS.set(sample["max_rss_bytes"])
+    if "rss_bytes" in sample:
+        _RSS.set(sample["rss_bytes"])
+        _VMS.set(sample["vms_bytes"])
+    if "open_fds" in sample:
+        _OPEN_FDS.set(sample["open_fds"])
+    _THREADS.set(sample["threads"])
+    _SAMPLES.inc()
+    return sample
+
+
+class ResourceSampler:
+    """Daemon thread calling :func:`sample_process` every *interval* s."""
+
+    def __init__(self, interval: float = 5.0, emit_events: bool = True) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.emit_events = emit_events
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        # Sample immediately so gauges are live before the first tick.
+        while True:
+            try:
+                sample = sample_process()
+                if self.emit_events:
+                    emit("resource", "resource.sample", **sample)
+            except Exception:  # pragma: no cover - monitoring must not crash
+                pass
+            if self._stop.wait(self.interval):
+                return

@@ -1,0 +1,121 @@
+"""Tracing spans: contextvars-propagated wall-time scopes.
+
+``span("engine.analyze", test="qpa")`` opens a scope whose duration
+lands in the ``repro_span_seconds{span="engine.analyze"}`` histogram.
+Nesting is tracked through a :mod:`contextvars` variable, so a span
+opened inside a worker thread or an asyncio task sees the right parent:
+the canonical chain here is ``engine.analyze`` → ``kernel.qpa`` →
+``backend.analyze_many``, crossing the engine → kernel-primitive →
+backend-dispatch boundaries.
+
+Span *events* (category ``trace``) carry the full structure — name,
+parent, depth, duration, attributes — but are **off by default**: the
+histogram costs two ``perf_counter`` reads and one observe, which the
+hot paths tolerate, while a per-span event emission would not.  Flip
+:func:`set_span_events` (or pass ``emit_event=True`` per span) when the
+narrative matters more than the nanoseconds.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from .events import emit
+from .metrics import DEFAULT_BUCKETS, histogram, is_enabled
+
+__all__ = ["span", "current_span", "SpanHandle", "set_span_events"]
+
+_SPAN_SECONDS = histogram(
+    "repro_span_seconds",
+    "Wall time spent inside traced scopes, by span name.",
+    labelnames=("span",),
+    buckets=DEFAULT_BUCKETS,
+)
+
+_CURRENT: contextvars.ContextVar[Optional["SpanHandle"]] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+_EMIT_EVENTS = False
+
+
+def set_span_events(flag: bool) -> bool:
+    """Globally toggle per-span trace events; returns the prior state."""
+    global _EMIT_EVENTS
+    previous = _EMIT_EVENTS
+    _EMIT_EVENTS = bool(flag)
+    return previous
+
+
+class SpanHandle:
+    """The live scope a ``with span(...)`` block exposes."""
+
+    __slots__ = ("name", "attrs", "parent", "depth", "duration")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        parent: Optional["SpanHandle"],
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.duration: Optional[float] = None
+
+
+def current_span() -> Optional[SpanHandle]:
+    """The innermost open span of the calling context, if any."""
+    return _CURRENT.get()
+
+
+# Cache the histogram children: span names are a small closed set and
+# the labels() dict hit is the only per-span lookup we allow.
+_CHILDREN: Dict[str, Any] = {}
+
+
+def _child(name: str):
+    child = _CHILDREN.get(name)
+    if child is None:
+        child = _SPAN_SECONDS.labels(name)
+        _CHILDREN[name] = child
+    return child
+
+
+@contextmanager
+def span(
+    name: str, emit_event: Optional[bool] = None, **attrs: Any
+) -> Iterator[Optional[SpanHandle]]:
+    """Time a scope into ``repro_span_seconds`` and propagate nesting.
+
+    Yields the open :class:`SpanHandle` (or ``None`` when observability
+    is disabled — callers must not rely on the handle).  Duration is
+    recorded on *every* exit, exceptional or not: a crashing analysis
+    still spends the time.
+    """
+    if not is_enabled():
+        yield None
+        return
+    handle = SpanHandle(name, attrs, _CURRENT.get())
+    token = _CURRENT.set(handle)
+    start = time.perf_counter()
+    try:
+        yield handle
+    finally:
+        duration = time.perf_counter() - start
+        handle.duration = duration
+        _CURRENT.reset(token)
+        _child(name).observe(duration)
+        if _EMIT_EVENTS if emit_event is None else emit_event:
+            emit(
+                "trace",
+                name,
+                duration_seconds=duration,
+                parent=handle.parent.name if handle.parent else None,
+                depth=handle.depth,
+                **attrs,
+            )

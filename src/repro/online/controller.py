@@ -61,9 +61,41 @@ from ..model.components import DemandComponent, DemandSource, as_components
 from ..model.numeric import ExactTime, Time, to_exact
 from ..model.task import SporadicTask
 from ..model.validation import ModelError
+from ..obs import DEFAULT_BUCKETS, ITERATION_BUCKETS
+from ..obs import counter as _obs_counter
+from ..obs import histogram as _obs_histogram
 from ..result import FailureWitness, Verdict
 
 __all__ = ["AdmissionController", "AdmissionDecision", "Stage"]
+
+# Per-stage accept/reject tallies and iteration distributions: the
+# approximation-stage hit rates are the quantities the paper's
+# staged-pipeline efficiency argument is about, so they are first-class
+# series.  Everything is recorded once per *event* inside _decide — the
+# scans themselves stay uninstrumented.  The exact stage additionally
+# feeds the shared QPA iteration histogram (same series the engine's
+# qpa test populates; registration is idempotent by name).
+_DECISIONS = _obs_counter(
+    "repro_admission_decisions_total",
+    "Admission decisions, by pipeline stage and outcome.",
+    labelnames=("stage", "outcome"),
+)
+_STAGE_ITERATIONS = _obs_histogram(
+    "repro_admission_stage_iterations",
+    "Demand-vs-capacity comparisons per decision, by deciding stage.",
+    labelnames=("stage",),
+    buckets=ITERATION_BUCKETS,
+)
+_DECISION_SECONDS = _obs_histogram(
+    "repro_admission_decision_seconds",
+    "Wall time per admission decision.",
+    buckets=DEFAULT_BUCKETS,
+)
+_EXACT_QPA_ITERATIONS = _obs_histogram(
+    "repro_kernel_qpa_iterations",
+    "dbf evaluations per QPA backward walk.",
+    buckets=ITERATION_BUCKETS,
+)
 
 
 class Stage:
@@ -331,6 +363,7 @@ class AdmissionController:
                 )
         bound = self._best_bound()
         feasible, steps, witness = _qpa_scan(kernel, bound, lo_s)
+        _EXACT_QPA_ITERATIONS.observe(steps)
         iterations += steps
         self._count(Stage.EXACT)
         if not feasible:
@@ -469,6 +502,10 @@ class AdmissionController:
             counters["admitted" if admitted else "rejected"] += 1
         else:
             counters["departures"] += 1
+        _DECISIONS.labels(stage, "accept" if admitted else "reject").inc()
+        _DECISION_SECONDS.observe(latency)
+        if iterations:
+            _STAGE_ITERATIONS.labels(stage).observe(iterations)
         return AdmissionDecision(
             event=event,
             name=name,

@@ -16,6 +16,8 @@ Method    Path                        Meaning
 GET       /v1/health                  liveness + version
 GET       /v1/tests                   registry dump: names, kinds, options
 GET       /v1/cache-stats             context LRU + store + queue counters
+GET       /v1/metrics                 Prometheus text (``?format=json`` for JSON)
+GET       /v1/events                  structured events (``?since=N`` cursor)
 POST      /v1/jobs                    submit a single or batch job (202)
 GET       /v1/jobs                    list job snapshots
 GET       /v1/jobs/{id}               one job's status/progress
@@ -72,6 +74,9 @@ from ..model.serialization import (
     taskset_from_dict,
 )
 from ..model.validation import ModelError
+from ..obs import ResourceSampler, event_log
+from ..obs import counter as _obs_counter
+from ..obs import registry as _obs_registry
 from .jobs import JobQueue
 from .sessions import AdmissionSessionManager, events_from_document
 from .store import ResultStore
@@ -79,6 +84,12 @@ from .store import ResultStore
 __all__ = ["AnalysisServer", "ApiError", "requests_from_document"]
 
 _MAX_BODY = 64 * 1024 * 1024  # a 64 MiB body is an attack, not a campaign
+
+_HTTP_REQUESTS = _obs_counter(
+    "repro_http_requests_total",
+    "API requests handled, by method and (coarse) endpoint.",
+    labelnames=("method", "endpoint"),
+)
 
 
 class ApiError(Exception):
@@ -206,6 +217,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self, status: int, body: str, content_type: str = "text/plain"
+    ) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length <= 0:
@@ -257,6 +278,10 @@ class AnalysisServer:
         runner: optional :class:`BatchRunner` override for shard
             execution (e.g. multi-process fan-out).
         quiet: suppress per-request access logging (default).
+        sampler_interval: seconds between resource samples feeding the
+            ``repro_process_*`` gauges; ``None`` disables the sampler.
+        journal: optional path for the append-only JSONL event journal
+            (size-capped rotation); detached again on :meth:`close`.
 
     The server installs its store as the engine's persistent context
     backend for its lifetime (restored on :meth:`close`), so even
@@ -275,6 +300,8 @@ class AnalysisServer:
         registry: Optional[TestRegistry] = None,
         max_rows: Optional[int] = 100_000,
         quiet: bool = True,
+        sampler_interval: Optional[float] = 5.0,
+        journal: Union[str, Path, None] = None,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ResultStore(store, max_rows=max_rows)
@@ -301,6 +328,13 @@ class AnalysisServer:
         self.httpd.quiet = quiet  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._sampler: Optional[ResourceSampler] = None
+        if sampler_interval is not None:
+            self._sampler = ResourceSampler(interval=sampler_interval).start()
+        self._journal_attached = False
+        if journal is not None:
+            event_log().attach_journal(str(journal))
+            self._journal_attached = True
 
     # ------------------------------------------------------------------
 
@@ -334,6 +368,12 @@ class AnalysisServer:
         if self._closed:
             return
         self._closed = True
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
+        if self._journal_attached:
+            event_log().detach_journal()
+            self._journal_attached = False
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:
@@ -356,7 +396,21 @@ class AnalysisServer:
     # Routing (returns False for 404)
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _endpoint_of(path: str) -> str:
+        """Coarse endpoint label: the first two path segments, so job
+        and session ids never explode the series cardinality."""
+        parts = [p for p in path.split("/") if p]
+        return "/" + "/".join(parts[:2])
+
     def handle(self, handler: _Handler, method: str, path: str) -> bool:
+        _HTTP_REQUESTS.labels(method, self._endpoint_of(path)).inc()
+        if method == "GET" and path == "/v1/metrics":
+            self._send_metrics(handler)
+            return True
+        if method == "GET" and path == "/v1/events":
+            handler._send_json(200, self._events_page(handler.path))
+            return True
         if method == "GET" and path == "/v1/health":
             handler._send_json(
                 200,
@@ -561,6 +615,49 @@ class AnalysisServer:
             "since": since,
             "next": next_cursor,
             "decisions": decisions,
+        }
+
+    def _send_metrics(self, handler: _Handler) -> None:
+        from urllib.parse import parse_qs, urlsplit
+
+        query = parse_qs(urlsplit(handler.path).query)
+        fmt = (query.get("format") or ["text"])[0]
+        if fmt == "json":
+            handler._send_json(200, {"metrics": _obs_registry().snapshot()})
+            return
+        if fmt != "text":
+            raise ApiError(400, f"unknown metrics format {fmt!r}")
+        handler._send_text(
+            200,
+            _obs_registry().exposition(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _events_page(self, raw_path: str) -> Dict[str, Any]:
+        from urllib.parse import parse_qs, urlsplit
+
+        query = parse_qs(urlsplit(raw_path).query)
+
+        def _int_param(key: str, default: int, minimum: int) -> int:
+            if key not in query:
+                return default
+            try:
+                value = int(query[key][0])
+                if value < minimum:
+                    raise ValueError
+            except ValueError:
+                raise ApiError(
+                    400, f"'{key}' must be an integer >= {minimum}"
+                ) from None
+            return value
+
+        since = _int_param("since", 0, 0)
+        limit = _int_param("limit", 500, 1)
+        events, next_cursor = event_log().since(since, limit=limit)
+        return {
+            "since": since,
+            "next": next_cursor,
+            "events": [event.to_dict() for event in events],
         }
 
     def cache_stats(self) -> Dict[str, Any]:

@@ -48,9 +48,9 @@ class ServiceClient:
     # Transport
     # ------------------------------------------------------------------
 
-    def _request(
+    def _request_text(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
+    ) -> str:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -62,7 +62,7 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = response.read().decode("utf-8")
+                return response.read().decode("utf-8")
         except urllib.error.HTTPError as err:
             detail = err.read().decode("utf-8", errors="replace")
             try:
@@ -72,10 +72,17 @@ class ServiceClient:
             raise ServiceError(err.code, message) from None
         except urllib.error.URLError as err:
             raise ServiceError(0, f"cannot reach {url}: {err.reason}") from None
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = self._request_text(method, path, payload)
         try:
             return json.loads(body)
         except ValueError as err:
-            raise ServiceError(0, f"non-JSON response from {url}: {err}") from None
+            raise ServiceError(
+                0, f"non-JSON response from {self.base_url}{path}: {err}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -89,6 +96,26 @@ class ServiceClient:
 
     def cache_stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/cache-stats")
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics registry as a JSON snapshot
+        (``{"metrics": {name: {type, help, series}}}``)."""
+        return self._request("GET", "/v1/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition (format 0.0.4)."""
+        return self._request_text("GET", "/v1/metrics")
+
+    def events(self, since: int = 0, limit: int = 500) -> Dict[str, Any]:
+        """Structured events from ring-buffer cursor *since* — poll
+        with the returned ``next`` cursor to stream events."""
+        return self._request(
+            "GET", f"/v1/events?since={since}&limit={limit}"
+        )
 
     # ------------------------------------------------------------------
     # Jobs

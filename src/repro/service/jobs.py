@@ -39,10 +39,48 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..engine.batch import AnalysisRequest, BatchRunner
 from ..engine.context import AnalysisContext, fingerprint_of
 from ..engine.registry import TestRegistry, default_registry
-from ..result import FeasibilityResult
+from ..obs import LATENCY_BUCKETS
+from ..obs import counter as _obs_counter
+from ..obs import emit as _obs_emit
+from ..obs import gauge as _obs_gauge
+from ..obs import histogram as _obs_histogram
 from .store import ResultStore
 
 __all__ = ["JobState", "Job", "JobQueue"]
+
+# Queue metrics are per-process (every JobQueue in the process feeds
+# the same series — a server runs exactly one).  Transitions are
+# counted where the state changes, so gauges never drift from the
+# authoritative per-job state.
+_JOB_TRANSITIONS = _obs_counter(
+    "repro_queue_jobs_total",
+    "Job state transitions, by state entered.",
+    labelnames=("state",),
+)
+_QUEUE_DEPTH = _obs_gauge(
+    "repro_queue_depth",
+    "Jobs currently waiting in the backlog.",
+)
+_QUEUE_RUNNING = _obs_gauge(
+    "repro_queue_running",
+    "Jobs currently executing on a worker.",
+)
+_QUEUE_LATENCY = _obs_histogram(
+    "repro_queue_latency_seconds",
+    "Wait between job submission and first execution.",
+    buckets=LATENCY_BUCKETS,
+)
+_SHARDS_TOTAL = _obs_counter(
+    "repro_queue_shards_total",
+    "Execution shards completed.",
+)
+_REQUESTS_TOTAL = _obs_counter(
+    "repro_queue_requests_total",
+    "Analysis requests settled by the queue, by outcome.",
+    labelnames=("outcome",),
+)
+_REQUESTS_FROM_STORE = _REQUESTS_TOTAL.labels("from_store")
+_REQUESTS_COMPUTED = _REQUESTS_TOTAL.labels("computed")
 
 
 class JobState:
@@ -93,6 +131,20 @@ class Job:
     def total(self) -> int:
         return len(self.requests)
 
+    @property
+    def queued_at(self) -> float:
+        """Submission instant (alias of ``created_at`` — the job enters
+        the backlog atomically with its creation)."""
+        return self.created_at
+
+    @property
+    def queue_latency_seconds(self) -> Optional[float]:
+        """Wait between submission and first execution; ``None`` while
+        still queued (a job cancelled before starting never has one)."""
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.created_at)
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready status view (no results payload)."""
         return {
@@ -106,8 +158,10 @@ class Job:
             "computed": self.computed,
             "tests": sorted({r.test for r in self.requests}),
             "created_at": self.created_at,
+            "queued_at": self.queued_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_latency_seconds": self.queue_latency_seconds,
             "error": self.error,
         }
 
@@ -222,6 +276,16 @@ class JobQueue:
             self._sequence += 1
             entry = (-float(priority), self._sequence, job.id)
         self._queue.put(entry)
+        _JOB_TRANSITIONS.labels(JobState.QUEUED).inc()
+        _QUEUE_DEPTH.inc()
+        _obs_emit(
+            "service",
+            "job.submitted",
+            job=job.id,
+            kind=job.kind,
+            total=job.total,
+            priority=priority,
+        )
         return job.id
 
     def get(self, job_id: str) -> Job:
@@ -263,11 +327,17 @@ class JobQueue:
             except KeyError:
                 raise KeyError(f"unknown job {job_id!r}") from None
             job.cancel_event.set()
-            if job.state == JobState.QUEUED:
+            cancelled_while_queued = job.state == JobState.QUEUED
+            if cancelled_while_queued:
                 job.state = JobState.CANCELLED
                 job.finished_at = time.time()
                 job.completion.set()
-            return job.snapshot()
+            snapshot = job.snapshot()
+        if cancelled_while_queued:
+            _QUEUE_DEPTH.dec()
+            _JOB_TRANSITIONS.labels(JobState.CANCELLED).inc()
+            _obs_emit("service", "job.cancelled", job=job_id, queued=True)
+        return snapshot
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Block until the job reaches a terminal state (or *timeout*)."""
@@ -319,6 +389,16 @@ class JobQueue:
                     continue  # cancelled while queued
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+            _QUEUE_DEPTH.dec()
+            _QUEUE_RUNNING.inc()
+            _JOB_TRANSITIONS.labels(JobState.RUNNING).inc()
+            _QUEUE_LATENCY.observe(job.queue_latency_seconds or 0.0)
+            _obs_emit(
+                "service",
+                "job.started",
+                job=job.id,
+                latency_seconds=job.queue_latency_seconds,
+            )
             try:
                 self._execute(job)
             except Exception as err:  # pragma: no cover - defensive
@@ -327,6 +407,9 @@ class JobQueue:
                     job.error = f"{type(err).__name__}: {err}"
                     job.finished_at = time.time()
                 job.completion.set()
+                _QUEUE_RUNNING.dec()
+                _JOB_TRANSITIONS.labels(JobState.FAILED).inc()
+                _obs_emit("service", "job.failed", job=job.id, error=job.error)
 
     def _execute(self, job: Job) -> None:
         for start in range(0, job.total, self.shard_size):
@@ -335,6 +418,9 @@ class JobQueue:
                     job.state = JobState.CANCELLED
                     job.finished_at = time.time()
                 job.completion.set()
+                _QUEUE_RUNNING.dec()
+                _JOB_TRANSITIONS.labels(JobState.CANCELLED).inc()
+                _obs_emit("service", "job.cancelled", job=job.id, queued=False)
                 return
             shard = list(
                 enumerate(
@@ -342,12 +428,23 @@ class JobQueue:
                 )
             )
             self._run_shard(job, shard)
+            _SHARDS_TOTAL.inc()
             with self._lock:
                 job.done = min(start + self.shard_size, job.total)
         with self._lock:
             job.state = JobState.DONE
             job.finished_at = time.time()
         job.completion.set()
+        _QUEUE_RUNNING.dec()
+        _JOB_TRANSITIONS.labels(JobState.DONE).inc()
+        _obs_emit(
+            "service",
+            "job.done",
+            job=job.id,
+            total=job.total,
+            from_store=job.from_store,
+            computed=job.computed,
+        )
 
     def _run_shard(
         self, job: Job, shard: Sequence[Tuple[int, _JobRequest]]
@@ -363,6 +460,7 @@ class JobQueue:
                 job.results[index] = cached
                 with self._lock:
                     job.from_store += 1
+                _REQUESTS_FROM_STORE.inc()
             else:
                 pending.append((index, request))
         if not pending:
@@ -392,3 +490,4 @@ class JobQueue:
                         self.store.store_context(request.fingerprint, state)
         with self._lock:
             job.computed += len(pending)
+        _REQUESTS_COMPUTED.inc(len(pending))

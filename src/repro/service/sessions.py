@@ -25,6 +25,9 @@ from typing import Any, Dict, List, Optional
 from ..model.numeric import to_exact
 from ..model.serialization import encode_value, event_from_dict
 from ..model.validation import ModelError
+from ..obs import counter as _obs_counter
+from ..obs import emit as _obs_emit
+from ..obs import gauge as _obs_gauge
 from ..online.controller import AdmissionController, AdmissionDecision
 from ..online.trace import ARRIVE, ArrivalEvent
 
@@ -34,6 +37,22 @@ __all__ = [
     "decision_to_dict",
     "events_from_document",
 ]
+
+# The per-stage decision counters live in repro.online.controller (one
+# series across every controller in the process); here only the session
+# lifecycle is tracked.
+_SESSIONS_OPENED = _obs_counter(
+    "repro_admission_sessions_opened_total",
+    "Admission sessions created over the server's lifetime.",
+)
+_SESSIONS_CLOSED = _obs_counter(
+    "repro_admission_sessions_closed_total",
+    "Admission sessions explicitly closed.",
+)
+_SESSIONS_LIVE = _obs_gauge(
+    "repro_admission_sessions_live",
+    "Admission sessions currently open.",
+)
 
 
 def decision_to_dict(decision: AdmissionDecision) -> Dict[str, Any]:
@@ -170,6 +189,12 @@ class AdmissionSessionManager:
             if len(self._sessions) >= self.max_sessions:
                 raise limit_error
             self._sessions[session.id] = session
+            live = len(self._sessions)
+        _SESSIONS_OPENED.inc()
+        _SESSIONS_LIVE.set(live)
+        _obs_emit(
+            "admission", "session.created", session=session.id, label=name
+        )
         return session
 
     def get(self, session_id: str) -> AdmissionSession:
@@ -186,6 +211,10 @@ class AdmissionSessionManager:
                 session = self._sessions.pop(session_id)
             except KeyError:
                 raise KeyError(f"unknown session {session_id!r}") from None
+            live = len(self._sessions)
+        _SESSIONS_CLOSED.inc()
+        _SESSIONS_LIVE.set(live)
+        _obs_emit("admission", "session.closed", session=session_id)
         return session.snapshot()
 
     def list_sessions(self) -> List[Dict[str, Any]]:

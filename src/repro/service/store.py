@@ -49,9 +49,34 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
 from ..model.serialization import encode_value, result_from_dict, result_to_dict
+from ..obs import counter as _obs_counter
+from ..obs import emit as _obs_emit
 from ..result import FeasibilityResult
 
 __all__ = ["ResultStore", "fingerprint_key", "canonical_options"]
+
+# Process-wide store tallies for the metrics exposition.  The
+# per-instance `_hits`/`_misses` cells stay authoritative for
+# `stats()` — several stores can coexist in one process (tests, the
+# CLI opening a scratch store next to a server's) and each must report
+# its own session, so the registry aggregates while the instance
+# isolates.
+_STORE_HITS = _obs_counter(
+    "repro_store_hits_total",
+    "ResultStore result-row hits across every store in the process.",
+)
+_STORE_MISSES = _obs_counter(
+    "repro_store_misses_total",
+    "ResultStore result-row misses across every store in the process.",
+)
+_STORE_EVICTIONS = _obs_counter(
+    "repro_store_evictions_total",
+    "Result rows evicted to honour max_rows.",
+)
+_STORE_QUARANTINES = _obs_counter(
+    "repro_store_quarantines_total",
+    "Corrupted databases moved aside (quarantined) and recreated.",
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -149,6 +174,8 @@ class ResultStore:
 
     def _quarantine(self) -> None:
         """Move a corrupted database aside so a fresh one can be created."""
+        _STORE_QUARANTINES.inc()
+        _obs_emit("service", "store.quarantine", path=str(self.path))
         if self._conn is not None:
             try:
                 self._conn.close()
@@ -226,12 +253,14 @@ class ResultStore:
                 row = None
             if row is None:
                 self._misses += 1
+                _STORE_MISSES.inc()
                 return None
             try:
                 result = result_from_dict(json.loads(row[0]))
             except Exception:
                 # A corrupted row is worthless: drop it, report a miss.
                 self._misses += 1
+                _STORE_MISSES.inc()
                 try:
                     self._conn.execute(
                         "DELETE FROM results WHERE fingerprint=? AND "
@@ -245,6 +274,7 @@ class ResultStore:
                     self._recover()
                 return None
             self._hits += 1
+            _STORE_HITS.inc()
             self._tick += 1
             try:
                 self._conn.execute(
@@ -303,6 +333,7 @@ class ResultStore:
                 "SELECT rowid FROM results ORDER BY last_used ASC LIMIT ?)",
                 (excess,),
             )
+            _STORE_EVICTIONS.inc(excess)
 
     # ------------------------------------------------------------------
     # Context backend contract (repro.engine.context)

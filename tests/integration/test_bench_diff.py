@@ -237,3 +237,44 @@ def test_trajectory_summary_skips_sub_floor_and_disjoint(bench_diff):
     }
     current = {"BENCH_x.json": {"tiny_seconds": 0.004}}
     assert bench_diff.trajectory_summary(baseline, current, 0.25, 0.05) == []
+
+
+def test_summary_json_written_and_machine_readable(bench_diff, tmp_path):
+    _write(tmp_path / "base", "BENCH_a.json", {"run_seconds": 1.0})
+    _write(tmp_path / "base", "BENCH_b.json", {"run_seconds": 2.0})
+    _write(tmp_path / "curr", "BENCH_a.json", {"run_seconds": 0.5})
+    _write(tmp_path / "curr", "BENCH_b.json", {"run_seconds": 2.0})
+    out = tmp_path / "trajectory.json"
+    code = bench_diff.main(
+        [
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "curr"),
+            "--summary-json", str(out),
+        ]
+    )
+    assert code == 0
+    data = json.loads(out.read_text(encoding="utf-8"))
+    assert data["metrics"] == 2
+    assert data["improved"] == 1
+    assert data["regressed"] == 0
+    assert data["threshold"] == 0.25
+    by_file = {entry["file"]: entry for entry in data["files"]}
+    assert by_file["BENCH_a.json"]["geomean_ratio"] == 0.5
+    assert by_file["BENCH_b.json"]["geomean_ratio"] == 1.0
+    # overall = geomean(0.5, 1.0)
+    assert abs(data["overall_geomean_ratio"] - 0.5 ** 0.5) < 1e-9
+
+
+def test_summary_json_empty_when_no_shared_metrics(bench_diff, tmp_path):
+    _write(tmp_path / "base", "BENCH_a.json", {"tiny_seconds": 0.001})
+    _write(tmp_path / "curr", "BENCH_a.json", {"tiny_seconds": 0.002})
+    out = tmp_path / "trajectory.json"
+    code = bench_diff.main(
+        [
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "curr"),
+            "--summary-json", str(out),
+        ]
+    )
+    assert code == 0
+    assert json.loads(out.read_text(encoding="utf-8")) == {}

@@ -1,0 +1,146 @@
+"""Unit tests for the structured event log (repro.obs.events)."""
+
+import json
+
+import pytest
+
+from repro.obs import Event, EventLog, emit, event_log, set_enabled
+
+
+class TestEvent:
+    def test_round_trip(self):
+        event = Event(seq=3, ts=1.5, category="service", name="job.done",
+                      payload={"job": "j1"})
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_from_dict_tolerates_missing_fields(self):
+        event = Event.from_dict({})
+        assert event.seq == 0
+        assert event.payload == {}
+
+
+class TestRingBuffer:
+    def test_emit_assigns_monotonic_seq(self):
+        log = EventLog(capacity=8)
+        first = log.emit("service", "a")
+        second = log.emit("service", "b")
+        assert (first.seq, second.seq) == (1, 2)
+
+    def test_since_pages_oldest_first(self):
+        log = EventLog(capacity=8)
+        for i in range(5):
+            log.emit("service", f"e{i}")
+        events, cursor = log.since(0, limit=3)
+        assert [e.name for e in events] == ["e0", "e1", "e2"]
+        assert cursor == 3
+        events, cursor = log.since(cursor)
+        assert [e.name for e in events] == ["e3", "e4"]
+        assert cursor == 5
+
+    def test_cursor_survives_eviction(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.emit("service", f"e{i}")
+        events, cursor = log.since(0)
+        # The evicted prefix is gone but seq numbering is absolute.
+        assert [e.seq for e in events] == [8, 9, 10]
+        assert cursor == 10
+
+    def test_empty_page_returns_tail_cursor(self):
+        log = EventLog(capacity=3)
+        for i in range(4):
+            log.emit("service", f"e{i}")
+        events, cursor = log.since(99)
+        assert events == []
+        assert cursor == 4  # resume at the tail, not at the stale cursor
+
+    def test_clear_keeps_the_cursor_advancing(self):
+        log = EventLog(capacity=8)
+        log.emit("service", "a")
+        log.clear()
+        assert len(log) == 0
+        assert log.emit("service", "b").seq == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestDisabled:
+    def test_disabled_emit_returns_none_and_records_nothing(self):
+        log = EventLog(capacity=8)
+        previous = set_enabled(False)
+        try:
+            assert log.emit("service", "a") is None
+            assert len(log) == 0
+            assert log.last_seq == 0
+        finally:
+            set_enabled(previous)
+
+
+class TestJournal:
+    def test_journal_lines_are_parseable_events(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        log = EventLog(capacity=8)
+        log.attach_journal(str(path))
+        log.emit("service", "job.started", job="j1")
+        log.emit("kernel", "kernel.rescale", factor=2)
+        log.detach_journal()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        events = [Event.from_dict(json.loads(line)) for line in lines]
+        assert events[0].name == "job.started"
+        assert events[1].payload == {"factor": 2}
+
+    def test_rotation_shifts_backups(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        log = EventLog(capacity=8)
+        log.attach_journal(str(path), max_bytes=200, backups=2)
+        for i in range(50):
+            log.emit("service", "event", index=i, padding="x" * 40)
+        log.detach_journal()
+        backups = sorted(p.name for p in tmp_path.iterdir())
+        assert "journal.jsonl.1" in backups
+        assert "journal.jsonl.2" in backups
+        assert "journal.jsonl.3" not in backups
+        # Every retained file holds valid JSONL.
+        for name in backups:
+            for line in (tmp_path / name).read_text().splitlines():
+                json.loads(line)
+
+    def test_rotation_without_backups_truncates(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        log = EventLog(capacity=8)
+        log.attach_journal(str(path), max_bytes=120, backups=0)
+        for i in range(20):
+            log.emit("service", "event", index=i)
+        log.detach_journal()
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["journal.jsonl"]
+
+    def test_reattach_appends(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        log = EventLog(capacity=8)
+        log.attach_journal(str(path))
+        log.emit("service", "a")
+        log.detach_journal()
+        log.attach_journal(str(path))
+        log.emit("service", "b")
+        log.detach_journal()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_journal_path_property(self, tmp_path):
+        log = EventLog(capacity=8)
+        assert log.journal_path is None
+        log.attach_journal(str(tmp_path / "j.jsonl"))
+        assert log.journal_path == str(tmp_path / "j.jsonl")
+        log.detach_journal()
+        assert log.journal_path is None
+
+
+class TestGlobalLog:
+    def test_emit_helper_hits_the_global_log(self):
+        before = event_log().last_seq
+        event = emit("service", "test.marker")
+        assert event is not None
+        assert event.seq == before + 1
+        assert event_log().last_seq == event.seq

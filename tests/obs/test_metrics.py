@@ -1,0 +1,214 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    ITERATION_BUCKETS,
+    MetricsRegistry,
+    is_enabled,
+    registry,
+    set_enabled,
+)
+
+
+@pytest.fixture
+def fresh():
+    """A private registry so tests never fight over the global one."""
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_and_value(self, fresh):
+        c = fresh.counter("t_total", "help")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_labeled_children_are_independent(self, fresh):
+        c = fresh.counter("t_total", labelnames=("test",))
+        c.labels("qpa").inc()
+        c.labels("qpa").inc()
+        c.labels("pda").inc()
+        assert c.labels("qpa").value == 2
+        assert c.labels("pda").value == 1
+
+    def test_labels_cache_returns_same_child(self, fresh):
+        c = fresh.counter("t_total", labelnames=("test",))
+        assert c.labels("qpa") is c.labels("qpa")
+        assert c.labels(test="qpa") is c.labels("qpa")
+
+    def test_label_arity_mismatch_raises(self, fresh):
+        c = fresh.counter("t_total", labelnames=("a", "b"))
+        with pytest.raises(ValueError, match="2 label"):
+            c.labels("only-one")
+
+    def test_reset_zeroes_every_child(self, fresh):
+        c = fresh.counter("t_total", labelnames=("test",))
+        c.labels("x").inc(3)
+        c.reset()
+        assert c.labels("x").value == 0
+
+
+class TestGauges:
+    def test_set_inc_dec(self, fresh):
+        g = fresh.gauge("t_depth")
+        g.set(10)
+        g.inc()
+        g.dec(4)
+        assert g.value == 7
+
+
+class TestHistograms:
+    def test_observe_lands_in_right_bucket(self, fresh):
+        h = fresh.histogram("t_seconds", buckets=(1, 10, 100))
+        h.observe(5)
+        h.observe(5)
+        h.observe(500)
+        assert h.count == 3
+        assert h.sum == 510
+        series = fresh.snapshot()["t_seconds"]["series"][0]
+        by_le = {b["le"]: b["count"] for b in series["buckets"]}
+        assert by_le[1] == 0
+        assert by_le[10] == 2
+        assert by_le[100] == 2
+        assert by_le["+Inf"] == 3
+
+    def test_buckets_are_cumulative_and_monotone(self, fresh):
+        h = fresh.histogram("t_seconds", buckets=DEFAULT_BUCKETS)
+        for value in (0.00002, 0.003, 0.003, 2.0, 99.0):
+            h.observe(value)
+        series = fresh.snapshot()["t_seconds"]["series"][0]
+        counts = [b["count"] for b in series["buckets"]]
+        assert counts == sorted(counts)
+        assert counts[-1] == series["count"] == 5
+
+    def test_boundary_value_is_inclusive(self, fresh):
+        h = fresh.histogram("t_it", buckets=ITERATION_BUCKETS)
+        h.observe(4)  # exactly on the le=4 bound
+        series = fresh.snapshot()["t_it"]["series"][0]
+        by_le = {b["le"]: b["count"] for b in series["buckets"]}
+        assert by_le[4] == 1
+        assert by_le[1] == 0
+
+
+class TestRegistration:
+    def test_idempotent_same_shape_returns_live_family(self, fresh):
+        a = fresh.counter("t_total", "first", labelnames=("k",))
+        b = fresh.counter("t_total", "second", labelnames=("k",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self, fresh):
+        fresh.counter("t_total")
+        with pytest.raises(ValueError, match="already registered"):
+            fresh.gauge("t_total")
+
+    def test_label_mismatch_raises(self, fresh):
+        fresh.counter("t_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            fresh.counter("t_total", labelnames=("b",))
+
+    def test_invalid_metric_name_raises(self, fresh):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            fresh.counter("9starts-with-digit")
+
+    def test_invalid_label_name_raises(self, fresh):
+        with pytest.raises(ValueError, match="invalid label name"):
+            fresh.counter("t_total", labelnames=("bad-label",))
+
+
+class TestKillSwitch:
+    def test_disabled_mutations_are_noops(self, fresh):
+        c = fresh.counter("t_total")
+        g = fresh.gauge("t_gauge")
+        h = fresh.histogram("t_hist")
+        previous = set_enabled(False)
+        try:
+            c.inc()
+            g.set(5)
+            h.observe(1.0)
+            assert c.value == 0
+            assert g.value == 0
+            assert h.count == 0
+        finally:
+            set_enabled(previous)
+
+    def test_set_enabled_returns_previous_state(self):
+        first = set_enabled(False)
+        try:
+            assert is_enabled() is False
+            assert set_enabled(first) is False
+        finally:
+            set_enabled(first)
+
+
+class TestSnapshotShape:
+    def test_snapshot_is_json_able_and_sorted(self, fresh):
+        fresh.counter("t_b_total", "b help").inc()
+        fresh.counter("t_a_total", "a help", labelnames=("k",)).labels("v").inc()
+        snap = fresh.snapshot()
+        assert list(snap) == sorted(snap)
+        a = snap["t_a_total"]
+        assert a["type"] == "counter"
+        assert a["help"] == "a help"
+        assert a["series"] == [{"labels": {"k": "v"}, "value": 1}]
+
+
+class TestExposition:
+    """Golden parse of the Prometheus text format (0.0.4)."""
+
+    def test_counter_and_gauge_lines(self, fresh):
+        fresh.counter("t_total", "Things counted.").inc(3)
+        fresh.gauge("t_depth", "Queue depth.", labelnames=("q",)).labels(
+            "main"
+        ).set(2)
+        text = fresh.exposition()
+        assert "# HELP t_total Things counted.\n# TYPE t_total counter\nt_total 3\n" in text
+        assert 't_depth{q="main"} 2' in text
+
+    def test_histogram_exposition_structure(self, fresh):
+        h = fresh.histogram("t_seconds", "Elapsed.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        lines = fresh.exposition().splitlines()
+        assert "# TYPE t_seconds histogram" in lines
+        assert 't_seconds_bucket{le="0.1"} 1' in lines
+        assert 't_seconds_bucket{le="1"} 2' in lines
+        assert 't_seconds_bucket{le="+Inf"} 3' in lines
+        assert "t_seconds_count 3" in lines
+        sum_line = next(l for l in lines if l.startswith("t_seconds_sum"))
+        assert math.isclose(float(sum_line.split()[1]), 5.55)
+
+    def test_label_values_are_escaped(self, fresh):
+        c = fresh.counter("t_total", labelnames=("path",))
+        c.labels('a"b\\c\nd').inc()
+        text = fresh.exposition()
+        assert 't_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_every_sample_line_parses(self, fresh):
+        fresh.counter("t_a_total", "a", labelnames=("k",)).labels("x").inc()
+        fresh.histogram("t_b_seconds", "b").observe(0.2)
+        fresh.gauge("t_c").set(-1.5)
+        for line in fresh.exposition().splitlines():
+            if line.startswith("#"):
+                kind, name = line.split()[1:3]
+                assert kind in ("HELP", "TYPE")
+                continue
+            metric, value = line.rsplit(" ", 1)
+            float(value)  # every sample value is a number
+            assert metric[0].isalpha() or metric[0] == "_"
+
+    def test_empty_registry_renders_empty(self, fresh):
+        assert fresh.exposition() == ""
+
+
+class TestGlobalRegistry:
+    def test_module_helpers_hit_the_global_registry(self):
+        from repro.obs import counter
+
+        c = counter("repro_test_global_total", "scratch")
+        assert registry().get("repro_test_global_total") is c

@@ -1,0 +1,59 @@
+"""Overhead guard: instrumentation must stay within noise of off.
+
+The hot seams (kernel primitives, engine dispatch, admission stages)
+pay one flag check + pre-bound handle per event.  This test A/Bs a warm
+QPA/PDA loop with observability enabled vs ``set_enabled(False)`` and
+fails if the instrumented run is far outside the disabled one.  The
+bound is deliberately generous (2x on min-of-N): the point is to catch
+an accidental hot-path regression (string formatting, per-call label
+resolution, journal writes), not to benchmark — the benchmarks/ gate
+does the precise job.
+"""
+
+import time
+
+from repro.engine import analyze, clear_context_cache
+from repro.generation import generate_taskset
+from repro.obs import set_enabled
+
+
+def _min_loop_seconds(tasks, test, repeats=5, inner=20):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            analyze(tasks, test)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_instrumented_warm_analysis_within_noise_of_disabled():
+    tasks = generate_taskset(n=20, utilization=0.9, seed=42)
+    clear_context_cache()
+    # Warm everything (context cache, code paths) before either side.
+    for test in ("qpa", "processor-demand"):
+        analyze(tasks, test)
+
+    previous = set_enabled(True)
+    try:
+        enabled = {
+            test: _min_loop_seconds(tasks, test)
+            for test in ("qpa", "processor-demand")
+        }
+        set_enabled(False)
+        disabled = {
+            test: _min_loop_seconds(tasks, test)
+            for test in ("qpa", "processor-demand")
+        }
+    finally:
+        set_enabled(previous)
+
+    for test in enabled:
+        # Sub-millisecond loops are scheduler noise either way; only
+        # judge the ratio when the measurement is meaningful.
+        if max(enabled[test], disabled[test]) < 0.001:
+            continue
+        assert enabled[test] <= disabled[test] * 2.0 + 0.002, (
+            f"{test}: instrumented {enabled[test]:.6f}s vs "
+            f"disabled {disabled[test]:.6f}s"
+        )

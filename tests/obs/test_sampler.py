@@ -1,0 +1,61 @@
+"""Unit tests for the resource sampler (repro.obs.sampler)."""
+
+import time
+
+import pytest
+
+from repro.obs import ResourceSampler, registry, sample_process
+
+
+class TestSampleProcess:
+    def test_sample_carries_the_core_numbers(self):
+        sample = sample_process()
+        assert sample["threads"] >= 1
+        assert sample["cpu_user_seconds"] >= 0
+        assert sample["max_rss_bytes"] > 0
+
+    def test_sample_updates_gauges(self):
+        sample = sample_process()
+        gauges = registry()
+        assert gauges.get("repro_process_threads").value == sample["threads"]
+        assert (
+            gauges.get("repro_process_max_rss_bytes").value
+            == sample["max_rss_bytes"]
+        )
+
+    def test_samples_counter_advances(self):
+        counter = registry().get("repro_resource_samples_total")
+        before = counter.value
+        sample_process()
+        assert counter.value == before + 1
+
+
+class TestResourceSampler:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(interval=0)
+
+    def test_start_stop_lifecycle(self):
+        sampler = ResourceSampler(interval=60.0, emit_events=False)
+        assert sampler.running is False
+        sampler.start()
+        try:
+            assert sampler.running is True
+            assert sampler.start() is sampler  # idempotent
+        finally:
+            sampler.stop()
+        assert sampler.running is False
+        sampler.stop()  # stopping twice is a no-op
+
+    def test_samples_immediately_on_start(self):
+        counter = registry().get("repro_resource_samples_total")
+        before = counter.value
+        sampler = ResourceSampler(interval=60.0, emit_events=False)
+        sampler.start()
+        try:
+            deadline = time.time() + 5.0
+            while counter.value == before and time.time() < deadline:
+                time.sleep(0.01)
+            assert counter.value > before
+        finally:
+            sampler.stop()
