@@ -1,0 +1,89 @@
+"""Observability overhead benchmark: tracing on vs ``REPRO_OBS=off``.
+
+The acceptance bar for the cross-process tracing layer: a warm
+1000-task analysis with span identity, span export, and metrics all
+enabled must stay within 10% of the same analysis with observability
+disabled (the ``REPRO_OBS=off`` configuration).  Both sides run
+min-of-N over the identical warm engine path, so the comparison
+isolates the per-span cost — id generation, dict build, ring append —
+from everything the two configurations share.
+
+An absolute epsilon rides on top of the 10%: at these durations a few
+milliseconds of scheduler jitter would otherwise dominate the ratio on
+shared CI runners.
+"""
+
+import time
+
+from repro.engine import analyze, clear_context_cache
+from repro.experiments import ascii_table
+from repro.generation import generate_taskset
+from repro.obs import set_enabled, set_span_export, span_log
+
+TASK_COUNT = 1000
+REPEATS = 5
+EPSILON_SECONDS = 0.01
+
+
+def _min_analysis_seconds(tasks, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        analyze(tasks, "qpa")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_tracing_overhead_within_10_percent(benchmark, bench_record):
+    tasks = generate_taskset(n=TASK_COUNT, utilization=0.9, seed=2005)
+    assert len(tasks) == TASK_COUNT
+    clear_context_cache()
+    analyze(tasks, "qpa")  # warm: context cache, code paths, allocator
+
+    previous_enabled = set_enabled(True)
+    previous_export = set_span_export(True)
+    try:
+        spans_before = span_log().last_seq
+        on_seconds = benchmark.pedantic(
+            lambda: _min_analysis_seconds(tasks), rounds=1, iterations=1
+        )
+        spans_recorded = span_log().last_seq - spans_before
+        assert spans_recorded >= REPEATS  # the instrumented side did trace
+
+        set_enabled(False)
+        off_seconds = _min_analysis_seconds(tasks)
+    finally:
+        set_enabled(previous_enabled)
+        set_span_export(previous_export)
+
+    ratio = on_seconds / off_seconds if off_seconds else 1.0
+    print(
+        "\n"
+        + ascii_table(
+            headers=["configuration", "seconds", "ratio"],
+            rows=[
+                ["observability on (spans exported)",
+                 f"{on_seconds:.6f}", f"{ratio:.4f}"],
+                ["REPRO_OBS=off", f"{off_seconds:.6f}", "1.0000"],
+            ],
+            title=f"Warm {TASK_COUNT}-task QPA, min of {REPEATS}",
+        )
+    )
+
+    bench_record(
+        "BENCH_obs.json",
+        {
+            "benchmark": "obs_overhead",
+            "task_count": TASK_COUNT,
+            "repeats": REPEATS,
+            "tracing_on_seconds": round(on_seconds, 6),
+            "tracing_off_seconds": round(off_seconds, 6),
+            "overhead_ratio": round(ratio, 4),
+            "spans_per_analysis": spans_recorded // REPEATS,
+        },
+    )
+
+    assert on_seconds <= off_seconds * 1.10 + EPSILON_SECONDS, (
+        f"tracing on {on_seconds:.6f}s vs off {off_seconds:.6f}s "
+        f"({ratio:.3f}x, bar is 1.10x + {EPSILON_SECONDS}s)"
+    )

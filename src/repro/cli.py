@@ -151,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's context-cache counters after the run",
     )
+    p_analyze.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage span profile (preflight/kernel/backend) "
+        "after the run",
+    )
+    p_analyze.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="additionally write the profile report as JSON",
+    )
     _add_metrics_out_option(p_analyze)
     _add_kernel_backend_option(p_analyze)
 
@@ -322,6 +334,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(size-capped, rotates to FILE.1, FILE.2, ...)",
     )
     p_serve.add_argument(
+        "--span-journal",
+        default=None,
+        metavar="FILE",
+        help="append finished tracing spans to this JSONL journal "
+        "(size-capped, rotates like --journal)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
@@ -356,6 +375,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-wait",
         action="store_true",
         help="print the job id and return instead of waiting for results",
+    )
+    p_submit.add_argument(
+        "--profile",
+        action="store_true",
+        help="opt the job into the server-side span profiler and print "
+        "the per-stage report with the results",
     )
     p_submit.add_argument(
         "--timeout",
@@ -509,6 +534,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="--follow poll interval in seconds (default: 1)",
     )
+    p_obs_trace = obs_sub.add_parser(
+        "trace",
+        help="reconstruct a span tree from a running service "
+        "(omit the id to list recent traces)",
+    )
+    p_obs_trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace id (32 hex chars, printed by 'submit' and in job "
+        "documents); omit to list recent traces",
+    )
+    p_obs_trace.add_argument(
+        "--url", default="http://127.0.0.1:8787", help=url_help
+    )
+    p_obs_trace.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="traces to list when no id is given (default: 20)",
+    )
+    p_obs_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw span records instead of the rendered tree",
+    )
+    p_obs_trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the aggregated per-stage profile instead of the tree",
+    )
     return parser
 
 
@@ -628,6 +684,39 @@ def _print_cache_stats(args: argparse.Namespace) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if not (args.profile or args.profile_out):
+        return _run_analyze(args)
+    from pathlib import Path
+
+    from .obs import profile_spans, render_profile, span, span_log
+
+    log = span_log()
+    cursor = log.last_seq
+    # The root span originates the trace every engine/kernel span of
+    # this invocation (including multiprocessing chunks) attaches to.
+    with span("cli.analyze", file=args.file) as root:
+        code = _run_analyze(args)
+    if root is None:
+        print(
+            "profile unavailable: observability is disabled (REPRO_OBS=off)",
+            file=sys.stderr,
+        )
+        return code
+    spans, _ = log.since(cursor, limit=1 << 30)
+    report = profile_spans(
+        [s for s in spans if s.get("trace_id") == root.trace_id]
+    )
+    print()
+    print(render_profile(report))
+    if args.profile_out:
+        Path(args.profile_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"wrote profile to {args.profile_out}")
+    return code
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
     tasks = load_taskset(args.file)
     registry = default_registry()
     if args.all:
@@ -1070,6 +1159,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_rows=args.max_rows,
         quiet=not args.verbose,
         journal=args.journal,
+        span_journal=args.span_journal,
     )
     # Machine-readable first line: scripts (and the e2e test) parse the
     # URL, which matters when --port 0 picked an ephemeral port.
@@ -1080,6 +1170,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.journal:
         print(f"event journal: {args.journal}", flush=True)
+    if args.span_journal:
+        print(f"span journal: {args.span_journal}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -1121,6 +1213,8 @@ def _print_job_results(client: ServiceClient, job_id: str) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from .obs import span
+
     client = ServiceClient(args.url)
     options = _job_options(args)
     if args.test == "superpos" and args.level is None:
@@ -1136,20 +1230,48 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             else "taskset"
         )
         requests.append({key: document, "test": args.test, "options": options})
-    snapshot = client.submit_document({"requests": requests})
-    job_id = snapshot["job"]
-    print(f"job {job_id} submitted ({snapshot['total']} analyses)")
-    if args.no_wait:
-        return 0
-    snapshot = client.wait(job_id, timeout=args.timeout)
-    if snapshot["state"] != "done":
+    body: dict = {"requests": requests}
+    if args.profile:
+        body["profile"] = True
+    # One root span for the whole submit/wait/fetch conversation: every
+    # request carries its traceparent, so the server-side span tree
+    # (HTTP handler → queue wait → engine → kernel) shares one trace id
+    # — the one printed below and reconstructed by `repro obs trace`.
+    with span("cli.submit", files=len(args.files), test=args.test):
+        snapshot = client.submit_document(body)
+        job_id = snapshot["job"]
+        print(f"job {job_id} submitted ({snapshot['total']} analyses)")
+        if snapshot.get("trace_id"):
+            print(f"trace {snapshot['trace_id']}")
+        if args.no_wait:
+            return 0
+        snapshot = client.wait(job_id, timeout=args.timeout)
+        if snapshot["state"] != "done":
+            print(
+                f"error: job {job_id} ended {snapshot['state']}"
+                + (f": {snapshot['error']}" if snapshot.get("error") else ""),
+                file=sys.stderr,
+            )
+            return 2
+        code = _print_job_results(client, job_id)
+        if args.profile:
+            _print_remote_profile(client, job_id)
+        return code
+
+
+def _print_remote_profile(client: ServiceClient, job_id: str) -> None:
+    from .obs import render_profile
+
+    report = client.raw_results(job_id).get("profile")
+    if report:
+        print()
+        print(render_profile(report))
+    else:
         print(
-            f"error: job {job_id} ended {snapshot['state']}"
-            + (f": {snapshot['error']}" if snapshot.get("error") else ""),
+            "no profile in the result document "
+            "(server observability disabled?)",
             file=sys.stderr,
         )
-        return 2
-    return _print_job_results(client, job_id)
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -1193,10 +1315,69 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         else:
             sys.stdout.write(client.metrics_text())
         return 0
+    if args.obs_command == "trace":
+        return _obs_trace(client, args)
+    return _obs_events(client, args)
+
+
+def _obs_trace(client: ServiceClient, args: argparse.Namespace) -> int:
+    from .obs import profile_spans, render_profile, render_trace_tree
+
+    if not args.trace_id:
+        summaries = client.traces(limit=args.limit)
+        if args.json:
+            print(json.dumps(summaries, indent=2, sort_keys=True))
+            return 0
+        if not summaries:
+            print("no traces retained by the server")
+            return 0
+        print(f"{'trace':>32s}  {'spans':>5s}  {'ms':>10s}  root")
+        for entry in summaries:
+            duration = entry.get("duration")
+            rendered = f"{duration * 1000.0:10.3f}" if duration else " " * 10
+            print(
+                f"{entry['trace']:>32s}  {entry['spans']:>5d}  "
+                f"{rendered}  {entry['root']}"
+            )
+        return 0
+    spans = client.trace(args.trace_id)
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+    elif args.profile:
+        print(render_profile(profile_spans(spans)))
+    else:
+        print(render_trace_tree(spans))
+    return 0
+
+
+def _obs_events(client: ServiceClient, args: argparse.Namespace) -> int:
     cursor = args.since
+    # In --follow mode one transient error (server restart, blip) is
+    # retried after a delay; a second consecutive failure exits with
+    # the cursor so `--since N` can resume without replay or loss.
+    failed_once = False
     try:
         while True:
-            page = client.events(since=cursor, limit=args.limit)
+            try:
+                page = client.events(since=cursor, limit=args.limit)
+            except ServiceError as err:
+                if not args.follow:
+                    raise
+                if failed_once:
+                    print(f"error: {err}", file=sys.stderr)
+                    print(
+                        f"stream interrupted; resume with --since {cursor}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                failed_once = True
+                print(
+                    f"warning: {err}; retrying in {args.interval:g}s",
+                    file=sys.stderr,
+                )
+                time.sleep(args.interval)
+                continue
+            failed_once = False
             for event in page["events"]:
                 print(json.dumps(event, sort_keys=True), flush=args.follow)
             cursor = page["next"]
@@ -1204,6 +1385,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 return 0
             time.sleep(args.interval)
     except KeyboardInterrupt:  # pragma: no cover - interactive
+        if args.follow:
+            print(f"resume with --since {cursor}", file=sys.stderr)
         return 0
 
 

@@ -32,8 +32,13 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..analysis.processor_demand import processor_demand_test
 from ..model.components import DemandSource
 from ..obs import ITERATION_BUCKETS
+from ..obs import capture_worker_baseline as _obs_capture_baseline
+from ..obs import collect_worker_telemetry as _obs_collect_telemetry
+from ..obs import continue_trace as _obs_continue_trace
 from ..obs import counter as _obs_counter
+from ..obs import current_traceparent as _obs_current_traceparent
 from ..obs import histogram as _obs_histogram
+from ..obs import merge_worker_telemetry as _obs_merge_telemetry
 from ..obs import span as _obs_span
 from ..result import FeasibilityResult
 from .campaign import processor_demand_many
@@ -43,9 +48,11 @@ __all__ = ["AnalysisRequest", "BatchRunner", "default_jobs"]
 
 # Same families registry.py registers (registration is idempotent):
 # batched runs dispatch to test runners directly, bypassing
-# TestRegistry.run(), and the parallel path computes in worker
-# processes whose registries are discarded — so the parent records
-# every request here after results land.
+# TestRegistry.run(), so the parent records every request here after
+# results land.  (Workers additionally ship their own registry deltas
+# home — kernel/backend counters, spans, events — merged below; these
+# two engine-level families stay parent-recorded so sequential and
+# parallel runs report bit-identical counts.)
 _ANALYSES = _obs_counter(
     "repro_engine_analyses_total",
     "Feasibility analyses run through the engine, by test.",
@@ -88,19 +95,33 @@ def default_jobs() -> int:
 
 
 def _execute_chunk(
-    payload: Sequence[Tuple[int, DemandSource, str, Mapping[str, Any]]],
-) -> List[Tuple[int, FeasibilityResult]]:
-    """Worker entry point: run one chunk, return indexed results.
+    payload: Tuple[
+        Sequence[Tuple[int, DemandSource, str, Mapping[str, Any]]],
+        Optional[str],
+    ],
+) -> Tuple[List[Tuple[int, FeasibilityResult]], Dict[str, Any]]:
+    """Worker entry point: run one chunk, return results + telemetry.
 
     Options arrive already resolved (validated, defaults applied) by the
     parent process, so the worker dispatches straight to the runner
-    without re-validating per request.
+    without re-validating per request.  The chunk carries the parent's
+    traceparent, so spans opened here belong to the submitting trace;
+    everything the chunk records (metrics delta, events, spans) rides
+    back with the results for the parent to merge — worker registries
+    are no longer discarded.
     """
+    entries, traceparent = payload
     registry = default_registry()
-    return [
-        (index, registry.get(test).runner(source, **options))
-        for index, source, test, options in payload
-    ]
+    baseline = _obs_capture_baseline()
+    with _obs_continue_trace(traceparent):
+        with _obs_span("worker.chunk", requests=len(entries)):
+            results = []
+            for index, source, test, options in entries:
+                with _obs_span("engine.analyze", test=test):
+                    results.append(
+                        (index, registry.get(test).runner(source, **options))
+                    )
+    return results, _obs_collect_telemetry(baseline)
 
 
 class BatchRunner:
@@ -222,15 +243,24 @@ class BatchRunner:
                 if key is not None:
                     campaigns.setdefault(key, []).append(index)
                     continue
-            results[index] = runner(request.source, **options)
+            with _obs_span("engine.analyze", test=request.test):
+                results[index] = runner(request.source, **options)
         for indices in campaigns.values():
             _, options = entries[indices[0]]
             if len(indices) >= 2:
-                outcomes = processor_demand_many(
-                    [batch[i].source for i in indices], **options
-                )
+                with _obs_span(
+                    "engine.campaign",
+                    test="processor-demand",
+                    systems=len(indices),
+                ):
+                    outcomes = processor_demand_many(
+                        [batch[i].source for i in indices], **options
+                    )
             else:
-                outcomes = [processor_demand_test(batch[indices[0]].source, **options)]
+                with _obs_span("engine.analyze", test="processor-demand"):
+                    outcomes = [
+                        processor_demand_test(batch[indices[0]].source, **options)
+                    ]
             for index, outcome in zip(indices, outcomes):
                 results[index] = outcome
         return results  # type: ignore[return-value]
@@ -251,15 +281,22 @@ class BatchRunner:
         size = self.chunk_size
         if size is None:
             size = max(1, -(-len(payload) // (4 * self.jobs)))
-        chunks = [payload[i : i + size] for i in range(0, len(payload), size)]
+        traceparent = _obs_current_traceparent()
+        chunks = [
+            (payload[i : i + size], traceparent)
+            for i in range(0, len(payload), size)
+        ]
         workers = min(self.jobs, len(chunks))
 
         results: List[Optional[FeasibilityResult]] = [None] * len(batch)
         ctx = multiprocessing.get_context()
         with ctx.Pool(processes=workers) as pool:
-            for chunk_result in pool.imap_unordered(_execute_chunk, chunks):
+            for chunk_result, telemetry in pool.imap_unordered(
+                _execute_chunk, chunks
+            ):
                 for index, result in chunk_result:
                     results[index] = result
+                _obs_merge_telemetry(telemetry)
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:  # pragma: no cover - defensive
             raise RuntimeError(f"batch lost results for indices {missing}")

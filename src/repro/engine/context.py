@@ -42,6 +42,7 @@ from ..model.components import (
 )
 from ..model.numeric import ExactTime, Time, to_exact
 from ..obs import counter as _obs_counter
+from ..obs import span as _obs_span
 from ..result import FeasibilityResult, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -432,7 +433,8 @@ def preflight(
     verdict is reported (Devi and Liu & Layland count it as one
     comparison and omit the reason string).
     """
-    ctx = AnalysisContext.of(source)
+    with _obs_span("engine.preflight", test=test_name):
+        ctx = AnalysisContext.of(source)
     if ctx.is_overloaded:
         return ctx, ctx.overload_result(
             test_name,

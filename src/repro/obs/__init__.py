@@ -26,7 +26,7 @@ no-op (reads then report zeros); :func:`set_enabled` flips the same
 switch at runtime for overhead A/B tests.
 """
 
-from .events import Event, EventLog, emit, event_log
+from .events import Event, EventLog, RotatingJournal, emit, event_log
 from .metrics import (
     DEFAULT_BUCKETS,
     ITERATION_BUCKETS,
@@ -41,9 +41,34 @@ from .metrics import (
     is_enabled,
     registry,
     set_enabled,
+    state_delta,
 )
 from .sampler import ResourceSampler, sample_process
-from .tracing import SpanHandle, current_span, set_span_events, span
+from .trace import (
+    SpanLog,
+    capture_worker_baseline,
+    collect_worker_telemetry,
+    continue_trace,
+    format_traceparent,
+    is_export_enabled,
+    merge_worker_telemetry,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    profile_spans,
+    remote_parent,
+    render_profile,
+    render_trace_tree,
+    set_span_export,
+    span_log,
+)
+from .tracing import (
+    SpanHandle,
+    current_span,
+    current_traceparent,
+    set_span_events,
+    span,
+)
 
 __all__ = [
     "Counter",
@@ -59,14 +84,33 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "ITERATION_BUCKETS",
     "LATENCY_BUCKETS",
+    "state_delta",
     "Event",
     "EventLog",
+    "RotatingJournal",
     "event_log",
     "emit",
     "span",
     "current_span",
+    "current_traceparent",
     "SpanHandle",
     "set_span_events",
+    "SpanLog",
+    "span_log",
+    "set_span_export",
+    "is_export_enabled",
+    "new_trace_id",
+    "new_span_id",
+    "format_traceparent",
+    "parse_traceparent",
+    "continue_trace",
+    "remote_parent",
+    "capture_worker_baseline",
+    "collect_worker_telemetry",
+    "merge_worker_telemetry",
+    "profile_spans",
+    "render_profile",
+    "render_trace_tree",
     "ResourceSampler",
     "sample_process",
 ]

@@ -35,7 +35,90 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .metrics import counter, is_enabled
 
-__all__ = ["Event", "EventLog", "event_log", "emit"]
+__all__ = ["Event", "EventLog", "RotatingJournal", "event_log", "emit"]
+
+
+class RotatingJournal:
+    """Append-only JSONL file with size-capped rotation.
+
+    The write path shared by the event log and the span log: one JSON
+    document per line, rotation ``path`` → ``path.1`` … ``path.N`` once
+    *max_bytes* is exceeded, and any :class:`OSError` (full disk,
+    revoked mount) closes the journal instead of raising into the
+    instrumented caller.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 4 * 1024 * 1024,
+        backups: int = 2,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self._lock = threading.Lock()
+        self._path = path
+        self._max_bytes = max_bytes
+        self._backups = max(0, backups)
+        self._handle: Optional[io.TextIOWrapper] = open(
+            path, "a", encoding="utf-8"
+        )
+        self._size = self._handle.tell()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def write_line(self, line: str) -> None:
+        """Append one line; never raises (errors close the journal)."""
+        with self._lock:
+            handle = self._handle
+            if handle is None:
+                return
+            try:
+                handle.write(line)
+                handle.write("\n")
+                handle.flush()
+                self._size += len(line) + 1
+                if self._size >= self._max_bytes:
+                    self._rotate_locked()
+            except OSError:
+                # A full disk must not take the analysis down with it.
+                self._close_locked()
+
+    def _rotate_locked(self) -> None:
+        assert self._handle is not None
+        self._handle.close()
+        path = self._path
+        if self._backups > 0:
+            oldest = f"{path}.{self._backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self._backups - 1, 0, -1):
+                src = f"{path}.{index}"
+                if os.path.exists(src):
+                    os.replace(src, f"{path}.{index + 1}")
+            os.replace(path, f"{path}.1")
+        else:
+            os.remove(path)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._size = 0
+
+    def _close_locked(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close failure is benign
+                pass
+        self._handle = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
 
 _EVENTS_TOTAL = counter(
     "repro_events_emitted_total",
@@ -83,11 +166,7 @@ class EventLog:
         self._ring: Deque[Event] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._seq = 0
-        self._journal: Optional[io.TextIOWrapper] = None
-        self._journal_path: Optional[str] = None
-        self._journal_max_bytes = 0
-        self._journal_backups = 0
-        self._journal_size = 0
+        self._journal: Optional[RotatingJournal] = None
 
     # ------------------------------------------------------------------
     # Journal plumbing
@@ -105,67 +184,24 @@ class EventLog:
         (existing backups shift up, the oldest past *backups* is
         dropped) and a fresh file is started.
         """
-        if max_bytes < 1:
-            raise ValueError("max_bytes must be >= 1")
+        journal = RotatingJournal(path, max_bytes=max_bytes, backups=backups)
         with self._lock:
-            self._close_journal_locked()
-            handle = open(path, "a", encoding="utf-8")
-            self._journal = handle
-            self._journal_path = path
-            self._journal_max_bytes = max_bytes
-            self._journal_backups = max(0, backups)
-            self._journal_size = handle.tell()
+            if self._journal is not None:
+                self._journal.close()
+            self._journal = journal
 
     def detach_journal(self) -> None:
         with self._lock:
-            self._close_journal_locked()
+            if self._journal is not None:
+                self._journal.close()
+            self._journal = None
 
     @property
     def journal_path(self) -> Optional[str]:
-        return self._journal_path
-
-    def _close_journal_locked(self) -> None:
-        if self._journal is not None:
-            try:
-                self._journal.close()
-            except OSError:  # pragma: no cover - close failure is benign
-                pass
-        self._journal = None
-        self._journal_path = None
-        self._journal_size = 0
-
-    def _rotate_locked(self) -> None:
-        path = self._journal_path
-        assert path is not None and self._journal is not None
-        self._journal.close()
-        if self._journal_backups > 0:
-            oldest = f"{path}.{self._journal_backups}"
-            if os.path.exists(oldest):
-                os.remove(oldest)
-            for index in range(self._journal_backups - 1, 0, -1):
-                src = f"{path}.{index}"
-                if os.path.exists(src):
-                    os.replace(src, f"{path}.{index + 1}")
-            os.replace(path, f"{path}.1")
-        else:
-            os.remove(path)
-        self._journal = open(path, "a", encoding="utf-8")
-        self._journal_size = 0
-
-    def _write_journal_locked(self, line: str) -> None:
         journal = self._journal
-        if journal is None:
-            return
-        try:
-            journal.write(line)
-            journal.write("\n")
-            journal.flush()
-            self._journal_size += len(line) + 1
-            if self._journal_size >= self._journal_max_bytes:
-                self._rotate_locked()
-        except OSError:
-            # A full disk must not take the analysis down with it.
-            self._close_journal_locked()
+        if journal is None or journal.closed:
+            return None
+        return journal.path
 
     # ------------------------------------------------------------------
     # Emission and reads
@@ -192,10 +228,42 @@ class EventLog:
             )
             self._ring.append(event)
             if self._journal is not None:
-                self._write_journal_locked(
+                self._journal.write_line(
                     json.dumps(event.to_dict(), separators=(",", ":"))
                 )
         _EVENTS_TOTAL.labels(category).inc()
+        return event
+
+    def ingest(
+        self, document: Dict[str, Any], worker: str = ""
+    ) -> Optional[Event]:
+        """Replay another process's event into this log (worker merge).
+
+        The original timestamp, category, name, and payload are kept;
+        the sequence number is re-assigned by *this* log, and a
+        ``worker`` payload key tags provenance.  Unlike :meth:`emit`
+        this does not bump ``repro_events_emitted_total`` — the worker
+        already counted the emission in its metrics delta.
+        """
+        if not is_enabled():
+            return None
+        payload = dict(document.get("payload") or {})
+        if worker:
+            payload.setdefault("worker", worker)
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                seq=self._seq,
+                ts=float(document.get("ts") or time.time()),
+                category=str(document.get("category", "")),
+                name=str(document.get("name", "")),
+                payload=payload,
+            )
+            self._ring.append(event)
+            if self._journal is not None:
+                self._journal.write_line(
+                    json.dumps(event.to_dict(), separators=(",", ":"))
+                )
         return event
 
     def since(self, cursor: int = 0, limit: int = 500) -> Tuple[List[Event], int]:

@@ -45,6 +45,7 @@ __all__ = [
     "histogram",
     "is_enabled",
     "set_enabled",
+    "state_delta",
     "DEFAULT_BUCKETS",
     "ITERATION_BUCKETS",
     "LATENCY_BUCKETS",
@@ -262,6 +263,23 @@ class _HistogramChild(_Child):
             cumulative.append((bound, running))
         cumulative.append((math.inf, total))
         return {"buckets": cumulative, "sum": summed, "count": total}
+
+    def raw(self) -> Tuple[List[int], float, int]:
+        """Non-cumulative cells — the mergeable representation."""
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    def merge(self, counts: Sequence[int], summed: float, count: int) -> None:
+        """Add another process's cells into this child (worker merge)."""
+        if not _ENABLED:
+            return
+        with self._lock:
+            if len(counts) != len(self._counts):
+                return  # bucket layout drifted; refuse rather than corrupt
+            for index, cell in enumerate(counts):
+                self._counts[index] += cell
+            self._sum += summed
+            self._count += count
 
     def reset(self) -> None:
         with self._lock:
@@ -482,6 +500,77 @@ class MetricsRegistry:
             }
         return out
 
+    def export_state(self) -> Dict[str, Any]:
+        """Pickle/JSON-able dump of raw cells for cross-process merging.
+
+        Unlike :meth:`snapshot` (cumulative buckets, presentation shape)
+        this keeps histograms as *non-cumulative* cells so two states can
+        be subtracted (:func:`state_delta`) and added back
+        (:meth:`merge_state`) without loss.
+        """
+        out: Dict[str, Any] = {}
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, family in families:
+            series: List[Any] = []
+            for key, child in family.children():
+                if family.kind == "histogram":
+                    counts, summed, count = child.raw()  # type: ignore[attr-defined]
+                    series.append(
+                        [list(key), {"counts": counts, "sum": summed, "count": count}]
+                    )
+                else:
+                    series.append([list(key), child.value])
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "buckets": list(family.buckets) if family.buckets else None,
+                "series": series,
+            }
+        return out
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold an :meth:`export_state` document (usually a delta) in.
+
+        Counters and gauges add; histograms merge cell-wise.  Families
+        unknown to this process are registered on the fly, so a worker
+        that touched a metric the parent never did still contributes.
+        Shape mismatches skip the offending family instead of raising —
+        a telemetry merge must never take the analysis down.
+        """
+        if not _ENABLED:
+            return
+        for name, document in state.items():
+            kind = document.get("kind")
+            if kind not in _CHILD_TYPES:
+                continue
+            try:
+                family = self._register(
+                    name,
+                    kind,
+                    document.get("help", ""),
+                    tuple(document.get("labelnames") or ()),
+                    document.get("buckets"),
+                )
+            except ValueError:
+                continue
+            for key, value in document.get("series") or ():
+                try:
+                    child = family.labels(*key) if family.labelnames else family._default
+                except ValueError:
+                    continue
+                if kind == "histogram":
+                    child.merge(  # type: ignore[attr-defined]
+                        value.get("counts") or (),
+                        float(value.get("sum", 0.0)),
+                        int(value.get("count", 0)),
+                    )
+                elif kind == "counter":
+                    child.inc(int(value))  # type: ignore[attr-defined]
+                else:
+                    child.inc(float(value))  # type: ignore[attr-defined]
+
     def exposition(self) -> str:
         """Prometheus text exposition (format 0.0.4)."""
         lines: List[str] = []
@@ -517,6 +606,51 @@ class MetricsRegistry:
                         f"{name}{suffix} {_format_value(child.value)}"
                     )
         return "\n".join(lines) + "\n" if lines else ""
+
+
+def state_delta(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> Dict[str, Any]:
+    """``current - baseline`` over two :meth:`export_state` documents.
+
+    The result is the *increment* a worker produced between two points
+    in time — exactly what the parent should :meth:`merge_state`.  Series
+    whose delta is zero are dropped, so an idle family costs nothing on
+    the wire.
+    """
+    out: Dict[str, Any] = {}
+    for name, document in current.items():
+        base_document = baseline.get(name) or {}
+        base_series = {
+            tuple(key): value for key, value in base_document.get("series") or ()
+        }
+        series: List[Any] = []
+        for key, value in document.get("series") or ():
+            base_value = base_series.get(tuple(key))
+            if document.get("kind") == "histogram":
+                base_counts = (base_value or {}).get("counts") or []
+                counts = list(value.get("counts") or ())
+                if len(base_counts) == len(counts):
+                    counts = [c - b for c, b in zip(counts, base_counts)]
+                count = int(value.get("count", 0)) - int(
+                    (base_value or {}).get("count", 0)
+                )
+                summed = float(value.get("sum", 0.0)) - float(
+                    (base_value or {}).get("sum", 0.0)
+                )
+                if count == 0 and not any(counts):
+                    continue
+                series.append(
+                    [list(key), {"counts": counts, "sum": summed, "count": count}]
+                )
+            else:
+                delta = value - (base_value or 0)
+                if not delta:
+                    continue
+                series.append([list(key), delta])
+        if series:
+            out[name] = {**document, "series": series}
+    return out
 
 
 _REGISTRY = MetricsRegistry()

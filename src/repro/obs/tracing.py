@@ -25,8 +25,22 @@ from typing import Any, Dict, Iterator, Optional
 
 from .events import emit
 from .metrics import DEFAULT_BUCKETS, histogram, is_enabled
+from .trace import (
+    format_traceparent,
+    is_export_enabled,
+    new_span_id,
+    new_trace_id,
+    remote_parent,
+    span_log,
+)
 
-__all__ = ["span", "current_span", "SpanHandle", "set_span_events"]
+__all__ = [
+    "span",
+    "current_span",
+    "current_traceparent",
+    "SpanHandle",
+    "set_span_events",
+]
 
 _SPAN_SECONDS = histogram(
     "repro_span_seconds",
@@ -51,9 +65,25 @@ def set_span_events(flag: bool) -> bool:
 
 
 class SpanHandle:
-    """The live scope a ``with span(...)`` block exposes."""
+    """The live scope a ``with span(...)`` block exposes.
 
-    __slots__ = ("name", "attrs", "parent", "depth", "duration")
+    Every handle carries trace identity: the ``trace_id`` is inherited
+    from the local parent span, else from a remote parent installed by
+    :func:`repro.obs.trace.continue_trace`, else freshly originated —
+    one trace per CLI invocation / HTTP request / detached job.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "parent",
+        "depth",
+        "duration",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_ts",
+    )
 
     def __init__(
         self,
@@ -66,11 +96,44 @@ class SpanHandle:
         self.parent = parent
         self.depth = 0 if parent is None else parent.depth + 1
         self.duration: Optional[float] = None
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id: Optional[str] = parent.span_id
+        else:
+            remote = remote_parent()
+            if remote is not None:
+                self.trace_id, self.parent_id = remote
+            else:
+                self.trace_id = new_trace_id()
+                self.parent_id = None
+        self.span_id = new_span_id()
+        self.start_ts = time.time()
+
+    @property
+    def traceparent(self) -> str:
+        """The header value that continues this span's trace elsewhere."""
+        return format_traceparent(self.trace_id, self.span_id)
 
 
 def current_span() -> Optional[SpanHandle]:
     """The innermost open span of the calling context, if any."""
     return _CURRENT.get()
+
+
+def current_traceparent() -> Optional[str]:
+    """The traceparent header for the calling context, if any.
+
+    Prefers the innermost open span; falls back to a remote parent
+    installed by :func:`repro.obs.trace.continue_trace`.  ``None`` means
+    no trace is active — callers originate one if they need it.
+    """
+    handle = _CURRENT.get()
+    if handle is not None:
+        return handle.traceparent
+    remote = remote_parent()
+    if remote is not None:
+        return format_traceparent(*remote)
+    return None
 
 
 # Cache the histogram children: span names are a small closed set and
@@ -110,6 +173,18 @@ def span(
         handle.duration = duration
         _CURRENT.reset(token)
         _child(name).observe(duration)
+        if is_export_enabled():
+            span_log().record(
+                {
+                    "trace_id": handle.trace_id,
+                    "span_id": handle.span_id,
+                    "parent_id": handle.parent_id,
+                    "name": name,
+                    "start": handle.start_ts,
+                    "duration": duration,
+                    "attrs": attrs,
+                }
+            )
         if _EMIT_EVENTS if emit_event is None else emit_event:
             emit(
                 "trace",

@@ -18,6 +18,8 @@ GET       /v1/tests                   registry dump: names, kinds, options
 GET       /v1/cache-stats             context LRU + store + queue counters
 GET       /v1/metrics                 Prometheus text (``?format=json`` for JSON)
 GET       /v1/events                  structured events (``?since=N`` cursor)
+GET       /v1/traces                  newest-first per-trace span rollups
+GET       /v1/traces/{trace_id}       every retained span of one trace
 POST      /v1/jobs                    submit a single or batch job (202)
 GET       /v1/jobs                    list job snapshots
 GET       /v1/jobs/{id}               one job's status/progress
@@ -74,9 +76,11 @@ from ..model.serialization import (
     taskset_from_dict,
 )
 from ..model.validation import ModelError
-from ..obs import ResourceSampler, event_log
+from ..obs import ResourceSampler, event_log, span_log
+from ..obs import continue_trace as _obs_continue_trace
 from ..obs import counter as _obs_counter
 from ..obs import registry as _obs_registry
+from ..obs import span as _obs_span
 from .jobs import JobQueue
 from .sessions import AdmissionSessionManager, events_from_document
 from .store import ResultStore
@@ -84,6 +88,9 @@ from .store import ResultStore
 __all__ = ["AnalysisServer", "ApiError", "requests_from_document"]
 
 _MAX_BODY = 64 * 1024 * 1024  # a 64 MiB body is an attack, not a campaign
+#: Server-side ceiling on events/traces page sizes: a huge ``limit``
+#: must not serialize the whole ring into one response.
+_MAX_PAGE_LIMIT = 1000
 
 _HTTP_REQUESTS = _obs_counter(
     "repro_http_requests_total",
@@ -282,6 +289,8 @@ class AnalysisServer:
             ``repro_process_*`` gauges; ``None`` disables the sampler.
         journal: optional path for the append-only JSONL event journal
             (size-capped rotation); detached again on :meth:`close`.
+        span_journal: optional path for the finished-span JSONL journal
+            (same rotation machinery); detached again on :meth:`close`.
 
     The server installs its store as the engine's persistent context
     backend for its lifetime (restored on :meth:`close`), so even
@@ -302,6 +311,7 @@ class AnalysisServer:
         quiet: bool = True,
         sampler_interval: Optional[float] = 5.0,
         journal: Union[str, Path, None] = None,
+        span_journal: Union[str, Path, None] = None,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ResultStore(store, max_rows=max_rows)
@@ -335,6 +345,10 @@ class AnalysisServer:
         if journal is not None:
             event_log().attach_journal(str(journal))
             self._journal_attached = True
+        self._span_journal_attached = False
+        if span_journal is not None:
+            span_log().attach_journal(str(span_journal))
+            self._span_journal_attached = True
 
     # ------------------------------------------------------------------
 
@@ -374,6 +388,9 @@ class AnalysisServer:
         if self._journal_attached:
             event_log().detach_journal()
             self._journal_attached = False
+        if self._span_journal_attached:
+            span_log().detach_journal()
+            self._span_journal_attached = False
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:
@@ -404,12 +421,35 @@ class AnalysisServer:
         return "/" + "/".join(parts[:2])
 
     def handle(self, handler: _Handler, method: str, path: str) -> bool:
-        _HTTP_REQUESTS.labels(method, self._endpoint_of(path)).inc()
+        endpoint = self._endpoint_of(path)
+        _HTTP_REQUESTS.labels(method, endpoint).inc()
+        # Continue the caller's trace (traceparent header) — or originate
+        # one — and parent everything this request does, including the
+        # queue.job span of any job it submits, under http.request.
+        with _obs_continue_trace(handler.headers.get("traceparent")):
+            with _obs_span("http.request", method=method, endpoint=endpoint):
+                return self._handle_routed(handler, method, path)
+
+    def _handle_routed(
+        self, handler: _Handler, method: str, path: str
+    ) -> bool:
         if method == "GET" and path == "/v1/metrics":
             self._send_metrics(handler)
             return True
         if method == "GET" and path == "/v1/events":
             handler._send_json(200, self._events_page(handler.path))
+            return True
+        if method == "GET" and path == "/v1/traces":
+            handler._send_json(200, self._traces_page(handler.path))
+            return True
+        if method == "GET" and path.startswith("/v1/traces/"):
+            trace_id = path[len("/v1/traces/") :]
+            if "/" in trace_id:
+                return False
+            spans = span_log().for_trace(trace_id)
+            if not spans:
+                raise ApiError(404, f"unknown trace {trace_id!r}")
+            handler._send_json(200, {"trace": trace_id, "spans": spans})
             return True
         if method == "GET" and path == "/v1/health":
             handler._send_json(
@@ -431,8 +471,13 @@ class AnalysisServer:
             document = handler._read_json()
             requests = requests_from_document(document, self.registry)
             priority = document.get("priority", 0)
+            profile = document.get("profile", False)
+            if not isinstance(profile, bool):
+                raise ApiError(400, "'profile' must be a boolean")
             try:
-                job_id = self.queue.submit(requests, priority=priority)
+                job_id = self.queue.submit(
+                    requests, priority=priority, profile=profile
+                )
             except ValueError as err:
                 raise ApiError(400, str(err)) from None
             handler._send_json(202, self.queue.status(job_id))
@@ -540,6 +585,8 @@ class AnalysisServer:
             for request, result in zip(job.requests, job.results)
             if result is not None
         ]
+        if job.profile:
+            snapshot["profile"] = job.profile_report
         return snapshot
 
     def _create_session(self, document: Any) -> Dict[str, Any]:
@@ -652,13 +699,32 @@ class AnalysisServer:
             return value
 
         since = _int_param("since", 0, 0)
-        limit = _int_param("limit", 500, 1)
+        # Clamp rather than 400 on a huge limit: the cursor protocol
+        # keeps the client correct either way, the server just pages.
+        limit = min(_int_param("limit", 500, 1), _MAX_PAGE_LIMIT)
         events, next_cursor = event_log().since(since, limit=limit)
         return {
             "since": since,
             "next": next_cursor,
             "events": [event.to_dict() for event in events],
         }
+
+    def _traces_page(self, raw_path: str) -> Dict[str, Any]:
+        from urllib.parse import parse_qs, urlsplit
+
+        query = parse_qs(urlsplit(raw_path).query)
+        limit = 50
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][0])
+                if limit < 1:
+                    raise ValueError
+            except ValueError:
+                raise ApiError(
+                    400, "'limit' must be an integer >= 1"
+                ) from None
+        limit = min(limit, _MAX_PAGE_LIMIT)
+        return {"traces": span_log().trace_summaries(limit=limit)}
 
     def cache_stats(self) -> Dict[str, Any]:
         """Context LRU, store, queue, and session counters in one document."""

@@ -18,6 +18,12 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..model.serialization import result_from_dict, taskset_to_dict
 from ..model.taskset import TaskSet
+from ..obs import (
+    current_traceparent,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+)
 from ..result import FeasibilityResult
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -54,6 +60,13 @@ class ServiceClient:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        # Propagate the caller's trace — or originate one per request —
+        # so the server's spans (HTTP → queue → engine → kernel) hang
+        # off the invoking CLI/application context.
+        traceparent = current_traceparent()
+        if traceparent is None:
+            traceparent = format_traceparent(new_trace_id(), new_span_id())
+        headers["traceparent"] = traceparent
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -117,6 +130,14 @@ class ServiceClient:
             "GET", f"/v1/events?since={since}&limit={limit}"
         )
 
+    def traces(self, limit: int = 50) -> List[Dict[str, Any]]:
+        """Newest-first per-trace span rollups retained by the server."""
+        return self._request("GET", f"/v1/traces?limit={limit}")["traces"]
+
+    def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every retained span of one trace (404 → :class:`ServiceError`)."""
+        return self._request("GET", f"/v1/traces/{trace_id}")["spans"]
+
     # ------------------------------------------------------------------
     # Jobs
     # ------------------------------------------------------------------
@@ -130,15 +151,22 @@ class ServiceClient:
         tasksets: Sequence[TaskSet],
         test: str = "all-approx",
         priority: int = 0,
+        profile: bool = False,
         **options: Any,
     ) -> str:
-        """Submit one job over *tasksets*; returns the job id."""
+        """Submit one job over *tasksets*; returns the job id.
+
+        *profile* opts the job into the server-side span profiler: the
+        result document gains a per-stage ``profile`` breakdown.
+        """
         sets = list(tasksets)
         if not sets:
             raise ValueError("submit needs at least one task set")
         document: Dict[str, Any] = {"test": test, "options": options}
         if priority:
             document["priority"] = priority
+        if profile:
+            document["profile"] = True
         if len(sets) == 1:
             document["taskset"] = taskset_to_dict(sets[0])
         else:

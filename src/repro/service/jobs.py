@@ -40,10 +40,20 @@ from ..engine.batch import AnalysisRequest, BatchRunner
 from ..engine.context import AnalysisContext, fingerprint_of
 from ..engine.registry import TestRegistry, default_registry
 from ..obs import LATENCY_BUCKETS
+from ..obs import continue_trace as _obs_continue_trace
 from ..obs import counter as _obs_counter
+from ..obs import current_span as _obs_current_span
+from ..obs import current_traceparent as _obs_current_traceparent
 from ..obs import emit as _obs_emit
+from ..obs import format_traceparent as _obs_format_traceparent
 from ..obs import gauge as _obs_gauge
 from ..obs import histogram as _obs_histogram
+from ..obs import new_span_id as _obs_new_span_id
+from ..obs import new_trace_id as _obs_new_trace_id
+from ..obs import parse_traceparent as _obs_parse_traceparent
+from ..obs import profile_spans as _obs_profile_spans
+from ..obs import span as _obs_span
+from ..obs import span_log as _obs_span_log
 from .store import ResultStore
 
 __all__ = ["JobState", "Job", "JobQueue"]
@@ -126,10 +136,24 @@ class Job:
     results: List[Optional[FeasibilityResult]] = field(default_factory=list)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     completion: threading.Event = field(default_factory=threading.Event)
+    #: Trace context stamped at submission: the submitter's traceparent
+    #: when one was active, else a trace originated for this job.  The
+    #: worker thread restores it before executing, so engine/kernel
+    #: spans (local or in pool workers) join the submitter's trace.
+    traceparent: Optional[str] = None
+    #: Opt-in deterministic profiler: aggregate this job's span stream
+    #: into a per-stage report served alongside the results.
+    profile: bool = False
+    profile_report: Optional[Dict[str, Any]] = None
 
     @property
     def total(self) -> int:
         return len(self.requests)
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        parsed = _obs_parse_traceparent(self.traceparent)
+        return parsed[0] if parsed else None
 
     @property
     def queued_at(self) -> float:
@@ -162,6 +186,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "queue_latency_seconds": self.queue_latency_seconds,
+            "trace_id": self.trace_id,
             "error": self.error,
         }
 
@@ -230,14 +255,16 @@ class JobQueue:
         requests: Sequence[AnalysisRequest],
         kind: Optional[str] = None,
         priority: int = 0,
+        profile: bool = False,
     ) -> str:
         """Validate and enqueue *requests* as one job; returns the job id.
 
         *priority* orders the backlog: higher pops first, FIFO within a
-        level (default 0).  Raises ``ValueError`` on an empty
-        submission, an unknown test name, an invalid priority, or
-        options failing the test's schema — nothing is queued in that
-        case.
+        level (default 0).  *profile* opts the job into the span-stream
+        profiler: its result document gains a per-stage breakdown.
+        Raises ``ValueError`` on an empty submission, an unknown test
+        name, an invalid priority, or options failing the test's schema
+        — nothing is queued in that case.
         """
         batch = list(requests)
         if not batch:
@@ -263,11 +290,21 @@ class JobQueue:
                     tag=request.tag,
                 )
             )
+        # Stamp the submitter's trace on the job document; a detached
+        # submission (no active span or incoming header) originates its
+        # own trace so the job is traceable either way.
+        traceparent = _obs_current_traceparent()
+        if traceparent is None:
+            traceparent = _obs_format_traceparent(
+                _obs_new_trace_id(), _obs_new_span_id()
+            )
         job = Job(
             id=uuid.uuid4().hex[:12],
             kind=kind or ("single" if len(resolved) == 1 else "batch"),
             requests=resolved,
             priority=priority,
+            traceparent=traceparent,
+            profile=bool(profile),
         )
         job.results = [None] * job.total
         with self._lock:
@@ -400,7 +437,21 @@ class JobQueue:
                 latency_seconds=job.queue_latency_seconds,
             )
             try:
-                self._execute(job)
+                # Restore the submitter's trace context on this worker
+                # thread: the queue.job span (wait time is an attribute,
+                # execution is the duration) parents every engine and
+                # kernel span the job produces, including ones merged
+                # back from multiprocessing chunks.
+                with _obs_continue_trace(job.traceparent):
+                    with _obs_span(
+                        "queue.job",
+                        job=job.id,
+                        kind=job.kind,
+                        wait_seconds=round(
+                            job.queue_latency_seconds or 0.0, 6
+                        ),
+                    ):
+                        self._execute(job)
             except Exception as err:  # pragma: no cover - defensive
                 with self._lock:
                     job.state = JobState.FAILED
@@ -412,6 +463,7 @@ class JobQueue:
                 _obs_emit("service", "job.failed", job=job.id, error=job.error)
 
     def _execute(self, job: Job) -> None:
+        profile_cursor = _obs_span_log().last_seq if job.profile else 0
         for start in range(0, job.total, self.shard_size):
             if job.cancel_event.is_set():
                 with self._lock:
@@ -431,6 +483,10 @@ class JobQueue:
             _SHARDS_TOTAL.inc()
             with self._lock:
                 job.done = min(start + self.shard_size, job.total)
+        if job.profile:
+            # Aggregate before flipping to DONE so a waiter that races
+            # the completion event still sees the finished report.
+            job.profile_report = self._collect_profile(job, profile_cursor)
         with self._lock:
             job.state = JobState.DONE
             job.finished_at = time.time()
@@ -445,6 +501,39 @@ class JobQueue:
             from_store=job.from_store,
             computed=job.computed,
         )
+
+    def _collect_profile(
+        self, job: Job, cursor: int
+    ) -> Dict[str, Any]:
+        """Aggregate the spans this job produced into a stage report.
+
+        Runs inside the job's ``queue.job`` span, so its descendants —
+        engine/kernel/worker spans, local or merged from pool workers —
+        are exactly this job's work; concurrent status polls sharing
+        the trace are excluded.  Falls back to a whole-trace filter
+        when no span is open (observability disabled mid-job).
+        """
+        spans, _ = _obs_span_log().since(cursor, limit=1 << 30)
+        handle = _obs_current_span()
+        if handle is None:
+            mine = [s for s in spans if s.get("trace_id") == job.trace_id]
+            return _obs_profile_spans(mine)
+        root_id = handle.span_id
+        by_id = {s["span_id"]: s for s in spans if s.get("span_id")}
+
+        def under_root(record: Dict[str, Any]) -> bool:
+            seen = set()
+            while record is not None:
+                parent = record.get("parent_id")
+                if parent == root_id:
+                    return True
+                if parent is None or parent in seen:
+                    return False
+                seen.add(parent)
+                record = by_id.get(parent)
+            return False
+
+        return _obs_profile_spans([s for s in spans if under_root(s)])
 
     def _run_shard(
         self, job: Job, shard: Sequence[Tuple[int, _JobRequest]]

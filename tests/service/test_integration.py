@@ -193,6 +193,56 @@ class TestServeSubmitCli:
         assert last["from_store"] == 2
         assert last["computed"] == 0
 
+    def test_one_trace_links_http_queue_engine_kernel(
+        self, tmp_path, live_server
+    ):
+        """The trace id printed by a real `submit` subprocess resolves,
+        on the server, to one connected span tree at least three levels
+        deep (HTTP handler → queue job → engine → kernel)."""
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        file_a = tmp_path / "trace.json"
+        dump_taskset(generate_taskset(n=5, utilization=0.7, seed=21), file_a)
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "submit", str(file_a),
+                "--url", live_server, "--test", "qpa",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert completed.returncode == 0, completed.stderr
+        trace_lines = [
+            line for line in completed.stdout.splitlines()
+            if line.startswith("trace ")
+        ]
+        assert len(trace_lines) == 1, completed.stdout
+        trace_id = trace_lines[0].split()[1]
+
+        spans = ServiceClient(live_server).trace(trace_id)
+        assert all(record["trace_id"] == trace_id for record in spans)
+        names = {record["name"] for record in spans}
+        assert "http.request" in names
+        assert "queue.job" in names
+        assert "engine.batch" in names
+        assert "kernel.qpa" in names or "engine.analyze" in names
+
+        by_id = {record["span_id"]: record for record in spans}
+
+        def depth(record):
+            count, seen = 0, set()
+            parent = record.get("parent_id")
+            while parent in by_id and parent not in seen:
+                seen.add(parent)
+                count += 1
+                parent = by_id[parent].get("parent_id")
+            return count
+
+        assert max(depth(record) for record in spans) >= 3
+
     def test_submit_unreachable_server_fails_cleanly(self, tmp_path, capsys):
         from repro.cli import main
 
