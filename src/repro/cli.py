@@ -22,6 +22,10 @@ Subcommands:
   per-event parity oracle;
 * ``admit`` — one-shot admission check of candidate task(s) against a
   base system;
+* ``fleet`` — the fault-tolerant analysis fleet: ``coordinate`` runs a
+  server that shards campaigns across registered workers, ``worker``
+  runs one shard executor (with optional ``--faults`` chaos injection),
+  ``workers`` prints a coordinator's membership table;
 * ``obs`` — observability of a running service: scrape ``/v1/metrics``
   (Prometheus text or JSON) or tail the structured event stream.
 
@@ -496,6 +500,130 @@ def build_parser() -> argparse.ArgumentParser:
         help="print raw repro/result-v1 documents instead of a table",
     )
 
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="fault-tolerant analysis fleet (coordinator + workers)",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fc = fleet_sub.add_parser(
+        "coordinate",
+        help="run an analysis server that shards campaigns across "
+        "registered fleet workers (degrades to local execution with none)",
+    )
+    p_fc.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_fc.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 picks an ephemeral port; the chosen one is printed)",
+    )
+    p_fc.add_argument(
+        "--store",
+        default="repro-results.sqlite",
+        help="SQLite result-store path ('none' serves without persistence)",
+    )
+    p_fc.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent jobs (queue worker threads)",
+    )
+    p_fc.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        help="seconds between expected worker heartbeats (default: 2)",
+    )
+    p_fc.add_argument(
+        "--miss-budget",
+        type=int,
+        default=3,
+        help="missed heartbeats tolerated before a worker is declared "
+        "dead (default: 3)",
+    )
+    p_fc.add_argument(
+        "--fleet-shard-size",
+        type=int,
+        default=8,
+        help="target requests per dispatched shard (default: 8)",
+    )
+    p_fc.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=60.0,
+        help="per-shard dispatch timeout in seconds (default: 60)",
+    )
+    p_fc.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="transient-failure retries per shard before dead-lettering "
+        "(default: 3)",
+    )
+    p_fc.add_argument(
+        "--balance-factor",
+        type=float,
+        default=1.25,
+        help="placement load cap as a multiple of the fair share; "
+        "1.0 balances hardest, larger favors cache affinity "
+        "(default: 1.25)",
+    )
+    p_fc.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="append structured events to this JSONL journal",
+    )
+    p_fc.add_argument(
+        "--span-journal",
+        default=None,
+        metavar="FILE",
+        help="append finished tracing spans to this JSONL journal",
+    )
+    p_fc.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p_fw = fleet_sub.add_parser(
+        "worker",
+        help="run one shard-executing fleet worker against a coordinator",
+    )
+    p_fw.add_argument(
+        "--coordinator",
+        default="http://127.0.0.1:8787",
+        help="coordinator base URL (default: http://127.0.0.1:8787)",
+    )
+    p_fw.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_fw.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick an ephemeral port)",
+    )
+    p_fw.add_argument(
+        "--id",
+        default=None,
+        help="stable worker identity (default: w-<pid>-<random>)",
+    )
+    p_fw.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        help="seconds between heartbeats — use the coordinator's value",
+    )
+    p_fw.add_argument(
+        "--faults",
+        default=None,
+        help="failure injection spec for chaos testing, e.g. "
+        "'crash-on-shard=3,heartbeat-blackhole,stall-on-shard=2:5,"
+        "http-503=4' (also read from REPRO_FLEET_FAULTS)",
+    )
+    p_fleet_workers = fleet_sub.add_parser(
+        "workers", help="show a coordinator's fleet membership"
+    )
+    p_fleet_workers.add_argument(
+        "--url", default="http://127.0.0.1:8787", help=url_help
+    )
+
     p_obs = sub.add_parser(
         "obs", help="observability of a running service (metrics, events)"
     )
@@ -635,6 +763,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_status(args)
     if args.command == "fetch":
         return _cmd_fetch(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "obs":
         return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
@@ -1178,6 +1308,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "coordinate":
+        return _cmd_fleet_coordinate(args)
+    if args.fleet_command == "worker":
+        return _cmd_fleet_worker(args)
+    if args.fleet_command == "workers":
+        return _cmd_fleet_workers(args)
+    raise AssertionError(  # pragma: no cover
+        f"unhandled fleet command {args.fleet_command}"
+    )
+
+
+def _cmd_fleet_coordinate(args: argparse.Namespace) -> int:
+    from .fleet import Coordinator
+    from .service import AnalysisServer
+
+    store = None if args.store == "none" else args.store
+    coordinator = Coordinator(
+        heartbeat_interval=args.heartbeat_interval,
+        miss_budget=args.miss_budget,
+        shard_size=args.fleet_shard_size,
+        shard_timeout=args.shard_timeout,
+        retries=args.retries,
+        balance_factor=args.balance_factor,
+    )
+    server = AnalysisServer(
+        host=args.host,
+        port=args.port,
+        store=store,
+        workers=args.workers,
+        coordinator=coordinator,
+        quiet=not args.verbose,
+        journal=args.journal,
+        span_journal=args.span_journal,
+    )
+    # Machine-readable first line, same contract as `serve`: scripts
+    # (and the CI fleet smoke) parse the URL.
+    print(f"serving on {server.url}", flush=True)
+    print(
+        f"fleet coordinator: heartbeat={args.heartbeat_interval:g}s "
+        f"miss-budget={args.miss_budget} shard-size={args.fleet_shard_size} "
+        f"retries={args.retries}",
+        flush=True,
+    )
+    print(
+        "result store: " + (str(store) if store else "disabled"),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_fleet_worker(args: argparse.Namespace) -> int:
+    from .fleet import FaultPlan, FleetWorker
+
+    faults = (
+        FaultPlan.parse(args.faults)
+        if args.faults is not None
+        else FaultPlan.from_env()
+    )
+    worker = FleetWorker(
+        coordinator_url=args.coordinator,
+        host=args.host,
+        port=args.port,
+        worker_id=args.id,
+        heartbeat_interval=args.heartbeat_interval,
+        faults=faults,
+    )
+    # Machine-readable first line: "worker <id> serving on <url>".
+    print(f"worker {worker.id} serving on {worker.url}", flush=True)
+    print(f"coordinator: {worker.coordinator_url}", flush=True)
+    if faults.active:
+        print(f"fault injection: {faults}", flush=True)
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        worker.close()
+    return 0
+
+
+def _cmd_fleet_workers(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    snapshot = client.fleet_workers()
+    print(
+        f"fleet of {len(snapshot['workers'])} worker(s), "
+        f"{len(snapshot['alive'])} alive — heartbeat "
+        f"{snapshot['heartbeat_interval']:g}s, miss budget "
+        f"{snapshot['miss_budget']}, death after "
+        f"{snapshot['death_timeout_seconds']:g}s"
+    )
+    print(
+        f"{'worker':>16}  {'state':>6}  {'beats':>6}  {'age(s)':>8}  "
+        f"{'done':>6}  {'failed':>6}"
+    )
+    for worker in snapshot["workers"]:
+        print(
+            f"{worker['worker']:>16}  {worker['state']:>6}  "
+            f"{worker['heartbeats']:>6d}  "
+            f"{worker['heartbeat_age_seconds']:>8.1f}  "
+            f"{worker['shards_completed']:>6d}  {worker['shards_failed']:>6d}"
+        )
+    letters = snapshot.get("dead_letters", [])
+    if letters:
+        print(f"dead letters: {len(letters)}")
+        for letter in letters:
+            print(
+                f"  {letter['shard']}: {len(letter['indices'])} request(s), "
+                f"{letter['attempts']} attempts — {letter['reason']}"
+            )
     return 0
 
 

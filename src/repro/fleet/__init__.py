@@ -1,0 +1,51 @@
+"""Fault-tolerant analysis fleet: coordinator, workers, chaos tooling.
+
+A :class:`Coordinator` (embedded in an
+:class:`~repro.service.api.AnalysisServer` via its ``coordinator=``
+parameter) shards campaigns by analysis-context fingerprint and
+dispatches them to :class:`FleetWorker` processes that register and
+heartbeat over HTTP.  Missed heartbeats kill a worker; its shards
+requeue onto survivors; with zero workers the coordinator degrades to
+local in-process execution — campaigns always complete, bit-identical
+to a sequential :class:`~repro.engine.batch.BatchRunner` run.
+
+:class:`FaultPlan` injects deterministic failures (crash, heartbeat
+blackhole, stall, HTTP 503) for chaos testing; see ``README.md``
+"Running a fleet" for topology and knobs.
+"""
+
+from .coordinator import Coordinator, DeadLetter, FleetRunner
+from .faults import FAULTS_ENV, FaultPlan
+from .registry import WorkerInfo, WorkerRegistry
+from .shards import (
+    FleetRequest,
+    RequestGroup,
+    Shard,
+    entries_from_wire,
+    group_requests,
+    pack_groups,
+    rendezvous,
+    rendezvous_ranking,
+    shard_to_wire,
+)
+from .worker import FleetWorker
+
+__all__ = [
+    "Coordinator",
+    "DeadLetter",
+    "FleetRunner",
+    "FleetWorker",
+    "FaultPlan",
+    "FAULTS_ENV",
+    "WorkerInfo",
+    "WorkerRegistry",
+    "FleetRequest",
+    "RequestGroup",
+    "Shard",
+    "group_requests",
+    "pack_groups",
+    "rendezvous",
+    "rendezvous_ranking",
+    "shard_to_wire",
+    "entries_from_wire",
+]

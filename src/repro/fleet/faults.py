@@ -1,0 +1,155 @@
+"""Failure injection for fleet chaos testing.
+
+A :class:`FaultPlan` tells a :class:`~repro.fleet.worker.FleetWorker`
+how to misbehave.  Faults are *deterministic* (every-Nth, not
+probabilistic) so chaos tests assert exact recovery behaviour instead
+of flaking; the spec grammar is a comma-separated list accepted both
+from the CLI (``fleet worker --faults ...``) and the environment
+(``REPRO_FLEET_FAULTS``, so a subprocess worker can be sabotaged
+without plumbing flags):
+
+======================  ================================================
+Spec                    Behaviour
+======================  ================================================
+``crash-on-shard=N``    hard-exit the process when the Nth shard starts
+                        (models ``kill -9`` / OOM mid-work)
+``heartbeat-blackhole`` stop sending heartbeats (optionally
+                        ``=K``: after the Kth beat); the worker stays
+                        alive and keeps executing — the classic
+                        partitioned-but-working failure
+``stall-on-shard=N:S``  sleep S seconds before executing the Nth shard
+                        (drives the per-shard timeout + retry path)
+``http-503=K``          answer every Kth shard request with a 503
+                        before executing anything (transient overload)
+======================  ================================================
+
+Shard counting is 1-based and per-worker-process, in arrival order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FaultPlan", "FAULTS_ENV"]
+
+FAULTS_ENV = "REPRO_FLEET_FAULTS"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed, immutable fault configuration (default: no faults)."""
+
+    crash_on_shard: Optional[int] = None
+    heartbeat_blackhole_after: Optional[int] = None
+    stall_on_shard: Optional[int] = None
+    stall_seconds: float = 0.0
+    reject_503_every: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.crash_on_shard is not None
+            or self.heartbeat_blackhole_after is not None
+            or self.stall_on_shard is not None
+            or self.reject_503_every is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Queries the worker asks per shard / per beat
+    # ------------------------------------------------------------------
+
+    def should_crash(self, shard_number: int) -> bool:
+        return self.crash_on_shard is not None and shard_number >= self.crash_on_shard
+
+    def should_reject(self, shard_number: int) -> bool:
+        return (
+            self.reject_503_every is not None
+            and shard_number % self.reject_503_every == 0
+        )
+
+    def stall_for(self, shard_number: int) -> float:
+        if self.stall_on_shard is not None and shard_number == self.stall_on_shard:
+            return self.stall_seconds
+        return 0.0
+
+    def heartbeat_allowed(self, beats_sent: int) -> bool:
+        """Whether the (beats_sent+1)-th heartbeat may go out."""
+        if self.heartbeat_blackhole_after is None:
+            return True
+        return beats_sent < self.heartbeat_blackhole_after
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "FaultPlan":
+        """Parse a spec string; empty/None yields the no-fault plan."""
+        if not spec or not spec.strip():
+            return cls()
+        crash = blackhole = stall_n = reject = None
+        stall_s = 0.0
+        for raw in spec.split(","):
+            item = raw.strip()
+            if not item:
+                continue
+            name, _, value = item.partition("=")
+            name = name.strip().lower()
+            value = value.strip()
+            try:
+                if name == "crash-on-shard":
+                    crash = _positive_int(value)
+                elif name == "heartbeat-blackhole":
+                    blackhole = _positive_int(value) if value else 0
+                elif name == "stall-on-shard":
+                    which, _, seconds = value.partition(":")
+                    stall_n = _positive_int(which)
+                    stall_s = float(seconds) if seconds else 1.0
+                    if stall_s < 0:
+                        raise ValueError("stall seconds must be >= 0")
+                elif name == "http-503":
+                    reject = _positive_int(value)
+                else:
+                    raise ValueError(f"unknown fault {name!r}")
+            except ValueError as err:
+                raise ValueError(f"bad fault spec {item!r}: {err}") from None
+        return cls(
+            crash_on_shard=crash,
+            heartbeat_blackhole_after=blackhole,
+            stall_on_shard=stall_n,
+            stall_seconds=stall_s,
+            reject_503_every=reject,
+        )
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan":
+        """The plan configured via ``REPRO_FLEET_FAULTS`` (if any)."""
+        return cls.parse(os.environ.get(FAULTS_ENV))
+
+    def __str__(self) -> str:
+        parts = []
+        if self.crash_on_shard is not None:
+            parts.append(f"crash-on-shard={self.crash_on_shard}")
+        if self.heartbeat_blackhole_after is not None:
+            suffix = (
+                f"={self.heartbeat_blackhole_after}"
+                if self.heartbeat_blackhole_after
+                else ""
+            )
+            parts.append(f"heartbeat-blackhole{suffix}")
+        if self.stall_on_shard is not None:
+            parts.append(
+                f"stall-on-shard={self.stall_on_shard}:{self.stall_seconds:g}"
+            )
+        if self.reject_503_every is not None:
+            parts.append(f"http-503={self.reject_503_every}")
+        return ",".join(parts) if parts else "none"
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise ValueError(f"expected a positive integer, got {number}")
+    return number

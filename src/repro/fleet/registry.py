@@ -1,0 +1,281 @@
+"""Fleet membership: registration, heartbeats, death detection.
+
+The coordinator's view of its workers.  A worker registers with an id
+and a callback URL, then heartbeats on a fixed interval; the registry's
+monitor thread declares a worker **dead** once its silence exceeds
+``heartbeat_interval * miss_budget`` seconds and fires the coordinator's
+``on_death`` callback exactly once per death (a re-registration revives
+the worker and re-arms the callback).
+
+Timing uses ``time.monotonic`` throughout — wall-clock jumps must never
+kill a healthy fleet.  All state transitions are lock-guarded; the
+callback runs *outside* the lock so the coordinator can requeue shards
+(which may consult the registry) without deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..obs import counter as _obs_counter
+from ..obs import emit as _obs_emit
+from ..obs import gauge as _obs_gauge
+
+__all__ = ["WorkerInfo", "WorkerRegistry"]
+
+ALIVE = "alive"
+DEAD = "dead"
+LEFT = "left"
+
+_WORKERS_ALIVE = _obs_gauge(
+    "repro_fleet_workers_alive",
+    "Fleet workers currently considered alive by the coordinator.",
+)
+_WORKER_EVENTS = _obs_counter(
+    "repro_fleet_worker_events_total",
+    "Fleet membership transitions, by kind.",
+    labelnames=("kind",),
+)
+
+
+@dataclass
+class WorkerInfo:
+    """One worker's membership record."""
+
+    id: str
+    url: str
+    state: str = ALIVE
+    registered_at: float = field(default_factory=time.monotonic)
+    last_heartbeat: float = field(default_factory=time.monotonic)
+    heartbeats: int = 0
+    deaths: int = 0
+    shards_completed: int = 0
+    shards_failed: int = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        return {
+            "worker": self.id,
+            "url": self.url,
+            "state": self.state,
+            "heartbeats": self.heartbeats,
+            "heartbeat_age_seconds": round(now - self.last_heartbeat, 3),
+            "deaths": self.deaths,
+            "shards_completed": self.shards_completed,
+            "shards_failed": self.shards_failed,
+        }
+
+
+class WorkerRegistry:
+    """Thread-safe membership table with a death-detection monitor.
+
+    Args:
+        heartbeat_interval: seconds between expected heartbeats (the
+            value workers are told to beat at).
+        miss_budget: consecutive missed beats tolerated before a worker
+            is declared dead.
+        on_death: ``callback(worker_id)`` fired once per detected death
+            (monitor thread, no locks held) — the coordinator requeues
+            the dead worker's shards here.
+    """
+
+    def __init__(
+        self,
+        heartbeat_interval: float = 2.0,
+        miss_budget: int = 3,
+        on_death: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        if miss_budget < 1:
+            raise ValueError(f"miss_budget must be >= 1, got {miss_budget}")
+        self.heartbeat_interval = heartbeat_interval
+        self.miss_budget = miss_budget
+        self.on_death = on_death
+        self._workers: Dict[str, WorkerInfo] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def register(self, worker_id: str, url: str) -> WorkerInfo:
+        """Add (or revive) a worker.  Registration counts as a heartbeat."""
+        if not worker_id or not url:
+            raise ValueError("a worker registration needs an id and a url")
+        with self._lock:
+            info = self._workers.get(worker_id)
+            revived = info is not None and info.state != ALIVE
+            if info is None:
+                info = self._workers[worker_id] = WorkerInfo(
+                    id=worker_id, url=url
+                )
+            info.url = url
+            info.state = ALIVE
+            info.last_heartbeat = time.monotonic()
+        _WORKER_EVENTS.labels("revived" if revived else "registered").inc()
+        self._update_alive_gauge()
+        _obs_emit(
+            "fleet",
+            "worker.revived" if revived else "worker.registered",
+            worker=worker_id,
+            url=url,
+        )
+        return info
+
+    def heartbeat(self, worker_id: str) -> bool:
+        """Record a heartbeat; ``False`` for an unknown worker (the
+        worker should re-register).  A beat from a worker previously
+        declared dead revives it."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                return False
+            revived = info.state == DEAD
+            info.state = ALIVE
+            info.last_heartbeat = time.monotonic()
+            info.heartbeats += 1
+        if revived:
+            _WORKER_EVENTS.labels("revived").inc()
+            self._update_alive_gauge()
+            _obs_emit("fleet", "worker.revived", worker=worker_id)
+        return True
+
+    def deregister(self, worker_id: str) -> bool:
+        """Graceful leave: the worker is gone but not 'dead' (no death
+        callback double-fires for a clean shutdown)."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None or info.state == LEFT:
+                return False
+            was_alive = info.state == ALIVE
+            info.state = LEFT
+        _WORKER_EVENTS.labels("left").inc()
+        self._update_alive_gauge()
+        _obs_emit("fleet", "worker.left", worker=worker_id)
+        return was_alive
+
+    def mark_dead(self, worker_id: str, reason: str = "") -> bool:
+        """Declare a worker dead (monitor or dispatch-failure path).
+
+        Returns ``True`` if this call performed the transition — the
+        caller owning ``True`` is responsible for requeueing.
+        """
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None or info.state != ALIVE:
+                return False
+            info.state = DEAD
+            info.deaths += 1
+        _WORKER_EVENTS.labels("dead").inc()
+        self._update_alive_gauge()
+        _obs_emit("fleet", "worker.dead", worker=worker_id, reason=reason)
+        return True
+
+    def note_shard(self, worker_id: str, ok: bool) -> None:
+        """Account a shard outcome against a worker (coordinator use)."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                return
+            if ok:
+                info.shards_completed += 1
+            else:
+                info.shards_failed += 1
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def get(self, worker_id: str) -> Optional[WorkerInfo]:
+        with self._lock:
+            return self._workers.get(worker_id)
+
+    def alive(self) -> List[WorkerInfo]:
+        with self._lock:
+            return [w for w in self._workers.values() if w.state == ALIVE]
+
+    def alive_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                w.id for w in self._workers.values() if w.state == ALIVE
+            )
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            workers = list(self._workers.values())
+        return [w.snapshot() for w in workers]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def _update_alive_gauge(self) -> None:
+        with self._lock:
+            alive = sum(1 for w in self._workers.values() if w.state == ALIVE)
+        _WORKERS_ALIVE.set(alive)
+
+    # ------------------------------------------------------------------
+    # Death detection
+    # ------------------------------------------------------------------
+
+    @property
+    def death_timeout(self) -> float:
+        """Silence, in seconds, after which a worker is declared dead."""
+        return self.heartbeat_interval * self.miss_budget
+
+    def check_deaths(self) -> List[str]:
+        """One monitor sweep: mark overdue workers dead, fire callbacks.
+
+        Public so tests (and a coordinator without the background
+        thread) can drive detection deterministically.
+        """
+        now = time.monotonic()
+        overdue: List[str] = []
+        with self._lock:
+            for info in self._workers.values():
+                if (
+                    info.state == ALIVE
+                    and now - info.last_heartbeat > self.death_timeout
+                ):
+                    overdue.append(info.id)
+        died: List[str] = []
+        for worker_id in overdue:
+            if self.mark_dead(worker_id, reason="missed heartbeats"):
+                died.append(worker_id)
+                if self.on_death is not None:
+                    self.on_death(worker_id)
+        return died
+
+    def start(self) -> "WorkerRegistry":
+        """Start the background monitor (idempotent)."""
+        if self._monitor is None:
+            self._stop.clear()
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="repro-fleet-monitor", daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
+
+    def _monitor_loop(self) -> None:
+        # Sweep at half the heartbeat interval: worst-case detection
+        # latency is death_timeout + interval/2, tight enough that the
+        # requeue path dominates recovery time, not detection.
+        while not self._stop.wait(self.heartbeat_interval / 2):
+            try:
+                self.check_deaths()
+            except Exception:  # pragma: no cover - monitor must survive
+                pass

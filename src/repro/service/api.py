@@ -25,6 +25,10 @@ GET       /v1/jobs                    list job snapshots
 GET       /v1/jobs/{id}               one job's status/progress
 GET       /v1/jobs/{id}/result        results of a finished job
 DELETE    /v1/jobs/{id}               cancel (immediate if queued)
+POST      /v1/fleet/register          register a fleet worker (501 if no fleet)
+POST      /v1/fleet/heartbeat         worker heartbeat (404 → re-register)
+POST      /v1/fleet/deregister        graceful worker leave
+GET       /v1/fleet/workers           membership snapshot + dead letters
 POST      /v1/admission               create an admission session (201)
 GET       /v1/admission               list admission sessions
 GET       /v1/admission/{id}          one session's stats snapshot
@@ -84,6 +88,9 @@ from ..obs import span as _obs_span
 from .jobs import JobQueue
 from .sessions import AdmissionSessionManager, events_from_document
 from .store import ResultStore
+
+if False:  # pragma: no cover - import cycle guard (typing only)
+    from ..fleet.coordinator import Coordinator
 
 __all__ = ["AnalysisServer", "ApiError", "requests_from_document"]
 
@@ -312,6 +319,7 @@ class AnalysisServer:
         sampler_interval: Optional[float] = 5.0,
         journal: Union[str, Path, None] = None,
         span_journal: Union[str, Path, None] = None,
+        coordinator: Optional["Coordinator"] = None,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ResultStore(store, max_rows=max_rows)
@@ -320,6 +328,19 @@ class AnalysisServer:
             self._owns_store = False
         self.store = store
         self.registry = registry if registry is not None else default_registry()
+        # Fleet mode: campaign shards route through the coordinator
+        # (which starts its heartbeat monitor here and is closed with
+        # the server) unless the caller supplied an explicit runner.
+        self.coordinator = coordinator
+        if coordinator is not None:
+            # Imported here, not at module top: repro.fleet imports
+            # repro.service.client, so a top-level import would cycle
+            # through the package __init__s.
+            from ..fleet.coordinator import FleetRunner
+
+            coordinator.start()
+            if runner is None:
+                runner = FleetRunner(coordinator)  # type: ignore[assignment]
         self.queue = JobQueue(
             store=store,
             workers=workers,
@@ -397,6 +418,8 @@ class AnalysisServer:
             self._thread.join(timeout=5)
             self._thread = None
         self.queue.shutdown()
+        if self.coordinator is not None:
+            self.coordinator.close()
         if self._backend_installed:
             set_context_backend(self._previous_backend)
             self._backend_installed = False
@@ -501,6 +524,8 @@ class AnalysisServer:
                     return True
             except KeyError:
                 raise ApiError(404, f"unknown job {job_id!r}") from None
+        if path.startswith("/v1/fleet/"):
+            return self._handle_fleet(handler, method, path)
         if path == "/v1/admission" and method == "POST":
             handler._send_json(
                 201, self._create_session(handler._read_json())
@@ -541,6 +566,53 @@ class AnalysisServer:
                 raise ApiError(
                     404, f"unknown session {session_id!r}"
                 ) from None
+        return False
+
+    # ------------------------------------------------------------------
+    # Fleet endpoints
+    # ------------------------------------------------------------------
+
+    def _handle_fleet(
+        self, handler: _Handler, method: str, path: str
+    ) -> bool:
+        if self.coordinator is None:
+            raise ApiError(
+                501,
+                "fleet mode is not enabled on this server "
+                "(start it with `repro fleet coordinate`)",
+            )
+        if method == "GET" and path == "/v1/fleet/workers":
+            handler._send_json(200, self.coordinator.snapshot())
+            return True
+        if method != "POST":
+            return False
+        if path == "/v1/fleet/register":
+            document = handler._read_json()
+            worker_id = document.get("worker")
+            url = document.get("url")
+            if not isinstance(worker_id, str) or not worker_id:
+                raise ApiError(400, "'worker' must be a non-empty string")
+            if not isinstance(url, str) or not url.startswith("http"):
+                raise ApiError(400, "'url' must be an http(s) URL")
+            handler._send_json(200, self.coordinator.register(worker_id, url))
+            return True
+        if path == "/v1/fleet/heartbeat":
+            document = handler._read_json()
+            worker_id = document.get("worker")
+            if not isinstance(worker_id, str) or not worker_id:
+                raise ApiError(400, "'worker' must be a non-empty string")
+            if not self.coordinator.heartbeat(worker_id):
+                raise ApiError(404, f"unknown worker {worker_id!r}")
+            handler._send_json(200, {"ok": True, "worker": worker_id})
+            return True
+        if path == "/v1/fleet/deregister":
+            document = handler._read_json()
+            worker_id = document.get("worker")
+            if not isinstance(worker_id, str) or not worker_id:
+                raise ApiError(400, "'worker' must be a non-empty string")
+            left = self.coordinator.deregister(worker_id)
+            handler._send_json(200, {"ok": True, "left": left})
+            return True
         return False
 
     # ------------------------------------------------------------------
@@ -733,6 +805,15 @@ class AnalysisServer:
             "store": self.store.stats() if self.store is not None else None,
             "queue": self.queue.stats(),
             "admission": self.sessions.stats(),
+            "fleet": (
+                None
+                if self.coordinator is None
+                else {
+                    "workers": len(self.coordinator.workers),
+                    "alive": self.coordinator.workers.alive_ids(),
+                    "dead_letters": len(self.coordinator.dead_letters),
+                }
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -11,6 +11,8 @@ back as :class:`ServiceError` carrying the HTTP status and the server's
 from __future__ import annotations
 
 import json
+import random
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -26,7 +28,11 @@ from ..obs import (
 )
 from ..result import FeasibilityResult
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "TransientServiceError"]
+
+# HTTP statuses that signal a momentarily-overloaded or restarting
+# server rather than a caller mistake.
+_TRANSIENT_STATUSES = frozenset({502, 503})
 
 
 class ServiceError(Exception):
@@ -38,23 +44,69 @@ class ServiceError(Exception):
         self.message = message
 
 
+class TransientServiceError(ServiceError):
+    """A failure worth retrying: the request may never have reached the
+    server (connection refused/reset, timeout) or the server refused it
+    momentarily (HTTP 502/503).
+
+    ``reason`` classifies the flavour for callers with different
+    policies per failure mode (the fleet coordinator treats
+    ``"unreachable"`` as worker death but ``"timeout"``/``"http"`` as a
+    retriable shard failure):
+
+    * ``"unreachable"`` — connection-level failure; the peer is gone.
+    * ``"timeout"`` — the socket deadline elapsed mid-request.
+    * ``"http"`` — the server answered 502/503.
+    """
+
+    def __init__(self, status: int, message: str, reason: str = "http") -> None:
+        super().__init__(status, message)
+        self.reason = reason
+
+
 class ServiceClient:
     """Talk to a running :class:`~repro.service.api.AnalysisServer`.
+
+    Idempotent GETs retry transient transport failures automatically
+    with capped exponential backoff and jitter; non-idempotent methods
+    (POST/DELETE) never retry — they surface a typed
+    :class:`TransientServiceError` so callers can apply their own
+    policy (the request may have executed server-side).
 
     Args:
         base_url: e.g. ``http://127.0.0.1:8787`` (trailing slash ok).
         timeout: per-request socket timeout in seconds.
+        retries: total attempts for idempotent GETs (1 disables retry).
+        retry_base / retry_cap: backoff delay for attempt *n* is
+            ``min(cap, base * 2^(n-1))`` seconds.
+        retry_jitter: each delay is scaled by a uniform ``±jitter``
+            fraction so synchronized clients do not stampede.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        retry_base: float = 0.1,
+        retry_cap: float = 2.0,
+        retry_jitter: float = 0.25,
+    ) -> None:
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.retry_jitter = retry_jitter
+        self._rng = random.Random()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
-    def _request_text(
+    def _request_once(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> str:
         url = f"{self.base_url}{path}"
@@ -82,9 +134,47 @@ class ServiceClient:
                 message = json.loads(detail).get("error", detail)
             except ValueError:
                 message = detail or err.reason
+            if err.code in _TRANSIENT_STATUSES:
+                raise TransientServiceError(
+                    err.code, message, reason="http"
+                ) from None
             raise ServiceError(err.code, message) from None
         except urllib.error.URLError as err:
-            raise ServiceError(0, f"cannot reach {url}: {err.reason}") from None
+            if isinstance(err.reason, (TimeoutError, socket.timeout)):
+                raise TransientServiceError(
+                    0, f"timed out talking to {url}", reason="timeout"
+                ) from None
+            raise TransientServiceError(
+                0, f"cannot reach {url}: {err.reason}", reason="unreachable"
+            ) from None
+        except (TimeoutError, socket.timeout):
+            raise TransientServiceError(
+                0, f"timed out talking to {url}", reason="timeout"
+            ) from None
+        except (ConnectionError, OSError) as err:
+            raise TransientServiceError(
+                0, f"cannot reach {url}: {err}", reason="unreachable"
+            ) from None
+
+    def _request_text(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> str:
+        # Only GETs are idempotent by construction in this API; a
+        # retried POST could double-submit a job, so non-GETs make
+        # exactly one attempt and surface TransientServiceError.
+        attempts = self.retries if method == "GET" else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except TransientServiceError:
+                if attempt == attempts:
+                    raise
+                delay = min(
+                    self.retry_cap, self.retry_base * (2 ** (attempt - 1))
+                )
+                delay *= 1.0 + self.retry_jitter * self._rng.uniform(-1.0, 1.0)
+                time.sleep(max(delay, 0.0))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
@@ -245,6 +335,44 @@ class ServiceClient:
                 f"{snapshot.get('error') or 'no detail'}",
             )
         return self.results(job_id)
+
+    # ------------------------------------------------------------------
+    # Fleet
+    # ------------------------------------------------------------------
+
+    def fleet_register(self, worker_id: str, url: str) -> Dict[str, Any]:
+        """Register a fleet worker with its coordinator."""
+        return self._request(
+            "POST", "/v1/fleet/register", {"worker": worker_id, "url": url}
+        )
+
+    def fleet_heartbeat(self, worker_id: str) -> bool:
+        """Send one heartbeat; ``False`` means the coordinator does not
+        know this worker (it should re-register)."""
+        try:
+            self._request("POST", "/v1/fleet/heartbeat", {"worker": worker_id})
+        except ServiceError as err:
+            if err.status == 404:
+                return False
+            raise
+        return True
+
+    def fleet_deregister(self, worker_id: str) -> Dict[str, Any]:
+        """Gracefully remove a worker from the fleet."""
+        return self._request(
+            "POST", "/v1/fleet/deregister", {"worker": worker_id}
+        )
+
+    def fleet_workers(self) -> Dict[str, Any]:
+        """The coordinator's membership snapshot (workers, config,
+        dead-letter records)."""
+        return self._request("GET", "/v1/fleet/workers")
+
+    def fleet_shard(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one shard on a *worker* (``base_url`` must point at
+        the worker, not the coordinator).  Never retried here — the
+        coordinator owns shard retry policy."""
+        return self._request("POST", "/v1/fleet/shard", document)
 
     # ------------------------------------------------------------------
     # Admission sessions

@@ -136,6 +136,10 @@ class Job:
     results: List[Optional[FeasibilityResult]] = field(default_factory=list)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     completion: threading.Event = field(default_factory=threading.Event)
+    #: Recorded in ``error`` when the cancel lands; lets a shutdown-
+    #: driven cancellation surface as ``cancelled_by_shutdown`` in
+    #: snapshots instead of looking user-initiated.
+    cancel_reason: Optional[str] = None
     #: Trace context stamped at submission: the submitter's traceparent
     #: when one was active, else a trace originated for this job.  The
     #: worker thread restores it before executing, so engine/kernel
@@ -230,8 +234,8 @@ class JobQueue:
         self._lock = threading.Lock()
         # Entries are (-priority, sequence, job id): the highest
         # priority pops first, FIFO within a level.  Shutdown sentinels
-        # use -inf so they preempt any backlog and stop workers at the
-        # next pop, leaving queued jobs queued.
+        # use -inf (cancelling stop: preempt the backlog) or +inf
+        # (draining stop: sort after every queued job).
         self._queue: "queue.PriorityQueue[Tuple[float, int, Optional[str]]]" = (
             queue.PriorityQueue()
         )
@@ -364,17 +368,10 @@ class JobQueue:
             except KeyError:
                 raise KeyError(f"unknown job {job_id!r}") from None
             job.cancel_event.set()
-            cancelled_while_queued = job.state == JobState.QUEUED
-            if cancelled_while_queued:
-                job.state = JobState.CANCELLED
-                job.finished_at = time.time()
-                job.completion.set()
-            snapshot = job.snapshot()
-        if cancelled_while_queued:
-            _QUEUE_DEPTH.dec()
-            _JOB_TRANSITIONS.labels(JobState.CANCELLED).inc()
+        if self._finish(job, JobState.CANCELLED, only_from=JobState.QUEUED):
             _obs_emit("service", "job.cancelled", job=job_id, queued=True)
-        return snapshot
+        with self._lock:
+            return job.snapshot()
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Block until the job reaches a terminal state (or *timeout*)."""
@@ -401,15 +398,86 @@ class JobQueue:
         counts["shard_size"] = self.shard_size
         return counts
 
-    def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop the workers (running shards finish; queued jobs stay queued)."""
+    def _finish(
+        self,
+        job: Job,
+        state: str,
+        error: Optional[str] = None,
+        only_from: Optional[str] = None,
+    ) -> bool:
+        """Atomically move *job* to a terminal state.
+
+        Returns ``False`` if the job is already terminal (or not in
+        *only_from* when given): the first finisher wins, and only the
+        winner touches gauges/counters — a worker thread outliving a
+        shutdown sweep can no longer resurrect a cancelled job.
+        """
+        with self._lock:
+            if job.state in JobState.TERMINAL:
+                return False
+            if only_from is not None and job.state != only_from:
+                return False
+            was_running = job.state == JobState.RUNNING
+            was_queued = job.state == JobState.QUEUED
+            job.state = state
+            if error is not None:
+                job.error = error
+            job.finished_at = time.time()
+        job.completion.set()
+        if was_running:
+            _QUEUE_RUNNING.dec()
+        if was_queued:
+            _QUEUE_DEPTH.dec()
+        _JOB_TRANSITIONS.labels(state).inc()
+        return True
+
+    def shutdown(self, timeout: float = 5.0, drain: bool = False) -> None:
+        """Stop the workers without abandoning jobs.
+
+        With ``drain=False`` (default) in-flight jobs are cancelled:
+        running jobs stop at their next shard boundary, queued jobs
+        never start, and both record the terminal state ``cancelled``
+        with ``error="cancelled_by_shutdown"``.  With ``drain=True``
+        the backlog is executed first (sentinels sort *after* queued
+        work) and cancellation only applies to whatever is still
+        unfinished when the deadline expires.
+
+        Either way, once *timeout* seconds have elapsed every
+        non-terminal job is swept to ``cancelled_by_shutdown`` — no job
+        is ever left ``running`` forever by a server stop.
+        """
         if self._closed:
             return
         self._closed = True
+        sentinel_rank = float("inf") if drain else float("-inf")
+        if not drain:
+            with self._lock:
+                jobs = [self._jobs[i] for i in self._order]
+            for job in jobs:
+                if job.state not in JobState.TERMINAL:
+                    job.cancel_reason = "cancelled_by_shutdown"
+                    job.cancel_event.set()
         for _ in self._workers:
-            self._queue.put((float("-inf"), 0, None))
+            self._queue.put((sentinel_rank, 0, None))
+        deadline = time.monotonic() + timeout
         for thread in self._workers:
-            thread.join(timeout)
+            thread.join(max(0.0, deadline - time.monotonic()))
+        # Deadline sweep: anything still non-terminal (a worker stuck in
+        # a long shard, or queued jobs under drain that never ran) is
+        # explicitly cancelled so snapshots reach a terminal state.
+        with self._lock:
+            jobs = [self._jobs[i] for i in self._order]
+        for job in jobs:
+            job.cancel_event.set()
+            if self._finish(
+                job, JobState.CANCELLED, error="cancelled_by_shutdown"
+            ):
+                _obs_emit(
+                    "service",
+                    "job.cancelled",
+                    job=job.id,
+                    by_shutdown=True,
+                )
 
     # ------------------------------------------------------------------
     # Execution
@@ -453,26 +521,23 @@ class JobQueue:
                     ):
                         self._execute(job)
             except Exception as err:  # pragma: no cover - defensive
-                with self._lock:
-                    job.state = JobState.FAILED
-                    job.error = f"{type(err).__name__}: {err}"
-                    job.finished_at = time.time()
-                job.completion.set()
-                _QUEUE_RUNNING.dec()
-                _JOB_TRANSITIONS.labels(JobState.FAILED).inc()
-                _obs_emit("service", "job.failed", job=job.id, error=job.error)
+                if self._finish(
+                    job, JobState.FAILED, error=f"{type(err).__name__}: {err}"
+                ):
+                    _obs_emit(
+                        "service", "job.failed", job=job.id, error=job.error
+                    )
 
     def _execute(self, job: Job) -> None:
         profile_cursor = _obs_span_log().last_seq if job.profile else 0
         for start in range(0, job.total, self.shard_size):
             if job.cancel_event.is_set():
-                with self._lock:
-                    job.state = JobState.CANCELLED
-                    job.finished_at = time.time()
-                job.completion.set()
-                _QUEUE_RUNNING.dec()
-                _JOB_TRANSITIONS.labels(JobState.CANCELLED).inc()
-                _obs_emit("service", "job.cancelled", job=job.id, queued=False)
+                if self._finish(
+                    job, JobState.CANCELLED, error=job.cancel_reason
+                ):
+                    _obs_emit(
+                        "service", "job.cancelled", job=job.id, queued=False
+                    )
                 return
             shard = list(
                 enumerate(
@@ -487,20 +552,15 @@ class JobQueue:
             # Aggregate before flipping to DONE so a waiter that races
             # the completion event still sees the finished report.
             job.profile_report = self._collect_profile(job, profile_cursor)
-        with self._lock:
-            job.state = JobState.DONE
-            job.finished_at = time.time()
-        job.completion.set()
-        _QUEUE_RUNNING.dec()
-        _JOB_TRANSITIONS.labels(JobState.DONE).inc()
-        _obs_emit(
-            "service",
-            "job.done",
-            job=job.id,
-            total=job.total,
-            from_store=job.from_store,
-            computed=job.computed,
-        )
+        if self._finish(job, JobState.DONE):
+            _obs_emit(
+                "service",
+                "job.done",
+                job=job.id,
+                total=job.total,
+                from_store=job.from_store,
+                computed=job.computed,
+            )
 
     def _collect_profile(
         self, job: Job, cursor: int

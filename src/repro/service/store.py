@@ -77,6 +77,10 @@ _STORE_QUARANTINES = _obs_counter(
     "repro_store_quarantines_total",
     "Corrupted databases moved aside (quarantined) and recreated.",
 )
+_STORE_LOCKED_RETRIES = _obs_counter(
+    "repro_store_locked_retries_total",
+    "Write attempts retried because another connection held the lock.",
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -127,15 +131,33 @@ class ResultStore:
         path: database file; parent directories are created.
         max_rows: LRU eviction threshold for the ``results`` table
             (``None`` disables eviction).
+        busy_timeout: seconds SQLite itself blocks on a locked database
+            before raising (``PRAGMA busy_timeout``) — the first line of
+            defence when several fleet workers share one store file.
+        locked_retries: bounded application-level retries (with short
+            exponential backoff) on a still-locked write before the
+            write is dropped as best-effort.
     """
 
     def __init__(
-        self, path: Union[str, Path], max_rows: Optional[int] = 100_000
+        self,
+        path: Union[str, Path],
+        max_rows: Optional[int] = 100_000,
+        busy_timeout: float = 5.0,
+        locked_retries: int = 3,
     ) -> None:
         if max_rows is not None and max_rows < 1:
             raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        if busy_timeout < 0:
+            raise ValueError(f"busy_timeout must be >= 0, got {busy_timeout}")
+        if locked_retries < 1:
+            raise ValueError(
+                f"locked_retries must be >= 1, got {locked_retries}"
+            )
         self.path = Path(path)
         self.max_rows = max_rows
+        self.busy_timeout = busy_timeout
+        self.locked_retries = locked_retries
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -165,12 +187,43 @@ class ResultStore:
     def _connect(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self.path, check_same_thread=False)
         try:
+            conn.execute(
+                f"PRAGMA busy_timeout = {int(self.busy_timeout * 1000)}"
+            )
             conn.executescript(_SCHEMA)
             conn.commit()
         except sqlite3.DatabaseError:
             conn.close()
             raise
         return conn
+
+    def _write_retrying(self, operation: Any) -> None:
+        """Run a write *operation*, retrying a bounded number of times
+        when another connection holds the database lock.
+
+        ``PRAGMA busy_timeout`` already makes SQLite wait; this layer
+        covers the residue (timeout elapsed, or a deferred lock upgrade
+        that ``busy_timeout`` does not apply to).  Non-lock
+        ``OperationalError``s and the final failed attempt propagate to
+        the caller's existing best-effort/recovery handling.
+        """
+        for attempt in range(1, self.locked_retries + 1):
+            try:
+                operation()
+                return
+            except sqlite3.OperationalError as err:
+                message = str(err).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                try:
+                    assert self._conn is not None
+                    self._conn.rollback()
+                except sqlite3.Error:
+                    pass
+                if attempt == self.locked_retries:
+                    raise
+                _STORE_LOCKED_RETRIES.inc()
+                time.sleep(0.05 * (2 ** (attempt - 1)))
 
     def _quarantine(self) -> None:
         """Move a corrupted database aside so a fresh one can be created."""
@@ -304,7 +357,9 @@ class ResultStore:
             if self._conn is None:
                 raise RuntimeError("store is closed")
             self._tick += 1
-            try:
+
+            def write() -> None:
+                assert self._conn is not None
                 self._conn.execute(
                     "INSERT OR REPLACE INTO results "
                     "(fingerprint, test, options, result, created_at, "
@@ -316,8 +371,11 @@ class ResultStore:
                 )
                 self._evict_locked()
                 self._conn.commit()
+
+            try:
+                self._write_retrying(write)
             except sqlite3.OperationalError:
-                pass  # transient (locked/read-only): drop this write
+                pass  # still failing (locked/read-only): drop this write
             except sqlite3.DatabaseError:
                 self._recover()
 
@@ -379,15 +437,20 @@ class ResultStore:
             if self._conn is None:
                 return
             self._tick += 1
-            try:
+
+            def write() -> None:
+                assert self._conn is not None
                 self._conn.execute(
                     "INSERT OR REPLACE INTO contexts "
                     "(fingerprint, state, last_used) VALUES (?,?,?)",
                     (key, document, self._tick),
                 )
                 self._conn.commit()
+
+            try:
+                self._write_retrying(write)
             except sqlite3.OperationalError:
-                pass  # transient: drop this write
+                pass  # still failing: drop this write
             except sqlite3.DatabaseError:
                 self._recover()
 

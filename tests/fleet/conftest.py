@@ -1,0 +1,116 @@
+"""Shared helpers for the fleet tests.
+
+The in-process harness runs real ``FleetWorker`` HTTP servers but keeps
+registration/heartbeats under test control: workers are registered
+directly on the coordinator object and death detection is driven
+deterministically (``check_deaths`` after rewinding ``last_heartbeat``)
+instead of sleeping through monitor intervals.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import List, Optional
+
+import pytest
+
+from repro.engine.batch import AnalysisRequest, BatchRunner
+from repro.fleet import FaultPlan, FleetWorker
+from repro.model import SporadicTask, TaskSet
+from repro.model.serialization import result_to_dict
+
+
+def make_tasksets(count: int, seed: int = 0xF1EE7) -> List[TaskSet]:
+    """Deterministic random campaign of *count* systems."""
+    rng = random.Random(seed)
+    sets = []
+    for _ in range(count):
+        n = rng.randint(1, 5)
+        tasks = []
+        for _ in range(n):
+            period = rng.randint(2, 30)
+            wcet = rng.randint(1, period)
+            deadline = rng.randint(1, period + 5)
+            tasks.append(
+                SporadicTask(wcet=wcet, deadline=deadline, period=period)
+            )
+        sets.append(TaskSet(tasks))
+    return sets
+
+
+def campaign_requests(
+    sets: List[TaskSet], test: str = "all-approx"
+) -> List[AnalysisRequest]:
+    return [
+        AnalysisRequest(source=ts, test=test, options={}, tag=i)
+        for i, ts in enumerate(sets)
+    ]
+
+
+def sequential_docs(requests: List[AnalysisRequest]) -> List[dict]:
+    """The bit-identical oracle: sequential BatchRunner, serialized."""
+    return [result_to_dict(r) for r in BatchRunner(jobs=1).run(requests)]
+
+
+class LocalWorker:
+    """A ``FleetWorker`` serving HTTP without its client loops.
+
+    Tests register it on the coordinator directly, so no coordinator
+    HTTP endpoint (and no heartbeat thread) is needed; ``crash=``
+    defaults to a hard in-process death — the HTTP server's sockets are
+    torn down so in-flight requests reset, exactly what a SIGKILL looks
+    like from the coordinator's side.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        faults: Optional[FaultPlan] = None,
+        crash: str = "sockets",
+    ) -> None:
+        self.worker = FleetWorker(
+            "http://127.0.0.1:9",  # never contacted: loops are not started
+            worker_id=worker_id,
+            faults=faults if faults is not None else FaultPlan(),
+            crash=self.die if crash == "sockets" else crash,
+        )
+        self.id = worker_id
+        self.crashed = threading.Event()
+        self._thread = threading.Thread(
+            target=self.worker.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return self.worker.url
+
+    def die(self) -> None:
+        """Simulate ``kill -9``: connections reset, no deregistration."""
+        self.crashed.set()
+        self.worker.httpd.server_close()
+        threading.Thread(target=self.worker.httpd.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        if not self.crashed.is_set():
+            self.worker.httpd.shutdown()
+            self.worker.httpd.server_close()
+        self._thread.join(timeout=5)
+
+
+@pytest.fixture
+def local_workers():
+    """Factory fixture: spawn LocalWorkers, close them on teardown."""
+    spawned: List[LocalWorker] = []
+
+    def spawn(worker_id: str, **kwargs) -> LocalWorker:
+        worker = LocalWorker(worker_id, **kwargs)
+        spawned.append(worker)
+        return worker
+
+    yield spawn
+    for worker in spawned:
+        worker.close()

@@ -1,0 +1,83 @@
+"""Failure-injection plans: parsing, env wiring, trigger queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FAULTS_ENV, FaultPlan
+
+
+class TestParsing:
+    def test_empty_spec_is_inactive(self):
+        assert not FaultPlan.parse("").active
+        assert not FaultPlan.parse(None).active
+        assert not FaultPlan().active
+
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "crash-on-shard=3,heartbeat-blackhole=2,stall-on-shard=1:0.5,"
+            "http-503=4"
+        )
+        assert plan.crash_on_shard == 3
+        assert plan.heartbeat_blackhole_after == 2
+        assert plan.stall_on_shard == 1
+        assert plan.stall_seconds == 0.5
+        assert plan.reject_503_every == 4
+        assert plan.active
+
+    def test_bare_blackhole(self):
+        plan = FaultPlan.parse("heartbeat-blackhole")
+        assert plan.heartbeat_blackhole_after == 0
+
+    def test_stall_seconds_default(self):
+        assert FaultPlan.parse("stall-on-shard=2").stall_seconds == 1.0
+
+    def test_round_trips_through_str(self):
+        spec = "crash-on-shard=2,stall-on-shard=1:1.5"
+        assert FaultPlan.parse(str(FaultPlan.parse(spec))) == FaultPlan.parse(spec)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["bogus", "crash-on-shard=zero", "crash-on-shard=0", "http-503=-1",
+         "stall-on-shard=1:abc", "stall-on-shard=1:-2"],
+    )
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert not FaultPlan.from_env().active
+        monkeypatch.setenv(FAULTS_ENV, "http-503=2")
+        assert FaultPlan.from_env().reject_503_every == 2
+
+
+class TestTriggers:
+    def test_crash_fires_from_nth_shard(self):
+        plan = FaultPlan(crash_on_shard=3)
+        assert [plan.should_crash(n) for n in (1, 2, 3, 4)] == [
+            False, False, True, True,
+        ]
+        assert not FaultPlan().should_crash(100)
+
+    def test_503_every_kth(self):
+        plan = FaultPlan(reject_503_every=2)
+        assert [plan.should_reject(n) for n in (1, 2, 3, 4)] == [
+            False, True, False, True,
+        ]
+        assert not FaultPlan().should_reject(2)
+
+    def test_stall_only_on_exact_shard(self):
+        plan = FaultPlan(stall_on_shard=2, stall_seconds=1.25)
+        assert plan.stall_for(1) == 0.0
+        assert plan.stall_for(2) == 1.25
+        assert plan.stall_for(3) == 0.0
+
+    def test_heartbeat_blackhole(self):
+        plan = FaultPlan(heartbeat_blackhole_after=2)
+        assert plan.heartbeat_allowed(0)
+        assert plan.heartbeat_allowed(1)
+        assert not plan.heartbeat_allowed(2)
+        total = FaultPlan(heartbeat_blackhole_after=0)
+        assert not total.heartbeat_allowed(0)
+        assert FaultPlan().heartbeat_allowed(10**6)

@@ -1,0 +1,146 @@
+"""Worker membership: registration, heartbeats, death detection."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fleet import WorkerRegistry
+from repro.fleet.registry import ALIVE, DEAD, LEFT
+
+
+def rewind(registry: WorkerRegistry, worker_id: str, seconds: float) -> None:
+    """Age a worker's last heartbeat so death detection can be driven
+    deterministically (no sleeping through monitor intervals)."""
+    info = registry.get(worker_id)
+    assert info is not None
+    info.last_heartbeat = time.monotonic() - seconds
+
+
+class TestMembership:
+    def test_register_and_heartbeat(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0, miss_budget=3)
+        info = registry.register("w1", "http://127.0.0.1:1")
+        assert info.state == ALIVE
+        assert registry.heartbeat("w1") is True
+        assert registry.get("w1").heartbeats == 1
+        assert registry.alive_ids() == ["w1"]
+
+    def test_heartbeat_from_unknown_worker(self):
+        registry = WorkerRegistry()
+        assert registry.heartbeat("ghost") is False
+
+    def test_registration_validates(self):
+        registry = WorkerRegistry()
+        with pytest.raises(ValueError):
+            registry.register("", "http://x")
+        with pytest.raises(ValueError):
+            registry.register("w", "")
+
+    def test_deregister_is_graceful(self):
+        registry = WorkerRegistry()
+        registry.register("w1", "http://127.0.0.1:1")
+        assert registry.deregister("w1") is True
+        assert registry.get("w1").state == LEFT
+        assert registry.alive_ids() == []
+        assert registry.deregister("w1") is False  # idempotent
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WorkerRegistry(heartbeat_interval=0)
+        with pytest.raises(ValueError):
+            WorkerRegistry(miss_budget=0)
+
+
+class TestDeathDetection:
+    def test_death_timeout_is_interval_times_budget(self):
+        registry = WorkerRegistry(heartbeat_interval=2.0, miss_budget=3)
+        assert registry.death_timeout == 6.0
+
+    def test_overdue_worker_dies_once(self):
+        deaths = []
+        registry = WorkerRegistry(
+            heartbeat_interval=0.5, miss_budget=2, on_death=deaths.append
+        )
+        registry.register("w1", "http://127.0.0.1:1")
+        registry.register("w2", "http://127.0.0.1:2")
+        rewind(registry, "w1", seconds=5.0)
+        assert registry.check_deaths() == ["w1"]
+        assert deaths == ["w1"]
+        assert registry.get("w1").state == DEAD
+        assert registry.alive_ids() == ["w2"]
+        # A second sweep must not re-fire the callback.
+        assert registry.check_deaths() == []
+        assert deaths == ["w1"]
+
+    def test_fresh_worker_survives_sweep(self):
+        registry = WorkerRegistry(heartbeat_interval=0.5, miss_budget=2)
+        registry.register("w1", "http://127.0.0.1:1")
+        assert registry.check_deaths() == []
+        assert registry.get("w1").state == ALIVE
+
+    def test_heartbeat_revives_dead_worker(self):
+        registry = WorkerRegistry(heartbeat_interval=0.5, miss_budget=2)
+        registry.register("w1", "http://127.0.0.1:1")
+        rewind(registry, "w1", seconds=5.0)
+        registry.check_deaths()
+        assert registry.get("w1").state == DEAD
+        assert registry.heartbeat("w1") is True
+        assert registry.get("w1").state == ALIVE
+
+    def test_reregistration_revives_and_updates_url(self):
+        registry = WorkerRegistry(heartbeat_interval=0.5, miss_budget=2)
+        registry.register("w1", "http://127.0.0.1:1")
+        rewind(registry, "w1", seconds=5.0)
+        registry.check_deaths()
+        info = registry.register("w1", "http://127.0.0.1:99")
+        assert info.state == ALIVE
+        assert info.url == "http://127.0.0.1:99"
+        assert info.deaths == 1
+
+    def test_left_worker_never_dies(self):
+        deaths = []
+        registry = WorkerRegistry(
+            heartbeat_interval=0.5, miss_budget=2, on_death=deaths.append
+        )
+        registry.register("w1", "http://127.0.0.1:1")
+        registry.deregister("w1")
+        rewind(registry, "w1", seconds=50.0)
+        assert registry.check_deaths() == []
+        assert deaths == []
+
+    def test_monitor_thread_detects_death(self):
+        deaths = []
+        registry = WorkerRegistry(
+            heartbeat_interval=0.1, miss_budget=2, on_death=deaths.append
+        )
+        registry.register("w1", "http://127.0.0.1:1")
+        registry.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and not deaths:
+                time.sleep(0.05)
+        finally:
+            registry.stop()
+        assert deaths == ["w1"]
+
+    def test_snapshot_shape(self):
+        registry = WorkerRegistry()
+        registry.register("w1", "http://127.0.0.1:1")
+        registry.heartbeat("w1")
+        (snap,) = registry.snapshot()
+        assert snap["worker"] == "w1"
+        assert snap["state"] == ALIVE
+        assert snap["heartbeats"] == 1
+        assert snap["heartbeat_age_seconds"] >= 0.0
+        assert snap["shards_completed"] == 0
+
+    def test_note_shard_accounting(self):
+        registry = WorkerRegistry()
+        registry.register("w1", "http://127.0.0.1:1")
+        registry.note_shard("w1", ok=True)
+        registry.note_shard("w1", ok=False)
+        registry.note_shard("ghost", ok=True)  # unknown: ignored
+        info = registry.get("w1")
+        assert (info.shards_completed, info.shards_failed) == (1, 1)

@@ -58,8 +58,9 @@ class TestIntrospection:
 
     def test_cache_stats_shape(self, client):
         stats = client.cache_stats()
-        assert set(stats) == {"context", "store", "queue", "admission"}
+        assert set(stats) == {"context", "store", "queue", "admission", "fleet"}
         assert stats["store"] is None  # this server runs without a store
+        assert stats["fleet"] is None  # and without a coordinator
         assert "hits" in stats["context"]
         assert "workers" in stats["queue"]
 

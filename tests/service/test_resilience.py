@@ -1,0 +1,283 @@
+"""Resilience satellites: client transient retry, store lock handling,
+and queue shutdown semantics (drain vs cancel)."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.engine import AnalysisContext, AnalysisRequest, analyze
+from repro.model import TaskSet
+from repro.service import JobQueue, JobState, ResultStore
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    TransientServiceError,
+)
+
+# ----------------------------------------------------------------------
+# ServiceClient: transient classification and idempotent-GET retry
+# ----------------------------------------------------------------------
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Answers 503 for the first ``fail_first`` requests per method,
+    then 200; counts every hit so tests can assert attempt counts."""
+
+    def log_message(self, *args):  # noqa: A002 - http.server API
+        pass
+
+    def _respond(self):
+        counts = self.server.counts  # type: ignore[attr-defined]
+        counts[self.command] = counts.get(self.command, 0) + 1
+        if self.command == "POST":
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            if length:
+                self.rfile.read(length)
+        if counts[self.command] <= self.server.fail_first:  # type: ignore[attr-defined]
+            body = json.dumps({"error": "warming up"}).encode()
+            status = 503
+        else:
+            body = json.dumps({"ok": True}).encode()
+            status = 200
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _respond
+    do_POST = _respond
+
+
+@pytest.fixture
+def flaky_server():
+    def spawn(fail_first: int):
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+        httpd.fail_first = fail_first  # type: ignore[attr-defined]
+        httpd.counts = {}  # type: ignore[attr-defined]
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        servers.append(httpd)
+        return httpd, f"http://127.0.0.1:{httpd.server_address[1]}"
+
+    servers: list = []
+    yield spawn
+    for httpd in servers:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def make_client(url: str, **overrides) -> ServiceClient:
+    options = dict(retries=3, retry_base=0.01, retry_cap=0.02)
+    options.update(overrides)
+    return ServiceClient(url, **options)
+
+
+class TestClientRetry:
+    def test_get_retries_through_transient_503(self, flaky_server):
+        httpd, url = flaky_server(fail_first=2)
+        assert make_client(url).health() == {"ok": True}
+        assert httpd.counts["GET"] == 3
+
+    def test_get_gives_up_after_budget(self, flaky_server):
+        httpd, url = flaky_server(fail_first=99)
+        with pytest.raises(TransientServiceError) as excinfo:
+            make_client(url).health()
+        assert excinfo.value.reason == "http"
+        assert excinfo.value.status == 503
+        assert httpd.counts["GET"] == 3
+
+    def test_post_never_retries(self, flaky_server):
+        httpd, url = flaky_server(fail_first=99)
+        with pytest.raises(TransientServiceError) as excinfo:
+            make_client(url)._request("POST", "/v1/fleet/heartbeat", {"x": 1})
+        assert excinfo.value.reason == "http"
+        assert httpd.counts["POST"] == 1  # exactly one attempt
+
+    def test_connection_refused_is_unreachable(self):
+        client = make_client("http://127.0.0.1:9", retries=1)
+        with pytest.raises(TransientServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.reason == "unreachable"
+
+    def test_non_transient_errors_are_not_retried(self, flaky_server):
+        httpd, url = flaky_server(fail_first=0)
+        client = make_client(url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("PUT", "/v1/anything")  # 501 from BaseHTTP
+        assert not isinstance(excinfo.value, TransientServiceError)
+
+    def test_retries_validated(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://127.0.0.1:9", retries=0)
+
+
+# ----------------------------------------------------------------------
+# ResultStore: busy_timeout + bounded locked-write retry
+# ----------------------------------------------------------------------
+
+
+def _sample() -> tuple:
+    ts = TaskSet.of((2, 6, 10), (3, 11, 16))
+    fingerprint = AnalysisContext.of(ts).fingerprint
+    return fingerprint, analyze(ts)
+
+
+class TestStoreLocking:
+    def test_busy_timeout_pragma_applied(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite", busy_timeout=1.25) as store:
+            (value,) = store._conn.execute("PRAGMA busy_timeout").fetchone()
+            assert value == 1250
+
+    def test_knobs_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "s.sqlite", busy_timeout=-1)
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "s.sqlite", locked_retries=0)
+
+    def test_write_lands_after_lock_released(self, tmp_path):
+        """busy_timeout=0 forces the app-level retry loop to do the
+        waiting: the lock is held past the first attempt and released
+        before the budget runs out."""
+        path = tmp_path / "s.sqlite"
+        fingerprint, result = _sample()
+        with ResultStore(path, busy_timeout=0, locked_retries=5) as store:
+            blocker = sqlite3.connect(path, check_same_thread=False)
+            blocker.execute("BEGIN IMMEDIATE")
+            release = threading.Timer(0.12, blocker.commit)
+            release.start()
+            try:
+                store.put(fingerprint, "qpa", {}, result)
+            finally:
+                release.join()
+                blocker.close()
+            cached = store.get(fingerprint, "qpa", {})
+            assert cached is not None
+            assert cached.verdict == result.verdict
+
+    def test_persistent_lock_drops_write_gracefully(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        fingerprint, result = _sample()
+        with ResultStore(path, busy_timeout=0, locked_retries=2) as store:
+            blocker = sqlite3.connect(path, check_same_thread=False)
+            blocker.execute("BEGIN IMMEDIATE")
+            try:
+                store.put(fingerprint, "qpa", {}, result)  # must not raise
+            finally:
+                blocker.rollback()
+                blocker.close()
+            assert store.get(fingerprint, "qpa", {}) is None
+            # The store stays usable once the lock clears.
+            store.put(fingerprint, "qpa", {}, result)
+            assert store.get(fingerprint, "qpa", {}) is not None
+
+    def test_store_context_retries_too(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        fingerprint, _ = _sample()
+        with ResultStore(path, busy_timeout=0, locked_retries=5) as store:
+            blocker = sqlite3.connect(path, check_same_thread=False)
+            blocker.execute("BEGIN IMMEDIATE")
+            release = threading.Timer(0.12, blocker.commit)
+            release.start()
+            try:
+                store.store_context(fingerprint, {"qpa_state": {"t": 1}})
+            finally:
+                release.join()
+                blocker.close()
+            assert store.load_context(fingerprint) is not None
+
+
+# ----------------------------------------------------------------------
+# JobQueue.shutdown: drain vs cancel
+# ----------------------------------------------------------------------
+
+
+class _GatedRunner:
+    """Blocks inside ``run`` until released — a job that will not end
+    on its own, which is exactly what shutdown must handle."""
+
+    jobs = 1
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def run(self, requests):
+        self.started.set()
+        self.gate.wait(10)
+        from repro.engine import BatchRunner
+
+        return BatchRunner(jobs=1).run(requests)
+
+
+def _requests(count: int = 1):
+    ts = TaskSet.of((2, 6, 10), (3, 11, 16))
+    return [
+        AnalysisRequest(source=ts, test="all-approx", options={})
+        for _ in range(count)
+    ]
+
+
+class TestShutdown:
+    def test_cancel_shutdown_sweeps_running_and_queued(self):
+        runner = _GatedRunner()
+        queue = JobQueue(runner=runner)
+        running = queue.submit(_requests())
+        assert runner.started.wait(5)
+        queued = queue.submit(_requests())
+        queue.shutdown(timeout=0.3)
+        runner.gate.set()  # let the stuck worker thread exit
+
+        for job_id in (running, queued):
+            snap = queue.status(job_id)
+            assert snap["state"] == JobState.CANCELLED
+            assert snap["error"] == "cancelled_by_shutdown"
+            assert snap["finished_at"] is not None
+
+        # A worker finishing late must not resurrect the swept job.
+        time.sleep(0.2)
+        assert queue.status(running)["state"] == JobState.CANCELLED
+
+    def test_drain_shutdown_finishes_backlog(self):
+        queue = JobQueue()
+        jobs = [queue.submit(_requests()) for _ in range(3)]
+        queue.shutdown(timeout=10.0, drain=True)
+        for job_id in jobs:
+            snap = queue.status(job_id)
+            assert snap["state"] == JobState.DONE
+            assert snap["error"] is None
+
+    def test_drain_deadline_cancels_stragglers(self):
+        runner = _GatedRunner()
+        queue = JobQueue(runner=runner)
+        job_id = queue.submit(_requests())
+        assert runner.started.wait(5)
+        queue.shutdown(timeout=0.3, drain=True)
+        runner.gate.set()
+        snap = queue.status(job_id)
+        assert snap["state"] == JobState.CANCELLED
+        assert snap["error"] == "cancelled_by_shutdown"
+
+    def test_shutdown_is_idempotent(self):
+        queue = JobQueue()
+        queue.shutdown()
+        queue.shutdown()  # no-op, no exception
+
+    def test_user_cancel_keeps_its_own_reason(self):
+        runner = _GatedRunner()
+        queue = JobQueue(runner=runner)
+        queue.submit(_requests())  # occupies the single worker
+        assert runner.started.wait(5)
+        # Cancelling a still-queued job must not look like a shutdown.
+        queued = queue.submit(_requests())
+        snap = queue.cancel(queued)
+        assert snap["state"] == JobState.CANCELLED
+        assert snap["error"] != "cancelled_by_shutdown"
+        runner.gate.set()
+        queue.shutdown(timeout=5.0)
