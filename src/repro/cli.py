@@ -25,9 +25,12 @@ Subcommands:
 * ``fleet`` — the fault-tolerant analysis fleet: ``coordinate`` runs a
   server that shards campaigns across registered workers, ``worker``
   runs one shard executor (with optional ``--faults`` chaos injection),
-  ``workers`` prints a coordinator's membership table;
+  ``workers`` prints a coordinator's membership table, ``status`` the
+  live health view (heartbeat/scrape ages, shards in flight, RSS);
 * ``obs`` — observability of a running service: scrape ``/v1/metrics``
-  (Prometheus text or JSON) or tail the structured event stream.
+  (Prometheus text or JSON) or tail the structured event stream;
+  ``fleet-metrics``/``fleet-events`` read the coordinator's merged
+  per-worker telemetry instead of the server's own.
 
 ``--cache-stats`` on the analysis-heavy commands prints the engine's
 shared-preflight cache counters after the run; ``--metrics-out FILE``
@@ -42,7 +45,7 @@ import json
 import sys
 import time
 from fractions import Fraction
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from . import __version__
 from .analysis.bounds import BoundMethod
@@ -569,6 +572,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 1.25)",
     )
     p_fc.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=None,
+        help="seconds between telemetry scrapes of each alive worker "
+        "(default: 2x the heartbeat interval)",
+    )
+    p_fc.add_argument(
+        "--scrape-timeout",
+        type=float,
+        default=5.0,
+        help="per-request timeout for one telemetry scrape (default: 5)",
+    )
+    p_fc.add_argument(
+        "--stale-ttl",
+        type=float,
+        default=300.0,
+        help="seconds a dead worker's series stay in the fleet view "
+        "(marked stale) before expiring (default: 300)",
+    )
+    p_fc.add_argument(
         "--journal",
         default=None,
         metavar="FILE",
@@ -615,13 +638,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="failure injection spec for chaos testing, e.g. "
         "'crash-on-shard=3,heartbeat-blackhole,stall-on-shard=2:5,"
-        "http-503=4' (also read from REPRO_FLEET_FAULTS)",
+        "http-503=4,scrape-503=2' (also read from REPRO_FLEET_FAULTS)",
+    )
+    p_fw.add_argument(
+        "--sampler-interval",
+        type=float,
+        default=5.0,
+        help="seconds between resource samples feeding the worker's "
+        "RSS/fd/CPU gauges; 0 disables the sampler (default: 5)",
     )
     p_fleet_workers = fleet_sub.add_parser(
         "workers", help="show a coordinator's fleet membership"
     )
     p_fleet_workers.add_argument(
         "--url", default="http://127.0.0.1:8787", help=url_help
+    )
+    p_fleet_status = fleet_sub.add_parser(
+        "status",
+        help="live fleet health: heartbeats, scrape ages, shards, RSS",
+    )
+    p_fleet_status.add_argument(
+        "--url", default="http://127.0.0.1:8787", help=url_help
+    )
+    p_fleet_status.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep refreshing the table until interrupted",
+    )
+    p_fleet_status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="--watch refresh interval in seconds (default: 2)",
     )
 
     p_obs = sub.add_parser(
@@ -657,6 +705,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep polling for new events until interrupted",
     )
     p_obs_events.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="--follow poll interval in seconds (default: 1)",
+    )
+    p_obs_fleet_metrics = obs_sub.add_parser(
+        "fleet-metrics",
+        help="scrape the fleet-aggregated /v1/fleet/metrics view "
+        "(per-worker labeled series + scrape rollups)",
+    )
+    p_obs_fleet_metrics.add_argument(
+        "--url", default="http://127.0.0.1:8787", help=url_help
+    )
+    p_obs_fleet_metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON snapshot instead of Prometheus text",
+    )
+    p_obs_fleet_events = obs_sub.add_parser(
+        "fleet-events",
+        help="read the merged worker event stream (worker= provenance)",
+    )
+    p_obs_fleet_events.add_argument(
+        "--url", default="http://127.0.0.1:8787", help=url_help
+    )
+    p_obs_fleet_events.add_argument(
+        "--since", type=int, default=0, help="start cursor (default: 0)"
+    )
+    p_obs_fleet_events.add_argument(
+        "--limit", type=int, default=500, help="events per page (default: 500)"
+    )
+    p_obs_fleet_events.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new events until interrupted",
+    )
+    p_obs_fleet_events.add_argument(
         "--interval",
         type=float,
         default=1.0,
@@ -1318,6 +1403,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return _cmd_fleet_worker(args)
     if args.fleet_command == "workers":
         return _cmd_fleet_workers(args)
+    if args.fleet_command == "status":
+        return _cmd_fleet_status(args)
     raise AssertionError(  # pragma: no cover
         f"unhandled fleet command {args.fleet_command}"
     )
@@ -1335,6 +1422,9 @@ def _cmd_fleet_coordinate(args: argparse.Namespace) -> int:
         shard_timeout=args.shard_timeout,
         retries=args.retries,
         balance_factor=args.balance_factor,
+        scrape_interval=args.scrape_interval,
+        scrape_timeout=args.scrape_timeout,
+        stale_ttl=args.stale_ttl,
     )
     server = AnalysisServer(
         host=args.host,
@@ -1352,7 +1442,7 @@ def _cmd_fleet_coordinate(args: argparse.Namespace) -> int:
     print(
         f"fleet coordinator: heartbeat={args.heartbeat_interval:g}s "
         f"miss-budget={args.miss_budget} shard-size={args.fleet_shard_size} "
-        f"retries={args.retries}",
+        f"retries={args.retries} scrape={coordinator.scraper.interval:g}s",
         flush=True,
     )
     print(
@@ -1383,6 +1473,9 @@ def _cmd_fleet_worker(args: argparse.Namespace) -> int:
         worker_id=args.id,
         heartbeat_interval=args.heartbeat_interval,
         faults=faults,
+        sampler_interval=(
+            args.sampler_interval if args.sampler_interval > 0 else None
+        ),
     )
     # Machine-readable first line: "worker <id> serving on <url>".
     print(f"worker {worker.id} serving on {worker.url}", flush=True)
@@ -1398,9 +1491,22 @@ def _cmd_fleet_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scrape_age_of(telemetry: dict, worker_id: str) -> str:
+    view = (telemetry.get("workers") or {}).get(worker_id) or {}
+    age = view.get("last_scrape_age_seconds")
+    return f"{age:.1f}" if age is not None else "-"
+
+
+def _rss_mb_of(telemetry: dict, worker_id: str) -> str:
+    view = (telemetry.get("workers") or {}).get(worker_id) or {}
+    rss = view.get("rss_bytes")
+    return f"{rss / (1024 * 1024):.1f}" if rss else "-"
+
+
 def _cmd_fleet_workers(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url)
     snapshot = client.fleet_workers()
+    telemetry = snapshot.get("telemetry") or {}
     print(
         f"fleet of {len(snapshot['workers'])} worker(s), "
         f"{len(snapshot['alive'])} alive — heartbeat "
@@ -1410,14 +1516,16 @@ def _cmd_fleet_workers(args: argparse.Namespace) -> int:
     )
     print(
         f"{'worker':>16}  {'state':>6}  {'beats':>6}  {'age(s)':>8}  "
-        f"{'done':>6}  {'failed':>6}"
+        f"{'done':>6}  {'failed':>6}  {'scrape(s)':>9}  {'rss(MB)':>8}"
     )
     for worker in snapshot["workers"]:
         print(
             f"{worker['worker']:>16}  {worker['state']:>6}  "
             f"{worker['heartbeats']:>6d}  "
             f"{worker['heartbeat_age_seconds']:>8.1f}  "
-            f"{worker['shards_completed']:>6d}  {worker['shards_failed']:>6d}"
+            f"{worker['shards_completed']:>6d}  {worker['shards_failed']:>6d}  "
+            f"{_scrape_age_of(telemetry, worker['worker']):>9}  "
+            f"{_rss_mb_of(telemetry, worker['worker']):>8}"
         )
     letters = snapshot.get("dead_letters", [])
     if letters:
@@ -1428,6 +1536,59 @@ def _cmd_fleet_workers(args: argparse.Namespace) -> int:
                 f"{letter['attempts']} attempts — {letter['reason']}"
             )
     return 0
+
+
+def _print_fleet_status(snapshot: dict) -> None:
+    telemetry = snapshot.get("telemetry") or {}
+    inflight = telemetry.get("inflight") or {}
+    views = telemetry.get("workers") or {}
+    print(
+        f"fleet of {len(snapshot['workers'])} worker(s), "
+        f"{len(snapshot['alive'])} alive — scrape interval "
+        f"{telemetry.get('scrape_interval_seconds', 0):g}s, stale TTL "
+        f"{telemetry.get('stale_ttl_seconds', 0):g}s"
+    )
+    print(
+        f"{'worker':>16}  {'state':>6}  {'beat(s)':>8}  {'scrape(s)':>9}  "
+        f"{'done':>6}  {'inflight':>8}  {'rss(MB)':>8}"
+    )
+    for worker in snapshot["workers"]:
+        worker_id = worker["worker"]
+        view = views.get(worker_id) or {}
+        state = worker["state"]
+        if view.get("stale"):
+            state += "*"
+        print(
+            f"{worker_id:>16}  {state:>6}  "
+            f"{worker['heartbeat_age_seconds']:>8.1f}  "
+            f"{_scrape_age_of(telemetry, worker_id):>9}  "
+            f"{worker['shards_completed']:>6d}  "
+            f"{inflight.get(worker_id, 0):>8d}  "
+            f"{_rss_mb_of(telemetry, worker_id):>8}"
+        )
+    failures = sum(view.get("failures", 0) for view in views.values())
+    print(
+        f"events merged: {telemetry.get('events_merged', 0)}, "
+        f"spans merged: {telemetry.get('spans_merged', 0)}, "
+        f"scrape failures: {failures}"
+        + ("  (* = series stale)" if any(
+            view.get("stale") for view in views.values()
+        ) else "")
+    )
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        while True:
+            _print_fleet_status(client.fleet_workers())
+            if not args.watch:
+                return 0
+            sys.stdout.flush()
+            time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
 
 
 def _job_options(args: argparse.Namespace) -> dict:
@@ -1564,9 +1725,17 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         else:
             sys.stdout.write(client.metrics_text())
         return 0
+    if args.obs_command == "fleet-metrics":
+        if args.json:
+            print(json.dumps(client.fleet_metrics(), indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(client.fleet_metrics_text())
+        return 0
     if args.obs_command == "trace":
         return _obs_trace(client, args)
-    return _obs_events(client, args)
+    if args.obs_command == "fleet-events":
+        return _obs_events(client, args, fetch=client.fleet_events)
+    return _obs_events(client, args, fetch=client.events)
 
 
 def _obs_trace(client: ServiceClient, args: argparse.Namespace) -> int:
@@ -1599,7 +1768,13 @@ def _obs_trace(client: ServiceClient, args: argparse.Namespace) -> int:
     return 0
 
 
-def _obs_events(client: ServiceClient, args: argparse.Namespace) -> int:
+def _obs_events(
+    client: ServiceClient, args: argparse.Namespace, fetch: Any = None
+) -> int:
+    # Both event streams (/v1/events and /v1/fleet/events) share the
+    # cursor-page protocol, so the follow loop is generic over *fetch*.
+    if fetch is None:
+        fetch = client.events
     cursor = args.since
     # In --follow mode one transient error (server restart, blip) is
     # retried after a delay; a second consecutive failure exits with
@@ -1608,7 +1783,7 @@ def _obs_events(client: ServiceClient, args: argparse.Namespace) -> int:
     try:
         while True:
             try:
-                page = client.events(since=cursor, limit=args.limit)
+                page = fetch(since=cursor, limit=args.limit)
             except ServiceError as err:
                 if not args.follow:
                     raise

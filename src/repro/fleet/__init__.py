@@ -9,14 +9,21 @@ requeue onto survivors; with zero workers the coordinator degrades to
 local in-process execution — campaigns always complete, bit-identical
 to a sequential :class:`~repro.engine.batch.BatchRunner` run.
 
+The telemetry plane rides on top: a :class:`FleetScraper` owned by the
+coordinator pulls every alive worker's metrics/events/spans on a
+cadence into a :class:`FleetTelemetry` merged store with ``worker=``
+provenance, serving ``/v1/fleet/metrics`` and the ``fleet status``
+health view.
+
 :class:`FaultPlan` injects deterministic failures (crash, heartbeat
-blackhole, stall, HTTP 503) for chaos testing; see ``README.md``
-"Running a fleet" for topology and knobs.
+blackhole, stall, HTTP 503, scrape 503) for chaos testing; see
+``README.md`` "Running a fleet" for topology and knobs.
 """
 
 from .coordinator import Coordinator, DeadLetter, FleetRunner
 from .faults import FAULTS_ENV, FaultPlan
 from .registry import WorkerInfo, WorkerRegistry
+from .telemetry import FleetScraper, FleetTelemetry
 from .shards import (
     FleetRequest,
     RequestGroup,
@@ -34,6 +41,8 @@ __all__ = [
     "Coordinator",
     "DeadLetter",
     "FleetRunner",
+    "FleetScraper",
+    "FleetTelemetry",
     "FleetWorker",
     "FaultPlan",
     "FAULTS_ENV",

@@ -36,6 +36,13 @@ at least one new index — replays never double-count engine metrics.
 campaign jobs submitted over the HTTP API reach the fleet while
 keeping the queue's store consult/write-through (write-once results
 keyed by fingerprint+test+options) for free.
+
+The coordinator also owns the fleet telemetry plane
+(:mod:`repro.fleet.telemetry`): a :class:`FleetScraper` thread pulls
+every alive worker's ``/v1/metrics``/``/v1/events``/``/v1/traces`` on a
+heartbeat-aligned cadence into a :class:`FleetTelemetry` merged store,
+which backs ``/v1/fleet/metrics``/``/v1/fleet/events`` and the
+``telemetry`` section of :meth:`Coordinator.snapshot`.
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ from ..obs import span as _obs_span
 from ..result import FeasibilityResult
 from ..service.client import ServiceClient, ServiceError, TransientServiceError
 from .registry import ALIVE, WorkerRegistry
+from .telemetry import FleetScraper, FleetTelemetry
 from .shards import (
     RequestGroup,
     Shard,
@@ -238,6 +246,12 @@ class Coordinator:
             larger values favor cache affinity.
         campaign_timeout: hard deadline for one :meth:`run_campaign`.
         rng: jitter source (tests inject a seeded instance).
+        scrape_interval: cadence of the telemetry scraper; defaults to
+            ``2 * heartbeat_interval`` (heartbeat-aligned — fresh
+            enough for a health view without doubling beat traffic).
+        scrape_timeout: per-request socket timeout for one scrape GET.
+        stale_ttl: how long a dead/departed worker's series stay in
+            the fleet view (marked stale) before expiring.
     """
 
     def __init__(
@@ -254,6 +268,9 @@ class Coordinator:
         balance_factor: float = 1.25,
         campaign_timeout: float = 600.0,
         rng: Optional[random.Random] = None,
+        scrape_interval: Optional[float] = None,
+        scrape_timeout: float = 5.0,
+        stale_ttl: float = 300.0,
     ) -> None:
         if shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
@@ -280,6 +297,17 @@ class Coordinator:
             on_death=self._recover_worker,
         )
         self._rng = rng if rng is not None else random.Random()
+        self.telemetry = FleetTelemetry(stale_ttl=stale_ttl)
+        self.scraper = FleetScraper(
+            self.workers,
+            self.telemetry,
+            interval=(
+                scrape_interval
+                if scrape_interval is not None
+                else 2 * heartbeat_interval
+            ),
+            timeout=scrape_timeout,
+        )
         self._local_runner = BatchRunner(jobs=1, registry=registry)
         self._lock = threading.Lock()  # guards the dispatch maps below
         self._queues: Dict[str, "queue_module.Queue[Any]"] = {}
@@ -343,7 +371,20 @@ class Coordinator:
             "shard_size": self.shard_size,
             "retries": self.retries,
             "dead_letters": letters,
+            "telemetry": {
+                **self.telemetry.snapshot(),
+                "scrape_interval_seconds": self.scraper.interval,
+                "inflight": self.inflight_counts(),
+            },
         }
+
+    def inflight_counts(self) -> Dict[str, int]:
+        """Shards currently dispatched, per worker (health-view feed)."""
+        with self._lock:
+            return {
+                worker_id: len(shards)
+                for worker_id, shards in self._inflight.items()
+            }
 
     # ------------------------------------------------------------------
     # Campaign execution
@@ -522,6 +563,9 @@ class Coordinator:
         shards keep their attempt count — dying is not the shard's
         fault.
         """
+        # Its series go stale immediately (the scraper would notice on
+        # its next sweep anyway; this just makes the view prompt).
+        self.telemetry.mark_stale(worker_id)
         recovered: List[Any] = []
         with self._lock:
             lane = self._queues.pop(worker_id, None)
@@ -653,11 +697,13 @@ class Coordinator:
     # ------------------------------------------------------------------
 
     def start(self) -> "Coordinator":
-        """Start the heartbeat monitor (idempotent)."""
+        """Start the heartbeat monitor and scraper (idempotent)."""
         self.workers.start()
+        self.scraper.start()
         return self
 
     def close(self) -> None:
+        self.scraper.stop()
         with self._lock:
             if self._closed:
                 return

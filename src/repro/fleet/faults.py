@@ -21,9 +21,14 @@ Spec                    Behaviour
                         (drives the per-shard timeout + retry path)
 ``http-503=K``          answer every Kth shard request with a 503
                         before executing anything (transient overload)
+``scrape-503=K``        answer every Kth telemetry GET (``/v1/metrics``,
+                        ``/v1/events``, ``/v1/traces``) with a 503 —
+                        exercises the scraper's transient-failure path
+                        without touching shard execution
 ======================  ================================================
 
-Shard counting is 1-based and per-worker-process, in arrival order.
+Shard counting is 1-based and per-worker-process, in arrival order;
+scrape counting likewise, over telemetry GETs.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ class FaultPlan:
     stall_on_shard: Optional[int] = None
     stall_seconds: float = 0.0
     reject_503_every: Optional[int] = None
+    scrape_503_every: Optional[int] = None
 
     @property
     def active(self) -> bool:
@@ -54,6 +60,7 @@ class FaultPlan:
             or self.heartbeat_blackhole_after is not None
             or self.stall_on_shard is not None
             or self.reject_503_every is not None
+            or self.scrape_503_every is not None
         )
 
     # ------------------------------------------------------------------
@@ -67,6 +74,12 @@ class FaultPlan:
         return (
             self.reject_503_every is not None
             and shard_number % self.reject_503_every == 0
+        )
+
+    def should_reject_scrape(self, scrape_number: int) -> bool:
+        return (
+            self.scrape_503_every is not None
+            and scrape_number % self.scrape_503_every == 0
         )
 
     def stall_for(self, shard_number: int) -> float:
@@ -89,7 +102,7 @@ class FaultPlan:
         """Parse a spec string; empty/None yields the no-fault plan."""
         if not spec or not spec.strip():
             return cls()
-        crash = blackhole = stall_n = reject = None
+        crash = blackhole = stall_n = reject = scrape = None
         stall_s = 0.0
         for raw in spec.split(","):
             item = raw.strip()
@@ -111,6 +124,8 @@ class FaultPlan:
                         raise ValueError("stall seconds must be >= 0")
                 elif name == "http-503":
                     reject = _positive_int(value)
+                elif name == "scrape-503":
+                    scrape = _positive_int(value)
                 else:
                     raise ValueError(f"unknown fault {name!r}")
             except ValueError as err:
@@ -121,6 +136,7 @@ class FaultPlan:
             stall_on_shard=stall_n,
             stall_seconds=stall_s,
             reject_503_every=reject,
+            scrape_503_every=scrape,
         )
 
     @classmethod
@@ -145,6 +161,8 @@ class FaultPlan:
             )
         if self.reject_503_every is not None:
             parts.append(f"http-503={self.reject_503_every}")
+        if self.scrape_503_every is not None:
+            parts.append(f"scrape-503={self.scrape_503_every}")
         return ",".join(parts) if parts else "none"
 
 

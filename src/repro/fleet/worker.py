@@ -1,14 +1,26 @@
 """The fleet worker: a shard-execution HTTP server that heartbeats.
 
 A :class:`FleetWorker` is one process of the analysis fleet.  It serves
-exactly two endpoints —
+a small HTTP surface —
 
 * ``GET  /v1/health`` — liveness, identity, shard counters;
+* ``GET  /v1/metrics`` — this process's registry (Prometheus text;
+  ``?format=json`` for a snapshot, ``?format=state`` for the raw
+  ``export_state`` document the coordinator's scraper merges);
+* ``GET  /v1/events?since=&limit=`` — cursor-paged event journal;
+* ``GET  /v1/traces?since=&limit=`` — cursor-paged span stream;
 * ``POST /v1/fleet/shard`` — execute one shard synchronously and return
   results **plus a telemetry delta** (metrics/events/spans recorded
   while executing, per PR 8's worker-merge primitives), so the
   coordinator can fold the fleet's observability into one view with
   ``worker=`` provenance —
+
+The GET telemetry surface is what the coordinator's
+:class:`~repro.fleet.telemetry.FleetScraper` pulls on a cadence; the
+shard-borne delta remains for campaign-scoped attribution.  With
+``sampler_interval`` set, a :class:`~repro.obs.ResourceSampler` thread
+keeps RSS/fd/CPU gauges fresh between shards so the fleet health view
+sees an *idle* worker's footprint too —
 
 and runs two client loops against its coordinator: registration (with
 retry, so workers may start before the coordinator) and heartbeats on
@@ -33,16 +45,20 @@ import threading
 import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..engine.batch import AnalysisRequest, BatchRunner
 from ..engine.registry import TestRegistry, default_registry
 from ..model.serialization import result_to_dict
-from ..obs import capture_worker_baseline, collect_worker_telemetry
+from ..obs import ResourceSampler, capture_worker_baseline, collect_worker_telemetry
 from ..obs import continue_trace as _obs_continue_trace
 from ..obs import counter as _obs_counter
+from ..obs import event_log as _obs_event_log
+from ..obs import registry as _obs_registry
 from ..obs import span as _obs_span
+from ..obs import span_log as _obs_span_log
 from ..service.client import ServiceClient, ServiceError
 from .faults import FaultPlan
 from .shards import entries_from_wire
@@ -72,11 +88,34 @@ class _WorkerHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         worker: "FleetWorker" = self.server.worker  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/")
+        query = parse_qs(parts.query)
         if path == "/v1/health":
             self._send_json(200, worker.health())
+            return
+        if path in ("/v1/metrics", "/v1/events", "/v1/traces"):
+            try:
+                status, payload = worker.telemetry_get(path, query)
+            except ValueError as err:
+                self._send_json(400, {"error": str(err)})
+                return
+            if isinstance(payload, str):
+                self._send_text(
+                    status, payload, "text/plain; version=0.0.4; charset=utf-8"
+                )
+            else:
+                self._send_json(status, payload)
             return
         self._send_json(404, {"error": f"no such endpoint: GET {path}"})
 
@@ -129,6 +168,9 @@ class FleetWorker:
         advertise_host: hostname workers hand the coordinator in their
             registration URL (defaults to *host*; useful when binding
             ``0.0.0.0``).
+        sampler_interval: when set, run a :class:`ResourceSampler`
+            thread on this period so RSS/fd/CPU gauges stay fresh for
+            the coordinator's scraper even between shards.
     """
 
     def __init__(
@@ -143,10 +185,15 @@ class FleetWorker:
         registry: Optional[TestRegistry] = None,
         advertise_host: Optional[str] = None,
         quiet: bool = True,
+        sampler_interval: Optional[float] = None,
     ) -> None:
         if heartbeat_interval <= 0:
             raise ValueError(
                 f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        if sampler_interval is not None and sampler_interval <= 0:
+            raise ValueError(
+                f"sampler_interval must be > 0, got {sampler_interval}"
             )
         self.id = worker_id or f"w-{os.getpid()}-{uuid.uuid4().hex[:6]}"
         self.coordinator_url = coordinator_url.rstrip("/")
@@ -170,6 +217,10 @@ class FleetWorker:
         self._shards_done = 0
         self._beats_sent = 0
         self._registered = False
+        self._scrape_counter = 0
+        self._sampler: Optional[ResourceSampler] = None
+        if sampler_interval is not None:
+            self._sampler = ResourceSampler(interval=sampler_interval)
 
     # ------------------------------------------------------------------
 
@@ -187,6 +238,72 @@ class FleetWorker:
                 "shards_done": self._shards_done,
                 "faults": str(self.faults),
             }
+
+    # ------------------------------------------------------------------
+    # Telemetry surface (what the coordinator's scraper pulls)
+    # ------------------------------------------------------------------
+
+    _MAX_PAGE_LIMIT = 1000
+
+    def telemetry_get(
+        self, path: str, query: Dict[str, Any]
+    ) -> Tuple[int, Any]:
+        """Serve one telemetry GET; returns ``(status, payload)``.
+
+        A ``str`` payload is a text exposition; a dict is JSON.  The
+        ``scrape-503`` fault counts these requests (all three endpoints
+        share one counter, so ``scrape-503=2`` rejects every other
+        telemetry GET regardless of which endpoint it hits).
+        """
+        with self._lock:
+            self._scrape_counter += 1
+            number = self._scrape_counter
+        if self.faults.should_reject_scrape(number):
+            return 503, {
+                "error": f"injected scrape 503 (telemetry request {number})",
+                "worker": self.id,
+            }
+        if path == "/v1/metrics":
+            fmt = (query.get("format") or ["text"])[0]
+            if fmt == "text":
+                return 200, _obs_registry().exposition()
+            if fmt == "json":
+                return 200, _obs_registry().snapshot()
+            if fmt == "state":
+                return 200, {
+                    "worker": self.id,
+                    "state": _obs_registry().export_state(),
+                }
+            raise ValueError(
+                f"unknown format {fmt!r} (expected text, json, or state)"
+            )
+        since = self._query_int(query, "since", 0, minimum=0)
+        limit = self._query_int(query, "limit", 500, minimum=1)
+        limit = min(limit, self._MAX_PAGE_LIMIT)
+        if path == "/v1/events":
+            events, next_cursor = _obs_event_log().since(since, limit=limit)
+            return 200, {
+                "since": since,
+                "next": next_cursor,
+                "events": [event.to_dict() for event in events],
+            }
+        records, next_cursor = _obs_span_log().since(since, limit=limit)
+        return 200, {"since": since, "next": next_cursor, "spans": records}
+
+    @staticmethod
+    def _query_int(
+        query: Dict[str, Any], name: str, default: int, minimum: int
+    ) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            number = int(values[0])
+        except (TypeError, ValueError):
+            raise ValueError(f"{name} must be an integer, got {values[0]!r}")
+        if number < minimum:
+            raise ValueError(f"{name} must be >= {minimum}, got {number}")
+        return number
 
     # ------------------------------------------------------------------
     # Shard execution
@@ -294,6 +411,8 @@ class FleetWorker:
 
     def start(self) -> "FleetWorker":
         """Serve, register, and heartbeat on background threads."""
+        if self._sampler is not None:
+            self._sampler.start()
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self.httpd.serve_forever,
@@ -327,12 +446,17 @@ class FleetWorker:
             return
         self._closed = True
         self._stop.set()
+        if self._sampler is not None:
+            self._sampler.stop()
         if self._registered:
             try:
                 self._client.fleet_deregister(self.id)
             except ServiceError:
                 pass
-        self.httpd.shutdown()
+        if self._thread is not None:
+            # shutdown() blocks on the serve loop's acknowledgement, so
+            # only issue it when start() actually began serving.
+            self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)

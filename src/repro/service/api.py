@@ -16,9 +16,11 @@ Method    Path                        Meaning
 GET       /v1/health                  liveness + version
 GET       /v1/tests                   registry dump: names, kinds, options
 GET       /v1/cache-stats             context LRU + store + queue counters
-GET       /v1/metrics                 Prometheus text (``?format=json`` for JSON)
+GET       /v1/metrics                 Prometheus text (``?format=json`` for JSON,
+                                      ``?format=state`` for the raw merge doc)
 GET       /v1/events                  structured events (``?since=N`` cursor)
 GET       /v1/traces                  newest-first per-trace span rollups
+                                      (``?since=N`` for a cursor span page)
 GET       /v1/traces/{trace_id}       every retained span of one trace
 POST      /v1/jobs                    submit a single or batch job (202)
 GET       /v1/jobs                    list job snapshots
@@ -29,6 +31,11 @@ POST      /v1/fleet/register          register a fleet worker (501 if no fleet)
 POST      /v1/fleet/heartbeat         worker heartbeat (404 → re-register)
 POST      /v1/fleet/deregister        graceful worker leave
 GET       /v1/fleet/workers           membership snapshot + dead letters
+GET       /v1/fleet/metrics           fleet-aggregated exposition, one series
+                                      per worker (``worker=`` labels) plus
+                                      scrape rollups (``?format=json``)
+GET       /v1/fleet/events            merged worker events (``?since=N``)
+GET       /v1/fleet/traces            merged worker spans (``?since=N``)
 POST      /v1/admission               create an admission session (201)
 GET       /v1/admission               list admission sessions
 GET       /v1/admission/{id}          one session's stats snapshot
@@ -465,6 +472,23 @@ class AnalysisServer:
         if method == "GET" and path == "/v1/traces":
             handler._send_json(200, self._traces_page(handler.path))
             return True
+        if method == "GET" and path == "/v1/fleet/metrics":
+            self._send_fleet_metrics(handler)
+            return True
+        if method == "GET" and path == "/v1/fleet/events":
+            self._require_fleet()
+            page = self._cursor_page(handler.path)
+            handler._send_json(
+                200, self.coordinator.telemetry.events_page(**page)
+            )
+            return True
+        if method == "GET" and path == "/v1/fleet/traces":
+            self._require_fleet()
+            page = self._cursor_page(handler.path)
+            handler._send_json(
+                200, self.coordinator.telemetry.spans_page(**page)
+            )
+            return True
         if method == "GET" and path.startswith("/v1/traces/"):
             trace_id = path[len("/v1/traces/") :]
             if "/" in trace_id:
@@ -572,15 +596,63 @@ class AnalysisServer:
     # Fleet endpoints
     # ------------------------------------------------------------------
 
-    def _handle_fleet(
-        self, handler: _Handler, method: str, path: str
-    ) -> bool:
+    def _require_fleet(self) -> None:
         if self.coordinator is None:
             raise ApiError(
                 501,
                 "fleet mode is not enabled on this server "
                 "(start it with `repro fleet coordinate`)",
             )
+
+    def _send_fleet_metrics(self, handler: _Handler) -> None:
+        from urllib.parse import parse_qs, urlsplit
+
+        self._require_fleet()
+        inflight = self.coordinator.inflight_counts()
+        query = parse_qs(urlsplit(handler.path).query)
+        fmt = (query.get("format") or ["text"])[0]
+        if fmt == "json":
+            handler._send_json(
+                200,
+                {"metrics": self.coordinator.telemetry.metrics_snapshot(inflight)},
+            )
+            return
+        if fmt != "text":
+            raise ApiError(400, f"unknown metrics format {fmt!r}")
+        handler._send_text(
+            200,
+            self.coordinator.telemetry.exposition(inflight),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _cursor_page(self, raw_path: str) -> Dict[str, int]:
+        """Parse ``?since=&limit=`` into kwargs for a cursor-page call."""
+        from urllib.parse import parse_qs, urlsplit
+
+        query = parse_qs(urlsplit(raw_path).query)
+
+        def _int_param(key: str, default: int, minimum: int) -> int:
+            if key not in query:
+                return default
+            try:
+                value = int(query[key][0])
+                if value < minimum:
+                    raise ValueError
+            except ValueError:
+                raise ApiError(
+                    400, f"'{key}' must be an integer >= {minimum}"
+                ) from None
+            return value
+
+        return {
+            "since": _int_param("since", 0, 0),
+            "limit": min(_int_param("limit", 500, 1), _MAX_PAGE_LIMIT),
+        }
+
+    def _handle_fleet(
+        self, handler: _Handler, method: str, path: str
+    ) -> bool:
+        self._require_fleet()
         if method == "GET" and path == "/v1/fleet/workers":
             handler._send_json(200, self.coordinator.snapshot())
             return True
@@ -744,6 +816,11 @@ class AnalysisServer:
         if fmt == "json":
             handler._send_json(200, {"metrics": _obs_registry().snapshot()})
             return
+        if fmt == "state":
+            # The raw merge document (export_state): what a scraper
+            # pulls to fold this process into a fleet view.
+            handler._send_json(200, {"state": _obs_registry().export_state()})
+            return
         if fmt != "text":
             raise ApiError(400, f"unknown metrics format {fmt!r}")
         handler._send_text(
@@ -785,6 +862,14 @@ class AnalysisServer:
         from urllib.parse import parse_qs, urlsplit
 
         query = parse_qs(urlsplit(raw_path).query)
+        if "since" in query:
+            # Cursor mode (what a fleet scraper pulls): raw span records
+            # from an absolute sequence cursor, oldest first.
+            page = self._cursor_page(raw_path)
+            records, next_cursor = span_log().since(
+                page["since"], limit=page["limit"]
+            )
+            return {"since": page["since"], "next": next_cursor, "spans": records}
         limit = 50
         if "limit" in query:
             try:

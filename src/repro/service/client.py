@@ -213,11 +213,24 @@ class ServiceClient:
         """The raw Prometheus text exposition (format 0.0.4)."""
         return self._request_text("GET", "/v1/metrics")
 
+    def metrics_state(self) -> Dict[str, Any]:
+        """The raw ``export_state`` merge document of the peer's
+        registry — what a fleet scraper pulls to fold one process into
+        the aggregated view."""
+        return self._request("GET", "/v1/metrics?format=state")["state"]
+
     def events(self, since: int = 0, limit: int = 500) -> Dict[str, Any]:
         """Structured events from ring-buffer cursor *since* — poll
         with the returned ``next`` cursor to stream events."""
         return self._request(
             "GET", f"/v1/events?since={since}&limit={limit}"
+        )
+
+    def spans(self, since: int = 0, limit: int = 500) -> Dict[str, Any]:
+        """Raw span records from absolute cursor *since* (oldest first)
+        — the scraper-side counterpart of :meth:`events`."""
+        return self._request(
+            "GET", f"/v1/traces?since={since}&limit={limit}"
         )
 
     def traces(self, limit: int = 50) -> List[Dict[str, Any]]:
@@ -367,6 +380,22 @@ class ServiceClient:
         """The coordinator's membership snapshot (workers, config,
         dead-letter records)."""
         return self._request("GET", "/v1/fleet/workers")
+
+    def fleet_metrics(self) -> Dict[str, Any]:
+        """The fleet-aggregated metrics view as a JSON snapshot
+        (per-worker ``worker=`` labeled series plus scrape rollups)."""
+        return self._request("GET", "/v1/fleet/metrics?format=json")["metrics"]
+
+    def fleet_metrics_text(self) -> str:
+        """The fleet-aggregated Prometheus text exposition."""
+        return self._request_text("GET", "/v1/fleet/metrics")
+
+    def fleet_events(self, since: int = 0, limit: int = 500) -> Dict[str, Any]:
+        """Merged worker events (``worker=`` provenance) from cursor
+        *since* — poll with the returned ``next`` cursor to follow."""
+        return self._request(
+            "GET", f"/v1/fleet/events?since={since}&limit={limit}"
+        )
 
     def fleet_shard(self, document: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one shard on a *worker* (``base_url`` must point at

@@ -16,13 +16,14 @@ class TestParsing:
     def test_full_grammar(self):
         plan = FaultPlan.parse(
             "crash-on-shard=3,heartbeat-blackhole=2,stall-on-shard=1:0.5,"
-            "http-503=4"
+            "http-503=4,scrape-503=5"
         )
         assert plan.crash_on_shard == 3
         assert plan.heartbeat_blackhole_after == 2
         assert plan.stall_on_shard == 1
         assert plan.stall_seconds == 0.5
         assert plan.reject_503_every == 4
+        assert plan.scrape_503_every == 5
         assert plan.active
 
     def test_bare_blackhole(self):
@@ -33,13 +34,13 @@ class TestParsing:
         assert FaultPlan.parse("stall-on-shard=2").stall_seconds == 1.0
 
     def test_round_trips_through_str(self):
-        spec = "crash-on-shard=2,stall-on-shard=1:1.5"
+        spec = "crash-on-shard=2,stall-on-shard=1:1.5,scrape-503=3"
         assert FaultPlan.parse(str(FaultPlan.parse(spec))) == FaultPlan.parse(spec)
 
     @pytest.mark.parametrize(
         "spec",
         ["bogus", "crash-on-shard=zero", "crash-on-shard=0", "http-503=-1",
-         "stall-on-shard=1:abc", "stall-on-shard=1:-2"],
+         "stall-on-shard=1:abc", "stall-on-shard=1:-2", "scrape-503=0"],
     )
     def test_invalid_specs_raise(self, spec):
         with pytest.raises(ValueError):
@@ -66,6 +67,15 @@ class TestTriggers:
             False, True, False, True,
         ]
         assert not FaultPlan().should_reject(2)
+
+    def test_scrape_503_every_kth(self):
+        plan = FaultPlan(scrape_503_every=3)
+        assert [plan.should_reject_scrape(n) for n in (1, 2, 3, 4, 5, 6)] == [
+            False, False, True, False, False, True,
+        ]
+        # Scrape and shard 503s are independent counters/knobs.
+        assert not plan.should_reject(3)
+        assert not FaultPlan(reject_503_every=1).should_reject_scrape(1)
 
     def test_stall_only_on_exact_shard(self):
         plan = FaultPlan(stall_on_shard=2, stall_seconds=1.25)
